@@ -1,0 +1,102 @@
+// Shared fixtures for the experiment benches (E1..E10 in DESIGN.md).
+//
+// Each bench binary prints the rows/series of one reconstructed table or
+// figure. The common fixture builds the full pipeline — device population,
+// cloud contributors, DPMM prior — so every number reported downstream comes
+// from the same code a deployment would run.
+#pragma once
+
+#include <cstdint>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "baselines/trainers.hpp"
+#include "core/edge_learner.hpp"
+#include "data/task_generator.hpp"
+#include "dp/mixture_prior.hpp"
+#include "edgesim/cloud.hpp"
+#include "models/metrics.hpp"
+#include "stats/descriptive.hpp"
+#include "stats/rng.hpp"
+#include "util/table.hpp"
+
+namespace drel::bench {
+
+struct PipelineFixture {
+    data::TaskPopulation population;
+    dp::MixturePrior prior;              ///< learned by the cloud (DPMM-Gibbs)
+    dp::MixturePrior oracle_prior;       ///< the true population mixture
+};
+
+struct FixtureConfig {
+    std::size_t feature_dim = 8;
+    std::size_t num_modes = 4;
+    double mode_radius = 2.5;
+    double within_mode_var = 0.05;
+    double margin_scale = 2.0;
+    std::size_t num_contributors = 30;
+    std::size_t contributor_samples = 300;
+    int gibbs_sweeps = 60;
+};
+
+inline dp::MixturePrior oracle_prior_of(const data::TaskPopulation& population) {
+    linalg::Vector weights;
+    std::vector<stats::MultivariateNormal> atoms;
+    for (const auto& mode : population.modes()) {
+        weights.push_back(mode.weight);
+        atoms.emplace_back(mode.mean, mode.covariance);
+    }
+    return dp::MixturePrior(std::move(weights), std::move(atoms));
+}
+
+/// Builds population + cloud-learned prior, all deterministic from `seed`.
+inline PipelineFixture make_pipeline_fixture(std::uint64_t seed,
+                                             const FixtureConfig& config = {}) {
+    stats::Rng rng(seed);
+    data::TaskPopulation population = data::TaskPopulation::make_synthetic(
+        config.feature_dim, config.num_modes, config.mode_radius, config.within_mode_var, rng);
+
+    data::DataOptions options;
+    options.margin_scale = config.margin_scale;
+
+    edgesim::CloudConfig cloud_config;
+    cloud_config.gibbs_sweeps = config.gibbs_sweeps;
+    edgesim::CloudNode cloud(cloud_config);
+    for (std::size_t j = 0; j < config.num_contributors; ++j) {
+        const data::TaskSpec task = population.sample_task(rng);
+        cloud.add_contributor_data(
+            population.generate(task, config.contributor_samples, rng, options));
+    }
+    dp::MixturePrior prior = cloud.fit_prior(rng);
+    dp::MixturePrior oracle = oracle_prior_of(population);
+    return PipelineFixture{std::move(population), std::move(prior), std::move(oracle)};
+}
+
+/// One edge task: small train set + large test set, same distribution unless
+/// the caller shifts the test set afterwards.
+struct EdgeTask {
+    data::TaskSpec task;
+    models::Dataset train;
+    models::Dataset test;
+};
+
+inline EdgeTask make_edge_task(const data::TaskPopulation& population, std::size_t n_train,
+                               std::size_t n_test, stats::Rng& rng,
+                               const data::DataOptions& options) {
+    const data::TaskSpec task = population.sample_task(rng);
+    models::Dataset train = population.generate(task, n_train, rng, options);
+    models::Dataset test = population.generate(task, n_test, rng, options);
+    return EdgeTask{task, std::move(train), std::move(test)};
+}
+
+/// mean +- std formatting for table cells.
+inline std::string mean_std(const stats::RunningStats& s, int precision = 3) {
+    return util::Table::fmt(s.mean(), precision) + "+-" + util::Table::fmt(s.stddev(), precision);
+}
+
+inline void print_header(const std::string& experiment, const std::string& description) {
+    std::cout << "=== " << experiment << " ===\n" << description << "\n\n";
+}
+
+}  // namespace drel::bench

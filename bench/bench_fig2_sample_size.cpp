@@ -1,0 +1,69 @@
+// E1 / Fig. 2 — test accuracy vs. local sample size n.
+//
+// The paper's headline: with little local data, cloud transfer + robustness
+// dominates local-only learning; as n grows every method converges to the
+// task's Bayes ceiling. Expect em-dro on top for small n, local-erm closing
+// the gap by n=512.
+#include "bench_common.hpp"
+
+int main() {
+    using namespace drel;
+    bench::print_header("E1 (Fig. 2)", "Test accuracy vs local sample size n, mean+-std over "
+                                       "5 seeds; cloud prior learned by DPMM-Gibbs from 30 "
+                                       "contributor devices.");
+
+    const std::vector<std::size_t> sample_sizes = {8, 16, 32, 64, 128, 256, 512};
+    const int num_seeds = 5;
+
+    // method name -> per-n accuracy accumulators
+    std::vector<std::string> method_names;
+    std::vector<std::vector<stats::RunningStats>> accuracy;  // [method][n_index]
+    stats::RunningStats bayes;
+
+    for (int s = 0; s < num_seeds; ++s) {
+        const bench::PipelineFixture fixture = bench::make_pipeline_fixture(100 + s);
+        data::DataOptions options;
+        options.margin_scale = 2.0;
+        stats::Rng rng(200 + s);
+        const bench::EdgeTask edge =
+            bench::make_edge_task(fixture.population, sample_sizes.back(), 4000, rng, options);
+        bayes.push(models::accuracy(models::LinearModel(edge.task.theta_star), edge.test));
+
+        const auto suite =
+            baselines::make_standard_suite(fixture.prior, models::LossKind::kLogistic);
+        if (method_names.empty()) {
+            for (const auto& t : suite) method_names.push_back(t->name());
+            accuracy.assign(suite.size(),
+                            std::vector<stats::RunningStats>(sample_sizes.size()));
+        }
+        for (std::size_t ni = 0; ni < sample_sizes.size(); ++ni) {
+            // Nested subsets: the same device accumulating data over time.
+            std::vector<std::size_t> indices(sample_sizes[ni]);
+            for (std::size_t i = 0; i < indices.size(); ++i) indices[i] = i;
+            const models::Dataset train = edge.train.subset(indices);
+            for (std::size_t m = 0; m < suite.size(); ++m) {
+                accuracy[m][ni].push(models::accuracy(suite[m]->fit(train), edge.test));
+            }
+        }
+    }
+
+    std::vector<std::string> header = {"method"};
+    for (const std::size_t n : sample_sizes) header.push_back("n=" + std::to_string(n));
+    util::Table table(header);
+    for (std::size_t m = 0; m < method_names.size(); ++m) {
+        std::vector<std::string> row = {method_names[m]};
+        for (std::size_t ni = 0; ni < sample_sizes.size(); ++ni) {
+            row.push_back(bench::mean_std(accuracy[m][ni]));
+        }
+        table.add_row(row);
+    }
+    {
+        std::vector<std::string> row = {"oracle(theta*)"};
+        for (std::size_t ni = 0; ni < sample_sizes.size(); ++ni) {
+            row.push_back(bench::mean_std(bayes));
+        }
+        table.add_row(row);
+    }
+    table.print(std::cout);
+    return 0;
+}

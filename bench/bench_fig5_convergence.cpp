@@ -1,0 +1,60 @@
+// E4 / Fig. 5 — EM-DRO convergence.
+//
+// One representative run: the single-layer objective F(theta_t), its robust
+// and log-prior components, the responsibility entropy, and held-out
+// accuracy per outer iteration. Expect F monotone non-increasing (the
+// majorize-minimize guarantee), entropy collapsing as the solver locks onto
+// one prior component, and accuracy saturating within a handful of
+// iterations — the "edge-friendly compute budget" claim.
+#include "core/em_dro.hpp"
+
+#include "bench_common.hpp"
+
+int main() {
+    using namespace drel;
+    bench::print_header("E4 (Fig. 5)",
+                        "EM-DRO trace on one task (n_train=24, Wasserstein rho auto). "
+                        "objective must be non-increasing; entropy shows component lock-in.");
+
+    const bench::PipelineFixture fixture = bench::make_pipeline_fixture(700);
+    data::DataOptions options;
+    options.margin_scale = 2.0;
+    stats::Rng rng(701);
+    const bench::EdgeTask edge = bench::make_edge_task(fixture.population, 24, 4000, rng, options);
+
+    const auto loss = models::make_logistic_loss();
+    const dro::AmbiguitySet set =
+        dro::AmbiguitySet::wasserstein(dro::radius_for_sample_size(0.25, edge.train.size()));
+    core::EmDroOptions em_options;
+    em_options.max_outer_iterations = 25;
+    em_options.objective_tolerance = 0.0;  // run the full budget for the plot
+    const core::EmDroSolver solver(edge.train, *loss, fixture.prior, set, 2.0, em_options);
+
+    // Re-run manually so we can score accuracy at every iterate.
+    linalg::Vector theta = fixture.prior.mean();
+    util::Table table({"iter", "objective F", "robust loss R", "log prior", "resp entropy",
+                       "test acc"});
+    const core::EmDroResult result = solver.solve_from(theta);
+    // The trace holds per-iteration components; replay accuracy by re-solving
+    // prefix-by-prefix (cheap at this scale, exact).
+    for (int t = 1; t <= result.trace.outer_iterations; ++t) {
+        core::EmDroOptions prefix = em_options;
+        prefix.max_outer_iterations = t;
+        const core::EmDroSolver prefix_solver(edge.train, *loss, fixture.prior, set, 2.0,
+                                              prefix);
+        const core::EmDroResult r = prefix_solver.solve_from(fixture.prior.mean());
+        const std::size_t i = static_cast<std::size_t>(t - 1);
+        table.add_row({std::to_string(t), util::Table::fmt(result.trace.objective[i], 6),
+                       util::Table::fmt(result.trace.robust_loss[i], 6),
+                       util::Table::fmt(result.trace.log_prior[i], 4),
+                       util::Table::fmt(result.trace.responsibility_entropy[i], 4),
+                       util::Table::fmt(
+                           models::accuracy(models::LinearModel(r.theta), edge.test), 4)});
+    }
+    table.print(std::cout);
+
+    std::cout << "\nfinal objective " << util::Table::fmt(result.objective, 6) << " after "
+              << result.trace.outer_iterations << " outer iterations (converged="
+              << (result.trace.converged ? "yes" : "no") << ")\n";
+    return 0;
+}

@@ -1,0 +1,126 @@
+// E7 / Fig. 6 — the DP knobs: concentration alpha and truncation K.
+//
+// Left sweep: cloud alpha in {0.1 .. 10}. Alpha controls how readily the
+// cloud posits new device types: too small under-segments (modes merged),
+// too large fragments. We report discovered components, transfer bytes and
+// downstream edge accuracy; expect accuracy flat-topped around the true
+// mode count with degradation at the extremes.
+// Right sweep: variational truncation K with the float32/diagonal encodings
+// — the communication-vs-fidelity frontier.
+#include "edgesim/transfer.hpp"
+
+#include "bench_common.hpp"
+
+int main() {
+    using namespace drel;
+    bench::print_header("E7 (Fig. 6)",
+                        "DP hyperparameters: alpha sweep (Gibbs) and truncation/encoding "
+                        "sweep (variational), mean over 4 seeds; population has 4 true "
+                        "modes; n_train=16.");
+
+    const int num_seeds = 4;
+
+    // ---------------- alpha sweep (Gibbs) ----------------
+    {
+        const std::vector<double> alphas = {0.1, 0.5, 1.0, 2.0, 5.0, 10.0};
+        std::vector<stats::RunningStats> components(alphas.size());
+        std::vector<stats::RunningStats> bytes(alphas.size());
+        std::vector<stats::RunningStats> accuracy(alphas.size());
+
+        for (int s = 0; s < num_seeds; ++s) {
+            stats::Rng rng(1300 + s);
+            const data::TaskPopulation population =
+                data::TaskPopulation::make_synthetic(8, 4, 2.5, 0.05, rng);
+            data::DataOptions options;
+            options.margin_scale = 2.0;
+
+            // Shared contributor uploads across the alpha sweep.
+            std::vector<models::Dataset> uploads;
+            for (int j = 0; j < 30; ++j) {
+                const data::TaskSpec task = population.sample_task(rng);
+                uploads.push_back(population.generate(task, 300, rng, options));
+            }
+            const bench::EdgeTask edge = bench::make_edge_task(population, 16, 3000, rng, options);
+
+            for (std::size_t ai = 0; ai < alphas.size(); ++ai) {
+                edgesim::CloudConfig cloud_config;
+                cloud_config.dp_alpha = alphas[ai];
+                cloud_config.gibbs_sweeps = 60;
+                edgesim::CloudNode cloud(cloud_config);
+                for (const auto& u : uploads) cloud.add_contributor_data(u);
+                stats::Rng prior_rng(1400 + 100 * s + static_cast<std::uint64_t>(ai));
+                const dp::MixturePrior prior = cloud.fit_prior(prior_rng);
+                components[ai].push(static_cast<double>(prior.num_components()));
+                bytes[ai].push(static_cast<double>(edgesim::encode_prior(prior).size()));
+                const core::EdgeLearner learner(prior, {});
+                accuracy[ai].push(models::accuracy(learner.fit(edge.train).model, edge.test));
+            }
+        }
+
+        util::Table table({"alpha", "prior components", "transfer bytes", "edge accuracy"});
+        for (std::size_t ai = 0; ai < alphas.size(); ++ai) {
+            table.add_row({util::Table::fmt(alphas[ai], 1), bench::mean_std(components[ai], 1),
+                           bench::mean_std(bytes[ai], 0), bench::mean_std(accuracy[ai])});
+        }
+        table.print(std::cout);
+        std::cout << "\n";
+    }
+
+    // ---------------- truncation & encoding sweep (variational) ----------------
+    {
+        const std::vector<std::size_t> truncations = {2, 4, 8, 16};
+        util::Table table({"K", "encoding", "kept atoms", "bytes", "edge accuracy"});
+        for (const std::size_t k : truncations) {
+            stats::RunningStats kept;
+            stats::RunningStats acc_full;
+            stats::RunningStats bytes_full;
+            stats::RunningStats acc_f32diag;
+            stats::RunningStats bytes_f32diag;
+            for (int s = 0; s < num_seeds; ++s) {
+                stats::Rng rng(1500 + s);
+                const data::TaskPopulation population =
+                    data::TaskPopulation::make_synthetic(8, 4, 2.5, 0.05, rng);
+                data::DataOptions options;
+                options.margin_scale = 2.0;
+                edgesim::CloudConfig cloud_config;
+                cloud_config.inference = edgesim::PriorInference::kVariational;
+                cloud_config.variational_truncation = k;
+                edgesim::CloudNode cloud(cloud_config);
+                for (int j = 0; j < 30; ++j) {
+                    const data::TaskSpec task = population.sample_task(rng);
+                    cloud.add_contributor_data(population.generate(task, 300, rng, options));
+                }
+                stats::Rng prior_rng(1600 + s);
+                const dp::MixturePrior prior = cloud.fit_prior(prior_rng);
+                kept.push(static_cast<double>(prior.num_components()));
+
+                const bench::EdgeTask edge =
+                    bench::make_edge_task(population, 16, 3000, rng, options);
+                // Full-precision encoding.
+                {
+                    const auto payload = edgesim::encode_prior(prior);
+                    bytes_full.push(static_cast<double>(payload.size()));
+                    const core::EdgeLearner learner(edgesim::decode_prior(payload), {});
+                    acc_full.push(models::accuracy(learner.fit(edge.train).model, edge.test));
+                }
+                // Compressed: float32 + diagonal covariances.
+                {
+                    edgesim::EncodingOptions compressed;
+                    compressed.use_float32 = true;
+                    compressed.diagonal_only = true;
+                    const auto payload = edgesim::encode_prior(prior, compressed);
+                    bytes_f32diag.push(static_cast<double>(payload.size()));
+                    const core::EdgeLearner learner(edgesim::decode_prior(payload), {});
+                    acc_f32diag.push(
+                        models::accuracy(learner.fit(edge.train).model, edge.test));
+                }
+            }
+            table.add_row({std::to_string(k), "f64 full-cov", bench::mean_std(kept, 1),
+                           bench::mean_std(bytes_full, 0), bench::mean_std(acc_full)});
+            table.add_row({std::to_string(k), "f32 diagonal", bench::mean_std(kept, 1),
+                           bench::mean_std(bytes_f32diag, 0), bench::mean_std(acc_f32diag)});
+        }
+        table.print(std::cout);
+    }
+    return 0;
+}

@@ -1,0 +1,88 @@
+// E10 / Table IV — runtime and scalability at edge-class budgets.
+//
+// End-to-end EdgeLearner::fit wall-clock as each axis grows: local samples
+// n, feature dimension d, and prior components K. Expect roughly linear
+// growth in n and K and super-linear (Cholesky-bound) growth in d, with
+// absolute numbers in the tens of milliseconds — i.e. trainable on a
+// constrained edge box.
+#include "util/stopwatch.hpp"
+
+#include "bench_common.hpp"
+
+namespace {
+
+using namespace drel;
+
+double time_fit(const dp::MixturePrior& prior, const models::Dataset& train, int reps) {
+    core::EdgeLearnerConfig config;
+    config.em.max_outer_iterations = 15;
+    const core::EdgeLearner learner(prior, config);
+    util::Stopwatch watch;
+    for (int r = 0; r < reps; ++r) (void)learner.fit(train);
+    return watch.elapsed_millis() / reps;
+}
+
+dp::MixturePrior prior_with_components(const data::TaskPopulation& population, std::size_t k,
+                                       stats::Rng& rng) {
+    linalg::Vector weights;
+    std::vector<stats::MultivariateNormal> atoms;
+    for (std::size_t i = 0; i < k; ++i) {
+        const auto& mode = population.modes()[i % population.num_modes()];
+        weights.push_back(1.0);
+        linalg::Vector mean = mode.mean;
+        linalg::axpy(0.1, rng.standard_normal_vector(mean.size()), mean);
+        atoms.emplace_back(std::move(mean), mode.covariance);
+    }
+    return dp::MixturePrior(std::move(weights), std::move(atoms));
+}
+
+}  // namespace
+
+int main() {
+    using namespace drel;
+    bench::print_header("E10 (Table IV)",
+                        "EdgeLearner::fit wall-clock (ms, averaged over 3 runs; 15 EM outer "
+                        "iterations, Wasserstein auto radius). One axis varies per block.");
+
+    util::Table table({"axis", "n", "d", "K", "fit ms"});
+    const int reps = 3;
+
+    // --- n sweep (d=8, K=4) ---
+    {
+        stats::Rng rng(101);
+        const data::TaskPopulation pop = data::TaskPopulation::make_synthetic(8, 4, 2.5, 0.05, rng);
+        const dp::MixturePrior prior = bench::oracle_prior_of(pop);
+        const data::TaskSpec task = pop.sample_task(rng);
+        for (const std::size_t n : {16u, 64u, 256u, 1024u}) {
+            const models::Dataset train = pop.generate(task, n, rng);
+            table.add_row({"n", std::to_string(n), "8", "4",
+                           util::Table::fmt(time_fit(prior, train, reps), 2)});
+        }
+    }
+
+    // --- d sweep (n=64, K=4) ---
+    for (const std::size_t d : {4u, 8u, 16u, 32u, 64u}) {
+        stats::Rng rng(200 + d);
+        const data::TaskPopulation pop = data::TaskPopulation::make_synthetic(d, 4, 2.5, 0.05, rng);
+        const dp::MixturePrior prior = bench::oracle_prior_of(pop);
+        const models::Dataset train = pop.generate(pop.sample_task(rng), 64, rng);
+        table.add_row({"d", "64", std::to_string(d), "4",
+                       util::Table::fmt(time_fit(prior, train, reps), 2)});
+    }
+
+    // --- K sweep (n=64, d=8) ---
+    {
+        stats::Rng rng(301);
+        const data::TaskPopulation pop = data::TaskPopulation::make_synthetic(8, 4, 2.5, 0.05, rng);
+        const data::TaskSpec task = pop.sample_task(rng);
+        const models::Dataset train = pop.generate(task, 64, rng);
+        for (const std::size_t k : {1u, 2u, 4u, 8u, 16u, 32u}) {
+            const dp::MixturePrior prior = prior_with_components(pop, k, rng);
+            table.add_row({"K", "64", "8", std::to_string(k),
+                           util::Table::fmt(time_fit(prior, train, reps), 2)});
+        }
+    }
+
+    table.print(std::cout);
+    return 0;
+}

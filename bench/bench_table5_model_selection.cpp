@@ -1,0 +1,88 @@
+// E14 (extension) — on-device hyperparameter selection.
+//
+// Compares: (a) fixed default knobs, (b) deliberately bad knobs, and
+// (c) CV-selected knobs, across three scenarios. Expect CV to track the
+// default closely (defaults are sane) and to rescue the bad-config gap —
+// the point is that a deployment without a tuning oracle can self-serve.
+#include "core/model_selection.hpp"
+#include "data/scenarios.hpp"
+
+#include "bench_common.hpp"
+
+int main() {
+    using namespace drel;
+    bench::print_header("E14 (Table V, extension)",
+                        "4-fold CV selection of (radius coefficient c, transfer weight tau) "
+                        "on 32 local samples, mean+-std over 5 seeds.");
+
+    const std::vector<data::ScenarioKind> kinds = {data::ScenarioKind::kIid,
+                                                   data::ScenarioKind::kOutliers,
+                                                   data::ScenarioKind::kLabelNoise};
+    const int num_seeds = 5;
+
+    std::vector<stats::RunningStats> fixed_default(kinds.size());
+    std::vector<stats::RunningStats> fixed_bad(kinds.size());
+    std::vector<stats::RunningStats> cv_selected(kinds.size());
+    std::vector<stats::RunningStats> chosen_c(kinds.size());
+    std::vector<stats::RunningStats> chosen_tau(kinds.size());
+
+    for (int s = 0; s < num_seeds; ++s) {
+        const bench::PipelineFixture fixture = bench::make_pipeline_fixture(2300 + s);
+        data::ScenarioConfig scenario_config;
+        scenario_config.n_train = 32;
+        scenario_config.n_test = 3000;
+        scenario_config.margin_scale = 2.0;
+        stats::Rng task_rng(2400 + s);
+        const data::TaskSpec task = fixture.population.sample_task(task_rng);
+
+        for (std::size_t ki = 0; ki < kinds.size(); ++ki) {
+            stats::Rng rng(2500 + 100 * s + static_cast<std::uint64_t>(ki));
+            const data::Scenario scenario = data::make_scenario_for_task(
+                kinds[ki], scenario_config, fixture.population, task, rng);
+
+            core::EdgeLearnerConfig base;
+            base.em.max_outer_iterations = 10;
+
+            // (a) defaults.
+            {
+                const core::EdgeLearner learner(fixture.prior, base);
+                fixed_default[ki].push(
+                    models::accuracy(learner.fit(scenario.edge_train).model,
+                                     scenario.edge_test));
+            }
+            // (b) deliberately bad: no robustness, overwhelming prior.
+            {
+                core::EdgeLearnerConfig bad = base;
+                bad.radius_coefficient = 0.0;
+                bad.transfer_weight = 500.0;
+                const core::EdgeLearner learner(fixture.prior, bad);
+                fixed_bad[ki].push(models::accuracy(
+                    learner.fit(scenario.edge_train).model, scenario.edge_test));
+            }
+            // (c) CV-selected.
+            {
+                core::SelectionGrid grid;
+                grid.radius_coefficients = {0.0, 0.25, 1.0};
+                grid.transfer_weights = {0.25, 2.0, 500.0};
+                stats::Rng cv_rng(2600 + 100 * s + static_cast<std::uint64_t>(ki));
+                const core::SelectionResult selection = core::select_edge_config(
+                    scenario.edge_train, fixture.prior, base, grid, cv_rng);
+                const core::EdgeLearner learner(fixture.prior, selection.best);
+                cv_selected[ki].push(models::accuracy(
+                    learner.fit(scenario.edge_train).model, scenario.edge_test));
+                chosen_c[ki].push(selection.best_cell.radius_coefficient);
+                chosen_tau[ki].push(selection.best_cell.transfer_weight);
+            }
+        }
+    }
+
+    util::Table table({"scenario", "fixed default", "fixed bad (tau=500)", "cv-selected",
+                       "chosen c", "chosen tau"});
+    for (std::size_t ki = 0; ki < kinds.size(); ++ki) {
+        table.add_row({data::scenario_name(kinds[ki]), bench::mean_std(fixed_default[ki]),
+                       bench::mean_std(fixed_bad[ki]), bench::mean_std(cv_selected[ki]),
+                       bench::mean_std(chosen_c[ki], 2), bench::mean_std(chosen_tau[ki], 1)});
+    }
+    table.print(std::cout);
+    return 0;
+}

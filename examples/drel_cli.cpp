@@ -1,0 +1,252 @@
+// drel_cli — the full cloud->edge pipeline from the shell.
+//
+// Subcommands:
+//   demo-data   --dir DIR [--seed S] [--contributors N] [--contributor-samples N]
+//               [--edge-samples N] [--test-samples N] [--feature-dim D] [--modes M]
+//       Writes contributor_XX.csv, edge_train.csv, edge_test.csv.
+//   fit-prior   --out prior.bin [--alpha A] [--variational] CSV...
+//       Cloud side: per-contributor fits + DPMM -> binary prior file
+//       (the exact wire format of edgesim/transfer.hpp).
+//   inspect-prior --prior prior.bin
+//   train       --prior prior.bin --data train.csv --out model.txt
+//               [--radius-coef C] [--tau T] [--ambiguity wasserstein|kl|chi2|none]
+//   eval        --model model.txt --data test.csv [--epsilon E]
+//
+// End-to-end demo:
+//   drel_cli demo-data --dir /tmp/drel && cd /tmp/drel
+//   drel_cli fit-prior --out prior.bin contributor_*.csv
+//   drel_cli train --prior prior.bin --data edge_train.csv --out model.txt
+//   drel_cli eval --model model.txt --data edge_test.csv --epsilon 0.3
+#include <cstdint>
+#include <fstream>
+#include <iomanip>
+#include <iostream>
+#include <map>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "core/edge_learner.hpp"
+#include "data/csv_io.hpp"
+#include "data/task_generator.hpp"
+#include "edgesim/cloud.hpp"
+#include "edgesim/transfer.hpp"
+#include "models/metrics.hpp"
+#include "stats/rng.hpp"
+#include "util/strings.hpp"
+
+namespace {
+
+using namespace drel;
+
+struct Args {
+    std::map<std::string, std::string> options;
+    std::vector<std::string> positional;
+
+    double number(const std::string& key, double fallback) const {
+        const auto it = options.find(key);
+        return it == options.end() ? fallback : util::parse_double(it->second);
+    }
+    std::string text(const std::string& key, const std::string& fallback = "") const {
+        const auto it = options.find(key);
+        return it == options.end() ? fallback : it->second;
+    }
+    bool flag(const std::string& key) const { return options.count(key) > 0; }
+    std::string require(const std::string& key) const {
+        const auto it = options.find(key);
+        if (it == options.end()) {
+            throw std::invalid_argument("missing required option --" + key);
+        }
+        return it->second;
+    }
+};
+
+Args parse_args(int argc, char** argv, int start) {
+    Args args;
+    for (int i = start; i < argc; ++i) {
+        const std::string token = argv[i];
+        if (util::starts_with(token, "--")) {
+            const std::string key = token.substr(2);
+            if (i + 1 < argc && !util::starts_with(argv[i + 1], "--")) {
+                args.options[key] = argv[++i];
+            } else {
+                args.options[key] = "1";  // boolean flag
+            }
+        } else {
+            args.positional.push_back(token);
+        }
+    }
+    return args;
+}
+
+std::vector<std::uint8_t> read_binary(const std::string& path) {
+    std::ifstream is(path, std::ios::binary);
+    if (!is) throw std::runtime_error("cannot open " + path);
+    return std::vector<std::uint8_t>((std::istreambuf_iterator<char>(is)),
+                                     std::istreambuf_iterator<char>());
+}
+
+void write_binary(const std::string& path, const std::vector<std::uint8_t>& data) {
+    std::ofstream os(path, std::ios::binary);
+    if (!os) throw std::runtime_error("cannot open " + path);
+    os.write(reinterpret_cast<const char*>(data.data()),
+             static_cast<std::streamsize>(data.size()));
+}
+
+void save_model(const std::string& path, const models::LinearModel& model) {
+    std::ofstream os(path);
+    if (!os) throw std::runtime_error("cannot open " + path);
+    os << std::setprecision(17) << model.dim() << "\n";
+    for (const double w : model.weights()) os << w << "\n";
+}
+
+models::LinearModel load_model(const std::string& path) {
+    std::ifstream is(path);
+    if (!is) throw std::runtime_error("cannot open " + path);
+    std::size_t dim = 0;
+    is >> dim;
+    linalg::Vector w(dim);
+    for (double& v : w) {
+        if (!(is >> v)) throw std::runtime_error("truncated model file " + path);
+    }
+    return models::LinearModel(std::move(w));
+}
+
+int cmd_demo_data(const Args& args) {
+    const std::string dir = args.require("dir");
+    stats::Rng rng(static_cast<std::uint64_t>(args.number("seed", 7)));
+    const std::size_t feature_dim = static_cast<std::size_t>(args.number("feature-dim", 8));
+    const std::size_t modes = static_cast<std::size_t>(args.number("modes", 4));
+    const std::size_t contributors =
+        static_cast<std::size_t>(args.number("contributors", 30));
+    const std::size_t contributor_samples =
+        static_cast<std::size_t>(args.number("contributor-samples", 300));
+    const std::size_t edge_samples = static_cast<std::size_t>(args.number("edge-samples", 16));
+    const std::size_t test_samples = static_cast<std::size_t>(args.number("test-samples", 2000));
+
+    const data::TaskPopulation population =
+        data::TaskPopulation::make_synthetic(feature_dim, modes, 2.5, 0.05, rng);
+    data::DataOptions options;
+    options.margin_scale = 2.0;
+
+    for (std::size_t j = 0; j < contributors; ++j) {
+        const data::TaskSpec task = population.sample_task(rng);
+        std::ostringstream name;
+        name << dir << "/contributor_" << std::setw(2) << std::setfill('0') << j << ".csv";
+        data::save_csv_file(population.generate(task, contributor_samples, rng, options),
+                            name.str());
+    }
+    const data::TaskSpec edge_task = population.sample_task(rng);
+    data::save_csv_file(population.generate(edge_task, edge_samples, rng, options),
+                        dir + "/edge_train.csv");
+    data::save_csv_file(population.generate(edge_task, test_samples, rng, options),
+                        dir + "/edge_test.csv");
+    std::cout << "wrote " << contributors << " contributor files + edge_train.csv ("
+              << edge_samples << " rows) + edge_test.csv (" << test_samples << " rows) to "
+              << dir << "\n";
+    return 0;
+}
+
+int cmd_fit_prior(const Args& args) {
+    if (args.positional.empty()) {
+        throw std::invalid_argument("fit-prior: need at least 2 contributor CSVs");
+    }
+    edgesim::CloudConfig config;
+    config.dp_alpha = args.number("alpha", 1.0);
+    if (args.flag("variational")) config.inference = edgesim::PriorInference::kVariational;
+    edgesim::CloudNode cloud(config);
+    for (const std::string& path : args.positional) {
+        cloud.add_contributor_data(data::load_csv_file(path));
+    }
+    stats::Rng rng(static_cast<std::uint64_t>(args.number("seed", 1)));
+    const dp::MixturePrior prior = cloud.fit_prior(rng);
+    edgesim::EncodingOptions encoding;
+    encoding.use_float32 = args.flag("float32");
+    encoding.diagonal_only = args.flag("diagonal");
+    const auto payload = edgesim::encode_prior(prior, encoding);
+    write_binary(args.require("out"), payload);
+    std::cout << "distilled " << cloud.num_contributors() << " contributors into "
+              << prior.num_components() << " components (" << payload.size() << " bytes) -> "
+              << args.require("out") << "\n";
+    return 0;
+}
+
+int cmd_inspect_prior(const Args& args) {
+    const dp::MixturePrior prior = edgesim::decode_prior(read_binary(args.require("prior")));
+    std::cout << "components: " << prior.num_components() << "\n"
+              << "dimension : " << prior.dim() << "\n";
+    for (std::size_t k = 0; k < prior.num_components(); ++k) {
+        std::cout << "  atom " << k << ": weight " << std::fixed << std::setprecision(4)
+                  << prior.weights()[k] << ", |mean| "
+                  << linalg::norm2(prior.atom(k).mean()) << ", tr(cov) "
+                  << prior.atom(k).covariance().trace() << "\n";
+    }
+    return 0;
+}
+
+dro::AmbiguityKind parse_ambiguity(const std::string& name) {
+    if (name == "wasserstein") return dro::AmbiguityKind::kWasserstein;
+    if (name == "kl") return dro::AmbiguityKind::kKl;
+    if (name == "chi2") return dro::AmbiguityKind::kChiSquare;
+    if (name == "none") return dro::AmbiguityKind::kNone;
+    throw std::invalid_argument("unknown ambiguity: " + name);
+}
+
+int cmd_train(const Args& args) {
+    const dp::MixturePrior prior = edgesim::decode_prior(read_binary(args.require("prior")));
+    const models::Dataset train = data::load_csv_file(args.require("data"));
+    core::EdgeLearnerConfig config;
+    config.radius_coefficient = args.number("radius-coef", 0.25);
+    config.transfer_weight = args.number("tau", 1.0);
+    config.ambiguity.kind = parse_ambiguity(args.text("ambiguity", "wasserstein"));
+    const core::EdgeLearner learner(prior, config);
+    const core::FitResult fit = learner.fit(train);
+    save_model(args.require("out"), fit.model);
+    std::cout << "trained on " << train.size() << " rows; rho=" << fit.chosen_radius
+              << "; EM iterations=" << fit.trace.outer_iterations << "; MAP component="
+              << fit.map_component << " -> " << args.require("out") << "\n";
+    return 0;
+}
+
+int cmd_eval(const Args& args) {
+    const models::LinearModel model = load_model(args.require("model"));
+    const models::Dataset test = data::load_csv_file(args.require("data"));
+    const double epsilon = args.number("epsilon", 0.0);
+    std::cout << std::fixed << std::setprecision(4)
+              << "accuracy      : " << models::accuracy(model, test) << "\n"
+              << "log loss      : " << models::log_loss(model, test) << "\n"
+              << "brier score   : " << models::brier_score(model, test) << "\n";
+    if (epsilon > 0.0) {
+        std::cout << "adv accuracy  : " << models::adversarial_accuracy(model, test, epsilon)
+                  << " (epsilon=" << epsilon << ")\n";
+    }
+    const models::ClassErrors errors = models::per_class_errors(model, test);
+    std::cout << "error (y=+1)  : " << errors.positive << "\n"
+              << "error (y=-1)  : " << errors.negative << "\n";
+    return 0;
+}
+
+int usage() {
+    std::cerr << "usage: drel_cli <demo-data|fit-prior|inspect-prior|train|eval> [options]\n"
+                 "see the header comment of examples/drel_cli.cpp for details\n";
+    return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+    if (argc < 2) return usage();
+    const std::string command = argv[1];
+    try {
+        const Args args = parse_args(argc, argv, 2);
+        if (command == "demo-data") return cmd_demo_data(args);
+        if (command == "fit-prior") return cmd_fit_prior(args);
+        if (command == "inspect-prior") return cmd_inspect_prior(args);
+        if (command == "train") return cmd_train(args);
+        if (command == "eval") return cmd_eval(args);
+        return usage();
+    } catch (const std::exception& e) {
+        std::cerr << "drel_cli " << command << ": " << e.what() << "\n";
+        return 1;
+    }
+}

@@ -1,0 +1,72 @@
+// Multiclass scenario: on-device gesture recognition.
+//
+// A wearable classifies 5 gestures from 6 motion features. Gesture styles
+// cluster into user archetypes (the population modes); the cloud's DP prior
+// over stacked softmax weights captures them, and a new user's device
+// personalizes from a short calibration session. Demonstrates the
+// SoftmaxEdgeLearner public API end to end.
+//
+//   ./gesture_multiclass [seed]
+#include <cstdlib>
+#include <iostream>
+
+#include "core/softmax_edge_learner.hpp"
+#include "data/multiclass_generator.hpp"
+#include "models/softmax.hpp"
+#include "optim/lbfgs.hpp"
+#include "stats/rng.hpp"
+#include "util/table.hpp"
+
+int main(int argc, char** argv) {
+    using namespace drel;
+    const std::uint64_t seed = argc > 1 ? std::strtoull(argv[1], nullptr, 10) : 9;
+    stats::Rng rng(seed);
+
+    constexpr std::size_t kClasses = 5;
+    const data::MulticlassPopulation users =
+        data::MulticlassPopulation::make_synthetic(/*feature_dim=*/6, kClasses,
+                                                   /*num_modes=*/3, /*mode_radius=*/2.5,
+                                                   /*within_mode_var=*/0.05, rng);
+
+    // Cloud knowledge: the user-archetype mixture over stacked weights.
+    linalg::Vector weights(users.num_modes(), 1.0);
+    const dp::MixturePrior prior(std::move(weights), users.mode_distributions());
+
+    // A new user calibrates with 5 examples per gesture.
+    const data::MulticlassTaskSpec user = users.sample_task(rng);
+    data::MulticlassDataOptions motion;
+    motion.margin_scale = 2.0;
+    const models::Dataset calibration = users.generate(user, 25, rng, motion);
+    const models::Dataset daily = users.generate(user, 4000, rng, motion);
+
+    core::SoftmaxEdgeLearnerConfig config;
+    config.num_classes = kClasses;
+    config.transfer_weight = 2.0;
+    const core::SoftmaxEdgeLearner learner(prior, config);
+    const core::SoftmaxFitResult fit = learner.fit(calibration);
+
+    // Baseline: local softmax ERM on the same 25 examples.
+    const models::SoftmaxErmObjective erm(calibration, kClasses, 1e-6);
+    const models::SoftmaxModel local(
+        kClasses, optim::minimize_lbfgs(erm, linalg::zeros(erm.dim())).x);
+    const models::SoftmaxModel oracle(kClasses, user.stacked_weights);
+
+    util::Table table({"recognizer", "accuracy", "log loss"});
+    table.add_row({"softmax em-dro (paper ext.)",
+                   util::Table::fmt(models::softmax_accuracy(fit.model, daily), 3),
+                   util::Table::fmt(models::softmax_log_loss(fit.model, daily), 3)});
+    table.add_row({"local softmax erm",
+                   util::Table::fmt(models::softmax_accuracy(local, daily), 3),
+                   util::Table::fmt(models::softmax_log_loss(local, daily), 3)});
+    table.add_row({"oracle (user's true W)",
+                   util::Table::fmt(models::softmax_accuracy(oracle, daily), 3),
+                   util::Table::fmt(models::softmax_log_loss(oracle, daily), 3)});
+    table.print(std::cout);
+
+    std::cout << "\ncalibration: " << calibration.size() << " samples; matched archetype "
+              << fit.map_component << " (true: " << user.mode_index << ") with confidence "
+              << util::Table::fmt(fit.responsibilities[fit.map_component], 3) << "\n"
+              << "EM iterations: " << fit.trace.outer_iterations
+              << "; chosen rho: " << util::Table::fmt(fit.chosen_radius, 4) << "\n";
+    return 0;
+}

@@ -1,0 +1,84 @@
+// IoT anomaly detection at the edge.
+//
+// Scenario (the paper's motivating class of application): a gateway box
+// monitors a machine through a handful of sensor channels and must decide
+// "normal" vs "anomalous" in real time. Labeled anomalies are scarce — a
+// new deployment has seen only a few incidents — but the cloud has watched
+// many similar machines and knows that their detectors cluster into a few
+// regimes (machine models, duty cycles). The gateway also drifts: ambient
+// temperature shifts the sensor statistics between commissioning and
+// operation, which is exactly what the Wasserstein ambiguity set absorbs.
+//
+//   ./iot_anomaly [seed]
+#include <cstdlib>
+#include <iostream>
+
+#include "baselines/trainers.hpp"
+#include "core/edge_learner.hpp"
+#include "data/shifts.hpp"
+#include "data/task_generator.hpp"
+#include "edgesim/cloud.hpp"
+#include "models/metrics.hpp"
+#include "stats/rng.hpp"
+#include "util/table.hpp"
+
+int main(int argc, char** argv) {
+    using namespace drel;
+    const std::uint64_t seed = argc > 1 ? std::strtoull(argv[1], nullptr, 10) : 3;
+    stats::Rng rng(seed);
+
+    // 6 sensor channels; 4 machine regimes in the installed base.
+    const data::TaskPopulation machines =
+        data::TaskPopulation::make_synthetic(6, 4, 2.5, 0.04, rng);
+    data::DataOptions sensors;
+    sensors.margin_scale = 2.0;
+    sensors.label_noise = 0.03;  // occasional mislabeled incident reports
+
+    // ---- Cloud: 30 mature deployments upload telemetry; DPMM distills. ----
+    edgesim::CloudConfig cloud_config;
+    cloud_config.gibbs_sweeps = 80;
+    edgesim::CloudNode cloud(cloud_config);
+    for (int j = 0; j < 30; ++j) {
+        const data::TaskSpec machine = machines.sample_task(rng);
+        cloud.add_contributor_data(machines.generate(machine, 400, rng, sensors));
+    }
+    const dp::MixturePrior prior = cloud.fit_prior(rng);
+    std::cout << "cloud distilled " << cloud.num_contributors() << " deployments into "
+              << prior.num_components() << " detector regimes\n\n";
+
+    // ---- Edge: a new gateway with 20 labeled windows. ----
+    const data::TaskSpec new_machine = machines.sample_task(rng);
+    const models::Dataset commissioning =
+        machines.generate(new_machine, 20, rng, sensors);
+
+    // Operation data drifts: ambient shift on two channels.
+    models::Dataset operation = machines.generate(new_machine, 4000, rng, sensors);
+    operation = data::apply_mean_shift(operation, {0.5, -0.4, 0.0, 0.0, 0.3, 0.0});
+
+    core::EdgeLearnerConfig config;
+    config.transfer_weight = 2.0;
+    const core::EdgeLearner learner(prior, config);
+    const core::FitResult fit = learner.fit(commissioning);
+
+    util::Table table({"detector", "clean acc", "drifted acc", "miss rate", "false alarm"});
+    auto report = [&](const std::string& name, const models::LinearModel& model) {
+        const models::Dataset clean = machines.generate(new_machine, 4000, rng, sensors);
+        const models::ClassErrors errors = models::per_class_errors(model, operation);
+        table.add_row({name, util::Table::fmt(models::accuracy(model, clean), 3),
+                       util::Table::fmt(models::accuracy(model, operation), 3),
+                       util::Table::fmt(errors.positive, 3),
+                       util::Table::fmt(errors.negative, 3)});
+    };
+
+    report("em-dro (paper)", fit.model);
+    report("local-erm",
+           baselines::make_local_erm(models::LossKind::kLogistic)->fit(commissioning));
+    report("fine-tune",
+           baselines::make_finetune(prior, models::LossKind::kLogistic)->fit(commissioning));
+    report("cloud-only", baselines::make_cloud_only(prior)->fit(commissioning));
+    table.print(std::cout);
+
+    std::cout << "\nthe gateway matched regime " << fit.map_component << " with confidence "
+              << util::Table::fmt(fit.responsibilities[fit.map_component], 3) << "\n";
+    return 0;
+}

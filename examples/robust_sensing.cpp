@@ -1,0 +1,89 @@
+// Robustness deep-dive: what the ambiguity set actually buys.
+//
+// A wearable-style classifier is trained on a few calibration samples, then
+// attacked with growing feature perturbations (sensor bias, placement
+// drift). The example sweeps the Wasserstein radius rho and prints the
+// clean-vs-adversarial accuracy frontier, plus the exact worst-case loss
+// certificates from the dual — demonstrating the knob a deployment engineer
+// would actually tune.
+//
+//   ./robust_sensing [seed]
+#include <cstdlib>
+#include <iostream>
+
+#include "core/edge_learner.hpp"
+#include "data/task_generator.hpp"
+#include "dro/robust_objective.hpp"
+#include "dro/wasserstein.hpp"
+#include "dro/worst_case.hpp"
+#include "models/metrics.hpp"
+#include "stats/rng.hpp"
+#include "util/table.hpp"
+
+int main(int argc, char** argv) {
+    using namespace drel;
+    const std::uint64_t seed = argc > 1 ? std::strtoull(argv[1], nullptr, 10) : 5;
+    stats::Rng rng(seed);
+
+    const data::TaskPopulation wearers =
+        data::TaskPopulation::make_synthetic(6, 3, 2.5, 0.05, rng);
+    linalg::Vector weights;
+    std::vector<stats::MultivariateNormal> atoms;
+    for (const auto& mode : wearers.modes()) {
+        weights.push_back(mode.weight);
+        atoms.emplace_back(mode.mean, mode.covariance);
+    }
+    const dp::MixturePrior prior(std::move(weights), std::move(atoms));
+
+    const data::TaskSpec wearer = wearers.sample_task(rng);
+    data::DataOptions options;
+    options.margin_scale = 2.0;
+    const models::Dataset calibration = wearers.generate(wearer, 24, rng, options);
+    const models::Dataset daily_use = wearers.generate(wearer, 4000, rng, options);
+    const auto loss = models::make_logistic_loss();
+
+    util::Table table({"rho", "clean acc", "adv acc (eps=0.3)", "adv acc (eps=0.6)",
+                       "certified worst-case loss", "||w_feat||"});
+    for (const double rho : {0.0, 0.05, 0.1, 0.2, 0.4, 0.8}) {
+        core::EdgeLearnerConfig config;
+        config.auto_radius = false;
+        config.ambiguity = dro::AmbiguitySet::wasserstein(rho);
+        const core::EdgeLearner learner(prior, config);
+        const core::FitResult fit = learner.fit(calibration);
+
+        const double certificate = dro::robust_loss(fit.model.weights(), calibration, *loss,
+                                                    dro::AmbiguitySet::wasserstein(rho));
+        table.add_row(
+            {util::Table::fmt(rho, 2), util::Table::fmt(models::accuracy(fit.model, daily_use), 3),
+             util::Table::fmt(models::adversarial_accuracy(fit.model, daily_use, 0.3), 3),
+             util::Table::fmt(models::adversarial_accuracy(fit.model, daily_use, 0.6), 3),
+             util::Table::fmt(certificate, 4),
+             util::Table::fmt(dro::feature_norm(fit.model.weights(),
+                                                dro::perturbable_dims(calibration)),
+                              3)});
+    }
+    table.print(std::cout);
+
+    // Show the attained worst case of the final model under a KL ball —
+    // which calibration samples the adversary up-weights.
+    core::EdgeLearnerConfig config;
+    config.auto_radius = false;
+    config.ambiguity = dro::AmbiguitySet::kl(0.3);
+    const core::EdgeLearner learner(prior, config);
+    const core::FitResult fit = learner.fit(calibration);
+    const dro::WorstCase wc = dro::worst_case_distribution(
+        fit.model.weights(), calibration, *loss, dro::AmbiguitySet::kl(0.3));
+    double max_weight = 0.0;
+    std::size_t hardest = 0;
+    for (std::size_t i = 0; i < wc.weights.size(); ++i) {
+        if (wc.weights[i] > max_weight) {
+            max_weight = wc.weights[i];
+            hardest = i;
+        }
+    }
+    std::cout << "\nKL(0.3) worst case concentrates " << util::Table::fmt(100.0 * max_weight, 1)
+              << "% of its mass on calibration sample #" << hardest
+              << " (uniform would be " << util::Table::fmt(100.0 / wc.weights.size(), 1)
+              << "%)\n";
+    return 0;
+}

@@ -1,0 +1,70 @@
+#include "core/conformal.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace drel::core {
+namespace {
+
+/// Nonconformity of (x, y): one minus the model's probability of y.
+double nonconformity(const models::LinearModel& model, const linalg::Vector& x, double y) {
+    const double p_pos = model.predict_probability(x);
+    return y > 0.0 ? 1.0 - p_pos : p_pos;
+}
+
+}  // namespace
+
+ConformalClassifier::ConformalClassifier(const models::LinearModel& model,
+                                         const models::Dataset& calibration, double alpha)
+    : model_(&model) {
+    if (calibration.empty()) {
+        throw std::invalid_argument("ConformalClassifier: empty calibration set");
+    }
+    if (!(alpha > 0.0) || !(alpha < 1.0)) {
+        throw std::invalid_argument("ConformalClassifier: alpha must be in (0, 1)");
+    }
+    const std::size_t n = calibration.size();
+    linalg::Vector scores(n);
+    for (std::size_t i = 0; i < n; ++i) {
+        scores[i] = nonconformity(model, calibration.feature_row(i), calibration.label(i));
+    }
+    std::sort(scores.begin(), scores.end());
+    // Finite-sample-corrected quantile index: ceil((n+1)(1-alpha)).
+    const double raw = std::ceil((static_cast<double>(n) + 1.0) * (1.0 - alpha));
+    const std::size_t rank = static_cast<std::size_t>(raw);
+    if (rank > n) {
+        // Too few calibration points for this alpha: only the trivial
+        // always-everything set certifies coverage.
+        threshold_ = 1.0;
+    } else {
+        threshold_ = scores[rank - 1];
+    }
+}
+
+PredictionSet ConformalClassifier::predict_set(const linalg::Vector& x) const {
+    PredictionSet set;
+    set.contains_positive = nonconformity(*model_, x, 1.0) <= threshold_;
+    set.contains_negative = nonconformity(*model_, x, -1.0) <= threshold_;
+    return set;
+}
+
+double ConformalClassifier::empirical_coverage(const models::Dataset& test) const {
+    if (test.empty()) throw std::invalid_argument("empirical_coverage: empty dataset");
+    std::size_t covered = 0;
+    for (std::size_t i = 0; i < test.size(); ++i) {
+        if (predict_set(test.feature_row(i)).contains(test.label(i))) ++covered;
+    }
+    return static_cast<double>(covered) / static_cast<double>(test.size());
+}
+
+double ConformalClassifier::mean_set_size(const models::Dataset& test) const {
+    if (test.empty()) throw std::invalid_argument("mean_set_size: empty dataset");
+    double total = 0.0;
+    for (std::size_t i = 0; i < test.size(); ++i) {
+        total += predict_set(test.feature_row(i)).size();
+    }
+    return total / static_cast<double>(test.size());
+}
+
+}  // namespace drel::core

@@ -1,0 +1,57 @@
+// Split-conformal prediction for edge classifiers (extension).
+//
+// A fitted edge model is only half the deployment story; the device also
+// needs to know WHEN to trust it. Split conformal gives a distribution-free
+// guarantee: hold out a calibration slice, score it with the nonconformity
+// s(x, y) = 1 - p_model(y | x), take the ceil((n+1)(1-alpha))/n quantile
+// q, and at inference emit every label whose nonconformity is <= q. If
+// calibration and test are exchangeable, the set covers the true label with
+// probability >= 1 - alpha — regardless of how wrong the model is. On a
+// binary edge classifier the emitted set {}, {-1}, {+1} or {-1,+1} doubles
+// as an abstention signal ({-1,+1} = "don't act").
+#pragma once
+
+#include "models/dataset.hpp"
+#include "models/linear_model.hpp"
+
+namespace drel::core {
+
+struct PredictionSet {
+    bool contains_negative = false;
+    bool contains_positive = false;
+
+    bool contains(double label) const noexcept {
+        return label > 0.0 ? contains_positive : contains_negative;
+    }
+    /// 0, 1 or 2 labels.
+    int size() const noexcept {
+        return (contains_negative ? 1 : 0) + (contains_positive ? 1 : 0);
+    }
+    bool is_decisive() const noexcept { return size() == 1; }
+};
+
+class ConformalClassifier {
+ public:
+    /// Calibrates on `calibration` (labels -1/+1, disjoint from training
+    /// data) at miscoverage level `alpha` in (0, 1).
+    ConformalClassifier(const models::LinearModel& model,
+                        const models::Dataset& calibration, double alpha);
+
+    /// The calibrated nonconformity threshold.
+    double threshold() const noexcept { return threshold_; }
+
+    PredictionSet predict_set(const linalg::Vector& x) const;
+
+    /// Fraction of examples whose set contains the true label (should be
+    /// >= 1 - alpha up to finite-sample fluctuation).
+    double empirical_coverage(const models::Dataset& test) const;
+
+    /// Mean set size over a dataset — the efficiency metric (1 is ideal).
+    double mean_set_size(const models::Dataset& test) const;
+
+ private:
+    const models::LinearModel* model_;
+    double threshold_ = 1.0;
+};
+
+}  // namespace drel::core

@@ -1,0 +1,53 @@
+#include "core/edge_learner.hpp"
+
+#include <stdexcept>
+
+#include "linalg/vector_ops.hpp"
+
+namespace drel::core {
+
+EdgeLearner::EdgeLearner(dp::MixturePrior prior, EdgeLearnerConfig config)
+    : prior_(std::move(prior)), config_(std::move(config)) {
+    if (!(config_.transfer_weight >= 0.0)) {
+        throw std::invalid_argument("EdgeLearner: transfer_weight must be >= 0");
+    }
+    if (config_.auto_radius && !(config_.radius_coefficient >= 0.0)) {
+        throw std::invalid_argument("EdgeLearner: radius_coefficient must be >= 0");
+    }
+}
+
+dro::AmbiguitySet EdgeLearner::effective_ambiguity(std::size_t n) const {
+    dro::AmbiguitySet set = config_.ambiguity;
+    if (config_.auto_radius && set.kind != dro::AmbiguityKind::kNone) {
+        set.radius = dro::radius_for_sample_size(config_.radius_coefficient, n);
+    }
+    return set;
+}
+
+FitResult EdgeLearner::fit(const models::Dataset& local_data) const {
+    if (local_data.empty()) throw std::invalid_argument("EdgeLearner::fit: empty dataset");
+    if (local_data.dim() != prior_.dim()) {
+        throw std::invalid_argument(
+            "EdgeLearner::fit: dataset dimension " + std::to_string(local_data.dim()) +
+            " != prior dimension " + std::to_string(prior_.dim()) +
+            " (did you forget the bias column?)");
+    }
+
+    const auto loss = models::make_loss(config_.loss);
+    const dro::AmbiguitySet ambiguity = effective_ambiguity(local_data.size());
+
+    const EmDroSolver solver(local_data, *loss, prior_, ambiguity, config_.transfer_weight,
+                             config_.em);
+    EmDroResult em = solver.solve();
+
+    FitResult result;
+    result.model = models::LinearModel(std::move(em.theta));
+    result.objective = em.objective;
+    result.chosen_radius = ambiguity.radius;
+    result.trace = std::move(em.trace);
+    result.responsibilities = std::move(em.final_responsibilities);
+    result.map_component = linalg::argmax(result.responsibilities);
+    return result;
+}
+
+}  // namespace drel::core

@@ -1,0 +1,158 @@
+#include "core/em_dro.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <stdexcept>
+
+namespace drel::core {
+namespace {
+
+/// M-step objective: R(theta) - w * Q(theta; r), with r fixed.
+class MStepObjective final : public optim::Objective {
+ public:
+    MStepObjective(const optim::Objective& robust, const dp::MixturePrior& prior,
+                   const linalg::Vector& responsibilities, double weight)
+        : robust_(robust), prior_(prior), r_(responsibilities), weight_(weight) {}
+
+    std::size_t dim() const override { return robust_.dim(); }
+
+    double eval(const linalg::Vector& theta, linalg::Vector* grad) const override {
+        double value = robust_.eval(theta, grad);
+        value -= weight_ * prior_.em_surrogate(theta, r_);
+        if (grad) {
+            linalg::axpy(-weight_, prior_.em_surrogate_gradient(theta, r_), *grad);
+        }
+        return value;
+    }
+
+ private:
+    const optim::Objective& robust_;
+    const dp::MixturePrior& prior_;
+    const linalg::Vector& r_;
+    double weight_;
+};
+
+double entropy(const linalg::Vector& p) {
+    double h = 0.0;
+    for (const double v : p) {
+        if (v > 0.0) h -= v * std::log(v);
+    }
+    return h;
+}
+
+}  // namespace
+
+EmDroSolver::EmDroSolver(const models::Dataset& data, const models::Loss& loss,
+                         const dp::MixturePrior& prior, const dro::AmbiguitySet& ambiguity,
+                         double transfer_weight, EmDroOptions options)
+    : prior_(&prior),
+      weight_(0.0),
+      options_(std::move(options)),
+      owned_robust_(dro::make_robust_objective(data, loss, ambiguity)) {
+    if (data.empty()) throw std::invalid_argument("EmDroSolver: empty dataset");
+    if (!(transfer_weight >= 0.0)) {
+        throw std::invalid_argument("EmDroSolver: transfer_weight must be >= 0");
+    }
+    if (prior.dim() != data.dim()) {
+        throw std::invalid_argument("EmDroSolver: prior dimension " +
+                                    std::to_string(prior.dim()) + " != data dimension " +
+                                    std::to_string(data.dim()));
+    }
+    weight_ = transfer_weight / static_cast<double>(data.size());
+}
+
+EmDroSolver::EmDroSolver(const optim::Objective& robust_objective,
+                         const dp::MixturePrior& prior, double penalty_weight,
+                         EmDroOptions options)
+    : prior_(&prior),
+      weight_(penalty_weight),
+      options_(std::move(options)),
+      external_robust_(&robust_objective) {
+    if (!(penalty_weight >= 0.0)) {
+        throw std::invalid_argument("EmDroSolver: penalty_weight must be >= 0");
+    }
+    if (prior.dim() != robust_objective.dim()) {
+        throw std::invalid_argument("EmDroSolver: prior/objective dimension mismatch");
+    }
+}
+
+double EmDroSolver::objective(const linalg::Vector& theta) const {
+    return robust().value(theta) - weight_ * prior_->log_pdf(theta);
+}
+
+EmDroResult EmDroSolver::solve_from(const linalg::Vector& theta0) const {
+    if (theta0.size() != prior_->dim()) {
+        throw std::invalid_argument("EmDroSolver::solve_from: theta0 dimension mismatch");
+    }
+    EmDroResult result;
+    result.theta = theta0;
+    double current = objective(result.theta);
+
+    for (int it = 0; it < options_.max_outer_iterations; ++it) {
+        // E-step.
+        const linalg::Vector r = prior_->responsibilities(result.theta);
+
+        result.trace.objective.push_back(current);
+        result.trace.robust_loss.push_back(robust().value(result.theta));
+        result.trace.log_prior.push_back(prior_->log_pdf(result.theta));
+        result.trace.responsibility_entropy.push_back(entropy(r));
+
+        // M-step: convex, solved by L-BFGS from the current iterate.
+        const MStepObjective m_step(robust(), *prior_, r, weight_);
+        const optim::OptimResult inner =
+            optim::minimize_lbfgs(m_step, result.theta, options_.m_step);
+
+        const double next = objective(inner.x);
+        result.trace.outer_iterations = it + 1;
+        // Majorize-minimize guarantees next <= current up to solver slack;
+        // guard against a failed inner solve making things worse.
+        if (next > current + 1e-10 * (std::fabs(current) + 1.0)) {
+            result.trace.converged = true;
+            break;
+        }
+        const double decrease = current - next;
+        result.theta = inner.x;
+        current = next;
+        if (decrease <= options_.objective_tolerance * (std::fabs(current) + 1.0)) {
+            result.trace.converged = true;
+            break;
+        }
+    }
+    result.trace.objective.push_back(current);
+    result.objective = current;
+    result.final_responsibilities = prior_->responsibilities(result.theta);
+    result.total_outer_iterations = result.trace.outer_iterations;
+    return result;
+}
+
+EmDroResult EmDroSolver::solve() const {
+    // Candidate starts: prior mean plus the heaviest atoms. Multi-modality
+    // of the DP prior is exactly why a single start is not enough.
+    std::vector<linalg::Vector> starts;
+    starts.push_back(prior_->mean());
+    std::vector<std::size_t> order(prior_->num_components());
+    std::iota(order.begin(), order.end(), std::size_t{0});
+    std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+        return prior_->weights()[a] > prior_->weights()[b];
+    });
+    const int atoms = std::min<int>(options_.multi_start_atoms,
+                                    static_cast<int>(prior_->num_components()));
+    for (int k = 0; k < atoms; ++k) starts.push_back(prior_->atom(order[k]).mean());
+
+    EmDroResult best;
+    bool have_best = false;
+    int total_iterations = 0;
+    for (const linalg::Vector& start : starts) {
+        EmDroResult candidate = solve_from(start);
+        total_iterations += candidate.total_outer_iterations;
+        if (!have_best || candidate.objective < best.objective) {
+            best = std::move(candidate);
+            have_best = true;
+        }
+    }
+    best.total_outer_iterations = total_iterations;
+    return best;
+}
+
+}  // namespace drel::core

@@ -1,0 +1,88 @@
+#include "core/model_selection.hpp"
+
+#include <limits>
+#include <stdexcept>
+
+#include "models/metrics.hpp"
+#include "stats/descriptive.hpp"
+
+namespace drel::core {
+namespace {
+
+/// Splits indices into `num_folds` contiguous chunks of a shuffled order.
+std::vector<std::vector<std::size_t>> make_folds(std::size_t n, int num_folds,
+                                                 stats::Rng& rng) {
+    const std::vector<std::size_t> perm = rng.permutation(n);
+    std::vector<std::vector<std::size_t>> folds(num_folds);
+    for (std::size_t i = 0; i < n; ++i) {
+        folds[i % static_cast<std::size_t>(num_folds)].push_back(perm[i]);
+    }
+    return folds;
+}
+
+}  // namespace
+
+SelectionResult select_edge_config(const models::Dataset& local_data,
+                                   const dp::MixturePrior& prior,
+                                   const EdgeLearnerConfig& base, const SelectionGrid& grid,
+                                   stats::Rng& rng) {
+    if (grid.num_folds < 2) {
+        throw std::invalid_argument("select_edge_config: need >= 2 folds");
+    }
+    if (local_data.size() < 2 * static_cast<std::size_t>(grid.num_folds)) {
+        throw std::invalid_argument("select_edge_config: too few samples for the fold count");
+    }
+    if (grid.radius_coefficients.empty() || grid.transfer_weights.empty()) {
+        throw std::invalid_argument("select_edge_config: empty grid");
+    }
+
+    const auto folds = make_folds(local_data.size(), grid.num_folds, rng);
+
+    SelectionResult result;
+    result.best_cell.cv_log_loss = std::numeric_limits<double>::infinity();
+
+    for (const double c : grid.radius_coefficients) {
+        for (const double tau : grid.transfer_weights) {
+            EdgeLearnerConfig config = base;
+            config.auto_radius = true;
+            config.radius_coefficient = c;
+            config.transfer_weight = tau;
+            const EdgeLearner learner(prior, config);
+            const auto loss = models::make_loss(config.loss);
+
+            linalg::Vector fold_log_loss;
+            linalg::Vector fold_accuracy;
+            for (int f = 0; f < grid.num_folds; ++f) {
+                std::vector<std::size_t> train_idx;
+                for (int g = 0; g < grid.num_folds; ++g) {
+                    if (g == f) continue;
+                    train_idx.insert(train_idx.end(), folds[g].begin(), folds[g].end());
+                }
+                const models::Dataset train = local_data.subset(train_idx);
+                const models::Dataset validation = local_data.subset(folds[f]);
+                const FitResult fit = learner.fit(train);
+                fold_log_loss.push_back(fit.model.average_loss(*loss, validation));
+                fold_accuracy.push_back(models::accuracy(fit.model, validation));
+            }
+
+            SelectionCell cell;
+            cell.radius_coefficient = c;
+            cell.transfer_weight = tau;
+            if (grid.median_across_folds) {
+                cell.cv_log_loss = stats::median(fold_log_loss);
+                cell.cv_accuracy = stats::median(fold_accuracy);
+            } else {
+                cell.cv_log_loss = stats::mean(fold_log_loss);
+                cell.cv_accuracy = stats::mean(fold_accuracy);
+            }
+            if (cell.cv_log_loss < result.best_cell.cv_log_loss) {
+                result.best_cell = cell;
+                result.best = config;
+            }
+            result.table.push_back(cell);
+        }
+    }
+    return result;
+}
+
+}  // namespace drel::core

@@ -1,0 +1,54 @@
+// On-device hyperparameter selection (extension).
+//
+// The two knobs the paper leaves to the practitioner are the ambiguity
+// radius coefficient c (rho = c/sqrt(n)) and the transfer weight tau. With
+// only a handful of local samples, K-fold cross-validation is noisy but
+// still the honest tool — and it is cheap here because each fit is
+// milliseconds. select_edge_config() grid-searches (c, tau) by K-fold
+// validation log-loss (a smoother criterion than accuracy at tiny n) and
+// returns the winning configuration plus the full CV table for diagnostics.
+#pragma once
+
+#include <vector>
+
+#include "core/edge_learner.hpp"
+#include "dp/mixture_prior.hpp"
+#include "models/dataset.hpp"
+#include "stats/rng.hpp"
+
+namespace drel::core {
+
+struct SelectionGrid {
+    std::vector<double> radius_coefficients = {0.0, 0.1, 0.25, 0.5, 1.0};
+    std::vector<double> transfer_weights = {0.25, 1.0, 4.0};
+    int num_folds = 4;
+    /// Aggregate fold scores by median instead of mean. On contaminated
+    /// edge data (outliers, label noise) a single poisoned validation fold
+    /// can otherwise drag the selection toward degenerate configs; median
+    /// aggregation is the cheap robust fix (compared in E14).
+    bool median_across_folds = true;
+};
+
+struct SelectionCell {
+    double radius_coefficient = 0.0;
+    double transfer_weight = 0.0;
+    double cv_log_loss = 0.0;
+    double cv_accuracy = 0.0;
+};
+
+struct SelectionResult {
+    EdgeLearnerConfig best;                ///< base config with winning knobs applied
+    SelectionCell best_cell;
+    std::vector<SelectionCell> table;      ///< every grid cell, in sweep order
+};
+
+/// Cross-validates the grid on `local_data`. `base` supplies everything not
+/// swept (loss, ambiguity family, EM options). Folds are shuffled with
+/// `rng`. Requires at least 2*num_folds examples so every training fold is
+/// non-trivial.
+SelectionResult select_edge_config(const models::Dataset& local_data,
+                                   const dp::MixturePrior& prior,
+                                   const EdgeLearnerConfig& base, const SelectionGrid& grid,
+                                   stats::Rng& rng);
+
+}  // namespace drel::core

@@ -1,0 +1,44 @@
+#include "core/streaming.hpp"
+
+#include <stdexcept>
+
+namespace drel::core {
+
+StreamingEdgeLearner::StreamingEdgeLearner(dp::MixturePrior prior, StreamingConfig config)
+    : prior_(std::move(prior)), config_(std::move(config)) {}
+
+StreamingRound StreamingEdgeLearner::observe(const models::Dataset& batch) {
+    if (batch.empty()) throw std::invalid_argument("StreamingEdgeLearner: empty batch");
+    if (batch.dim() != prior_.dim()) {
+        throw std::invalid_argument("StreamingEdgeLearner: batch/prior dimension mismatch");
+    }
+    accumulated_ = models::Dataset::concatenate(accumulated_, batch);
+
+    const EdgeLearner learner(prior_, config_.learner);
+    const auto loss = models::make_loss(config_.learner.loss);
+    const dro::AmbiguitySet ambiguity = learner.effective_ambiguity(accumulated_.size());
+    const EmDroSolver solver(accumulated_, *loss, prior_, ambiguity,
+                             config_.learner.transfer_weight, config_.learner.em);
+
+    const EmDroResult result = (config_.warm_start && fitted_)
+                                   ? solver.solve_from(model_.weights())
+                                   : solver.solve();
+
+    model_ = models::LinearModel(result.theta);
+    fitted_ = true;
+
+    StreamingRound round;
+    round.total_samples = accumulated_.size();
+    round.objective = result.objective;
+    round.chosen_radius = ambiguity.radius;
+    round.em_iterations = result.total_outer_iterations;
+    history_.push_back(round);
+    return round;
+}
+
+const models::LinearModel& StreamingEdgeLearner::current_model() const {
+    if (!fitted_) throw std::logic_error("StreamingEdgeLearner: no data observed yet");
+    return model_;
+}
+
+}  // namespace drel::core

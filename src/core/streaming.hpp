@@ -1,0 +1,57 @@
+// Streaming edge learning (extension).
+//
+// Real edge deployments accumulate data in trickles. StreamingEdgeLearner
+// keeps the device's growing dataset and refits after every batch with the
+// natural annealing the theory prescribes: rho = c/sqrt(n) shrinks and the
+// transfer penalty tau/n fades as evidence accumulates, so the model glides
+// from prior-dominated to data-dominated without any schedule tuning. Warm
+// starting each refit from the previous optimum makes round t cost a
+// fraction of a cold solve (asserted in tests; quantified in the fig10
+// bench).
+#pragma once
+
+#include <vector>
+
+#include "core/edge_learner.hpp"
+#include "dp/mixture_prior.hpp"
+#include "models/dataset.hpp"
+
+namespace drel::core {
+
+struct StreamingConfig {
+    EdgeLearnerConfig learner;
+    bool warm_start = true;   ///< start EM at the previous round's optimum
+};
+
+struct StreamingRound {
+    std::size_t total_samples = 0;
+    double objective = 0.0;
+    double chosen_radius = 0.0;
+    int em_iterations = 0;
+};
+
+class StreamingEdgeLearner {
+ public:
+    StreamingEdgeLearner(dp::MixturePrior prior, StreamingConfig config);
+
+    /// Ingests one batch (same dimension as the prior) and refits.
+    /// Returns this round's summary; current_model() has the new model.
+    StreamingRound observe(const models::Dataset& batch);
+
+    std::size_t rounds() const noexcept { return history_.size(); }
+    const std::vector<StreamingRound>& history() const noexcept { return history_; }
+    const models::Dataset& accumulated_data() const noexcept { return accumulated_; }
+
+    /// Model after the last observe(); throws std::logic_error before any.
+    const models::LinearModel& current_model() const;
+
+ private:
+    dp::MixturePrior prior_;
+    StreamingConfig config_;
+    models::Dataset accumulated_;
+    models::LinearModel model_;
+    bool fitted_ = false;
+    std::vector<StreamingRound> history_;
+};
+
+}  // namespace drel::core

@@ -1,0 +1,68 @@
+#include "data/csv_io.hpp"
+
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+#include "util/strings.hpp"
+
+namespace drel::data {
+
+void save_csv(const models::Dataset& d, std::ostream& os) {
+    for (std::size_t c = 0; c < d.dim(); ++c) os << 'f' << c << ',';
+    os << "label\n";
+    os.precision(17);
+    for (std::size_t i = 0; i < d.size(); ++i) {
+        const linalg::Vector row = d.feature_row(i);
+        for (const double v : row) os << v << ',';
+        os << d.label(i) << '\n';
+    }
+}
+
+void save_csv_file(const models::Dataset& d, const std::string& path) {
+    std::ofstream os(path);
+    if (!os) throw std::runtime_error("save_csv_file: cannot open " + path);
+    save_csv(d, os);
+}
+
+models::Dataset load_csv(std::istream& is, bool expect_header) {
+    std::string line;
+    if (expect_header && !std::getline(is, line)) {
+        throw std::invalid_argument("load_csv: missing header");
+    }
+    std::vector<linalg::Vector> rows;
+    std::vector<double> labels;
+    std::size_t dim = 0;
+    std::size_t line_number = expect_header ? 1 : 0;
+    while (std::getline(is, line)) {
+        ++line_number;
+        if (util::trim(line).empty()) continue;
+        const std::vector<std::string> cells = util::split(line, ',');
+        if (cells.size() < 2) {
+            throw std::invalid_argument("load_csv: line " + std::to_string(line_number) +
+                                        " has fewer than 2 columns");
+        }
+        if (dim == 0) {
+            dim = cells.size() - 1;
+        } else if (cells.size() - 1 != dim) {
+            throw std::invalid_argument("load_csv: ragged row at line " +
+                                        std::to_string(line_number));
+        }
+        linalg::Vector row(dim);
+        for (std::size_t c = 0; c < dim; ++c) row[c] = util::parse_double(cells[c]);
+        rows.push_back(std::move(row));
+        labels.push_back(util::parse_double(cells.back()));
+    }
+    if (rows.empty()) throw std::invalid_argument("load_csv: no data rows");
+    linalg::Matrix features(rows.size(), dim);
+    for (std::size_t i = 0; i < rows.size(); ++i) features.set_row(i, rows[i]);
+    return models::Dataset(std::move(features), linalg::Vector(labels.begin(), labels.end()));
+}
+
+models::Dataset load_csv_file(const std::string& path, bool expect_header) {
+    std::ifstream is(path);
+    if (!is) throw std::runtime_error("load_csv_file: cannot open " + path);
+    return load_csv(is, expect_header);
+}
+
+}  // namespace drel::data

@@ -1,0 +1,25 @@
+// CSV persistence for datasets.
+//
+// Lets users bring their own edge data (quickstart example) and lets the
+// benches dump generated workloads for external plotting.
+// Format: one row per example, features first, label in the final column.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "models/dataset.hpp"
+
+namespace drel::data {
+
+/// Writes `d` as CSV with a "f0,f1,...,label" header.
+void save_csv(const models::Dataset& d, std::ostream& os);
+void save_csv_file(const models::Dataset& d, const std::string& path);
+
+/// Reads a dataset written by save_csv (or any numeric CSV whose last column
+/// is the label). `expect_header` skips the first line.
+/// Throws std::invalid_argument on malformed rows or ragged columns.
+models::Dataset load_csv(std::istream& is, bool expect_header = true);
+models::Dataset load_csv_file(const std::string& path, bool expect_header = true);
+
+}  // namespace drel::data

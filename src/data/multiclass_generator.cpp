@@ -1,0 +1,86 @@
+#include "data/multiclass_generator.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace drel::data {
+
+MulticlassPopulation MulticlassPopulation::make_synthetic(std::size_t feature_dim,
+                                                          std::size_t num_classes,
+                                                          std::size_t num_modes,
+                                                          double mode_radius,
+                                                          double within_mode_var,
+                                                          stats::Rng& rng) {
+    if (feature_dim == 0) throw std::invalid_argument("multiclass: feature_dim must be > 0");
+    if (num_classes < 2) throw std::invalid_argument("multiclass: need >= 2 classes");
+    if (num_modes == 0) throw std::invalid_argument("multiclass: num_modes must be > 0");
+    if (!(within_mode_var > 0.0)) {
+        throw std::invalid_argument("multiclass: within_mode_var must be > 0");
+    }
+    const std::size_t stacked_dim = num_classes * (feature_dim + 1);
+    std::vector<stats::MultivariateNormal> modes;
+    modes.reserve(num_modes);
+    for (std::size_t m = 0; m < num_modes; ++m) {
+        linalg::Vector mean;
+        mean.reserve(stacked_dim);
+        for (std::size_t c = 0; c < num_classes; ++c) {
+            linalg::Vector dir = rng.standard_normal_vector(feature_dim);
+            const double n = linalg::norm2(dir);
+            if (n > 0.0) linalg::scale(dir, mode_radius / n);
+            mean.insert(mean.end(), dir.begin(), dir.end());
+            mean.push_back(0.2 * rng.normal());  // per-class bias
+        }
+        linalg::Matrix cov = linalg::Matrix::identity(stacked_dim);
+        cov *= within_mode_var;
+        modes.emplace_back(std::move(mean), std::move(cov));
+    }
+    return MulticlassPopulation(feature_dim, num_classes, std::move(modes));
+}
+
+MulticlassTaskSpec MulticlassPopulation::sample_task(stats::Rng& rng) const {
+    MulticlassTaskSpec task;
+    task.mode_index = rng.uniform_index(mode_dists_.size());
+    task.stacked_weights = mode_dists_[task.mode_index].sample(rng);
+    return task;
+}
+
+models::Dataset MulticlassPopulation::generate(const MulticlassTaskSpec& task, std::size_t n,
+                                               stats::Rng& rng,
+                                               const MulticlassDataOptions& options) const {
+    if (task.stacked_weights.size() != stacked_dim()) {
+        throw std::invalid_argument("MulticlassPopulation::generate: task dimension mismatch");
+    }
+    if (!options.feature_shift.empty() && options.feature_shift.size() != feature_dim_) {
+        throw std::invalid_argument(
+            "MulticlassPopulation::generate: feature_shift dimension mismatch");
+    }
+    if (!(options.margin_scale > 0.0)) {
+        throw std::invalid_argument("MulticlassPopulation::generate: bad margin_scale");
+    }
+    const std::size_t d = feature_dim_;
+    linalg::Matrix features(n, d + 1);
+    linalg::Vector labels(n);
+    linalg::Vector logits(num_classes_);
+    for (std::size_t i = 0; i < n; ++i) {
+        linalg::Vector x = rng.standard_normal_vector(d);
+        if (!options.feature_shift.empty()) linalg::axpy(1.0, options.feature_shift, x);
+        x.push_back(1.0);
+        for (std::size_t c = 0; c < num_classes_; ++c) {
+            const double* row = task.stacked_weights.data() + c * (d + 1);
+            double acc = 0.0;
+            for (std::size_t k = 0; k <= d; ++k) acc += row[k] * x[k];
+            logits[c] = options.margin_scale * acc;
+        }
+        linalg::Vector p = logits;
+        linalg::softmax_inplace(p);
+        std::size_t y = rng.categorical(p);
+        if (options.label_noise > 0.0 && rng.uniform() < options.label_noise) {
+            y = rng.uniform_index(num_classes_);
+        }
+        features.set_row(i, x);
+        labels[i] = static_cast<double>(y);
+    }
+    return models::Dataset(std::move(features), std::move(labels));
+}
+
+}  // namespace drel::data

@@ -1,0 +1,66 @@
+// Multiclass device-task generator — the C-class analogue of
+// task_generator.hpp.
+//
+// A device's ground truth is a stacked C x (feature_dim+1) softmax weight
+// matrix drawn from a multi-modal population over the stacked vectors, so
+// the same MixturePrior machinery transfers cloud knowledge unchanged.
+// Labels are class indices 0..C-1 in the Dataset label vector; features
+// carry the bias column last, matching the library convention.
+#pragma once
+
+#include <vector>
+
+#include "linalg/matrix.hpp"
+#include "models/dataset.hpp"
+#include "stats/multivariate_normal.hpp"
+#include "stats/rng.hpp"
+
+namespace drel::data {
+
+struct MulticlassTaskSpec {
+    linalg::Vector stacked_weights;   ///< row-major C x (feature_dim+1)
+    std::size_t mode_index = 0;
+};
+
+struct MulticlassDataOptions {
+    double margin_scale = 1.0;       ///< logits multiplier
+    double label_noise = 0.0;        ///< probability of replacing y by a uniform class
+    linalg::Vector feature_shift;    ///< covariate shift; empty = none
+};
+
+class MulticlassPopulation {
+ public:
+    /// `num_modes` population modes; each mode's mean stacks C random class
+    /// directions of norm `mode_radius`, with isotropic within-mode variance.
+    static MulticlassPopulation make_synthetic(std::size_t feature_dim,
+                                               std::size_t num_classes,
+                                               std::size_t num_modes, double mode_radius,
+                                               double within_mode_var, stats::Rng& rng);
+
+    std::size_t feature_dim() const noexcept { return feature_dim_; }
+    std::size_t num_classes() const noexcept { return num_classes_; }
+    std::size_t stacked_dim() const noexcept { return num_classes_ * (feature_dim_ + 1); }
+    std::size_t num_modes() const noexcept { return mode_dists_.size(); }
+
+    const stats::MultivariateNormal& mode(std::size_t k) const { return mode_dists_.at(k); }
+
+    MulticlassTaskSpec sample_task(stats::Rng& rng) const;
+
+    models::Dataset generate(const MulticlassTaskSpec& task, std::size_t n, stats::Rng& rng,
+                             const MulticlassDataOptions& options = {}) const;
+
+    /// The population as a transferable mixture prior over stacked weights
+    /// (equal weights), for oracle-prior experiments.
+    std::vector<stats::MultivariateNormal> mode_distributions() const { return mode_dists_; }
+
+ private:
+    MulticlassPopulation(std::size_t feature_dim, std::size_t num_classes,
+                         std::vector<stats::MultivariateNormal> modes)
+        : feature_dim_(feature_dim), num_classes_(num_classes), mode_dists_(std::move(modes)) {}
+
+    std::size_t feature_dim_;
+    std::size_t num_classes_;
+    std::vector<stats::MultivariateNormal> mode_dists_;
+};
+
+}  // namespace drel::data

@@ -1,0 +1,80 @@
+#include "data/scenarios.hpp"
+
+#include <cmath>
+#include <numbers>
+#include <stdexcept>
+
+#include "data/shifts.hpp"
+#include "models/linear_model.hpp"
+#include "models/metrics.hpp"
+
+namespace drel::data {
+
+const char* scenario_name(ScenarioKind kind) noexcept {
+    switch (kind) {
+        case ScenarioKind::kIid: return "iid";
+        case ScenarioKind::kCovariateShift: return "covariate-shift";
+        case ScenarioKind::kLabelShift: return "label-shift";
+        case ScenarioKind::kOutliers: return "outliers";
+        case ScenarioKind::kLabelNoise: return "label-noise";
+        case ScenarioKind::kRotation: return "rotation";
+    }
+    return "unknown";
+}
+
+Scenario make_scenario_for_task(ScenarioKind kind, const ScenarioConfig& config,
+                                const TaskPopulation& population, const TaskSpec& task,
+                                stats::Rng& rng) {
+    DataOptions train_options;
+    train_options.label_noise = config.base_label_noise;
+    train_options.margin_scale = config.margin_scale;
+    DataOptions test_options = train_options;
+
+    switch (kind) {
+        case ScenarioKind::kIid:
+            break;
+        case ScenarioKind::kCovariateShift: {
+            // Shift test features along a random direction of the configured
+            // magnitude; training stays at the nominal distribution.
+            linalg::Vector delta = rng.standard_normal_vector(population.feature_dim());
+            const double n = linalg::norm2(delta);
+            if (n > 0.0) linalg::scale(delta, config.shift_magnitude / n);
+            test_options.feature_shift = delta;
+            break;
+        }
+        case ScenarioKind::kLabelShift:
+            break;  // applied post hoc below (resampling)
+        case ScenarioKind::kOutliers:
+            train_options.outlier_fraction = 0.15 * config.shift_magnitude;
+            break;
+        case ScenarioKind::kLabelNoise:
+            train_options.label_noise = std::min(0.5, 0.15 * config.shift_magnitude);
+            break;
+        case ScenarioKind::kRotation:
+            break;  // applied post hoc below
+    }
+
+    Scenario s{scenario_name(kind), population, task,
+               population.generate(task, config.n_train, rng, train_options),
+               population.generate(task, config.n_test, rng, test_options), 1.0};
+
+    if (kind == ScenarioKind::kLabelShift) {
+        s.edge_test = apply_label_shift(s.edge_test, 0.8, rng);
+    } else if (kind == ScenarioKind::kRotation) {
+        s.edge_test =
+            apply_rotation(s.edge_test, config.shift_magnitude * std::numbers::pi / 6.0);
+    }
+
+    const models::LinearModel oracle(task.theta_star);
+    s.bayes_accuracy = models::accuracy(oracle, s.edge_test);
+    return s;
+}
+
+Scenario make_scenario(ScenarioKind kind, const ScenarioConfig& config, stats::Rng& rng) {
+    const TaskPopulation population = TaskPopulation::make_synthetic(
+        config.feature_dim, config.num_modes, config.mode_radius, config.within_mode_var, rng);
+    const TaskSpec task = population.sample_task(rng);
+    return make_scenario_for_task(kind, config, population, task, rng);
+}
+
+}  // namespace drel::data

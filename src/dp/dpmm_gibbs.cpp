@@ -1,0 +1,238 @@
+#include "dp/dpmm_gibbs.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "dp/crp.hpp"
+#include "linalg/vector_ops.hpp"
+#include "stats/distributions.hpp"
+#include "stats/multivariate_normal.hpp"
+
+namespace drel::dp {
+
+DpmmGibbs::DpmmGibbs(std::vector<linalg::Vector> observations, DpmmConfig config)
+    : observations_(std::move(observations)),
+      config_(std::move(config)),
+      dim_(0),
+      base_precision_(0, 0),
+      within_precision_(0, 0) {
+    if (observations_.empty()) throw std::invalid_argument("DpmmGibbs: no observations");
+    if (!(config_.alpha > 0.0)) throw std::invalid_argument("DpmmGibbs: alpha must be > 0");
+    dim_ = observations_.front().size();
+    for (const auto& obs : observations_) {
+        if (obs.size() != dim_) {
+            throw std::invalid_argument("DpmmGibbs: inconsistent observation dimensions");
+        }
+    }
+    if (config_.base_mean.size() != dim_) {
+        throw std::invalid_argument("DpmmGibbs: base_mean dimension mismatch");
+    }
+
+    const linalg::Cholesky base_chol =
+        linalg::Cholesky::factor_with_jitter(config_.base_covariance);
+    const linalg::Cholesky within_chol =
+        linalg::Cholesky::factor_with_jitter(config_.within_covariance);
+    base_precision_ = base_chol.inverse();
+    within_precision_ = within_chol.inverse();
+    base_precision_m0_ = base_precision_.matvec(config_.base_mean);
+
+    // Start from the all-in-one-cluster state; Gibbs splits as needed.
+    assignments_.assign(observations_.size(), 0);
+    counts_.assign(1, observations_.size());
+    linalg::Vector total = linalg::zeros(dim_);
+    for (const auto& obs : observations_) linalg::axpy(1.0, obs, total);
+    sums_.assign(1, total);
+}
+
+void DpmmGibbs::posterior_of_mean(std::size_t count, const linalg::Vector& sum,
+                                  linalg::Vector& mean_out, linalg::Matrix& cov_out) const {
+    // Lambda = S0^{-1} + n Sw^{-1};  m = Lambda^{-1} (S0^{-1} m0 + Sw^{-1} s)
+    linalg::Matrix lambda = base_precision_;
+    linalg::Matrix scaled_within = within_precision_;
+    scaled_within *= static_cast<double>(count);
+    lambda += scaled_within;
+    const linalg::Cholesky chol(lambda);
+    linalg::Vector rhs = base_precision_m0_;
+    linalg::axpy(1.0, within_precision_.matvec(sum), rhs);
+    mean_out = chol.solve(rhs);
+    cov_out = chol.inverse();
+}
+
+double DpmmGibbs::predictive_log_pdf(const linalg::Vector& x, std::size_t count,
+                                     const linalg::Vector& sum) const {
+    linalg::Vector mean;
+    linalg::Matrix cov(dim_, dim_);
+    if (count == 0) {
+        mean = config_.base_mean;
+        cov = config_.base_covariance;
+    } else {
+        posterior_of_mean(count, sum, mean, cov);
+    }
+    cov += config_.within_covariance;
+    const stats::MultivariateNormal predictive(std::move(mean), std::move(cov));
+    return predictive.log_pdf(x);
+}
+
+void DpmmGibbs::remove_observation(std::size_t j) {
+    const std::size_t k = assignments_[j];
+    counts_[k] -= 1;
+    linalg::axpy(-1.0, observations_[j], sums_[k]);
+    if (counts_[k] == 0) {
+        // Compact: move the last cluster into slot k.
+        const std::size_t last = counts_.size() - 1;
+        if (k != last) {
+            counts_[k] = counts_[last];
+            sums_[k] = std::move(sums_[last]);
+            for (std::size_t& z : assignments_) {
+                if (z == last) z = k;
+            }
+        }
+        counts_.pop_back();
+        sums_.pop_back();
+    }
+}
+
+void DpmmGibbs::insert_observation(std::size_t j, std::size_t cluster) {
+    if (cluster == counts_.size()) {
+        counts_.push_back(0);
+        sums_.push_back(linalg::zeros(dim_));
+    }
+    assignments_[j] = cluster;
+    counts_[cluster] += 1;
+    linalg::axpy(1.0, observations_[j], sums_[cluster]);
+}
+
+void DpmmGibbs::sweep(stats::Rng& rng) {
+    for (std::size_t j = 0; j < observations_.size(); ++j) {
+        remove_observation(j);
+        // Log-weights: existing clusters by size x predictive, new by alpha.
+        linalg::Vector log_weights(counts_.size() + 1);
+        for (std::size_t k = 0; k < counts_.size(); ++k) {
+            log_weights[k] = std::log(static_cast<double>(counts_[k])) +
+                             predictive_log_pdf(observations_[j], counts_[k], sums_[k]);
+        }
+        log_weights.back() = std::log(config_.alpha) +
+                             predictive_log_pdf(observations_[j], 0, linalg::Vector{});
+        linalg::softmax_inplace(log_weights);
+        insert_observation(j, rng.categorical(log_weights));
+    }
+    if (config_.resample_alpha) resample_alpha(rng);
+}
+
+void DpmmGibbs::add_observation(linalg::Vector theta, stats::Rng& rng, int refresh_sweeps) {
+    if (theta.size() != dim_) {
+        throw std::invalid_argument("DpmmGibbs::add_observation: dimension mismatch");
+    }
+    if (refresh_sweeps < 0) {
+        throw std::invalid_argument("DpmmGibbs::add_observation: refresh_sweeps must be >= 0");
+    }
+    observations_.push_back(std::move(theta));
+    const std::size_t j = observations_.size() - 1;
+    assignments_.push_back(0);  // placeholder; chosen below
+
+    linalg::Vector log_weights(counts_.size() + 1);
+    for (std::size_t k = 0; k < counts_.size(); ++k) {
+        log_weights[k] = std::log(static_cast<double>(counts_[k])) +
+                         predictive_log_pdf(observations_[j], counts_[k], sums_[k]);
+    }
+    log_weights.back() = std::log(config_.alpha) +
+                         predictive_log_pdf(observations_[j], 0, linalg::Vector{});
+    linalg::softmax_inplace(log_weights);
+    insert_observation(j, rng.categorical(log_weights));
+    for (int s = 0; s < refresh_sweeps; ++s) sweep(rng);
+}
+
+void DpmmGibbs::run(stats::Rng& rng) {
+    std::vector<std::size_t> best_assignments = assignments_;
+    double best_log_joint = log_joint();
+    double best_alpha = config_.alpha;
+    for (int s = 0; s < config_.num_sweeps; ++s) {
+        sweep(rng);
+        const double lj = log_joint();
+        if (lj > best_log_joint) {
+            best_log_joint = lj;
+            best_assignments = assignments_;
+            best_alpha = config_.alpha;
+        }
+    }
+    // Restore the MAP state (rebuild counts/sums from the assignments).
+    config_.alpha = best_alpha;
+    const std::size_t k = dp::count_clusters(best_assignments);
+    assignments_ = std::move(best_assignments);
+    counts_.assign(k, 0);
+    sums_.assign(k, linalg::zeros(dim_));
+    for (std::size_t j = 0; j < observations_.size(); ++j) {
+        counts_[assignments_[j]] += 1;
+        linalg::axpy(1.0, observations_[j], sums_[assignments_[j]]);
+    }
+}
+
+void DpmmGibbs::resample_alpha(stats::Rng& rng) {
+    // Escobar & West (1995) auxiliary-variable update for the concentration
+    // under an alpha ~ Gamma(a, rate b) prior.
+    const double a = config_.alpha_prior_shape;
+    const double b = config_.alpha_prior_rate;
+    const double n = static_cast<double>(observations_.size());
+    const double k = static_cast<double>(counts_.size());
+    const double eta = rng.beta(config_.alpha + 1.0, n);
+    const double odds = (a + k - 1.0) / (n * (b - std::log(eta)));
+    const double pi_eta = odds / (1.0 + odds);
+    const double shape = (rng.uniform() < pi_eta) ? a + k : a + k - 1.0;
+    config_.alpha = rng.gamma(shape, 1.0 / (b - std::log(eta)));
+}
+
+double DpmmGibbs::log_joint() const {
+    // CRP log-prior.
+    const double n = static_cast<double>(observations_.size());
+    double lp = static_cast<double>(counts_.size()) * std::log(config_.alpha);
+    for (const std::size_t c : counts_) lp += std::lgamma(static_cast<double>(c));
+    for (double i = 0.0; i < n; i += 1.0) lp -= std::log(config_.alpha + i);
+
+    // Exact per-cluster marginal likelihood via the predictive chain rule.
+    for (std::size_t k = 0; k < counts_.size(); ++k) {
+        std::size_t seen = 0;
+        linalg::Vector partial_sum = linalg::zeros(dim_);
+        for (std::size_t j = 0; j < observations_.size(); ++j) {
+            if (assignments_[j] != k) continue;
+            lp += predictive_log_pdf(observations_[j], seen, partial_sum);
+            linalg::axpy(1.0, observations_[j], partial_sum);
+            ++seen;
+        }
+    }
+    return lp;
+}
+
+std::vector<DpmmGibbs::ClusterPosterior> DpmmGibbs::cluster_posteriors() const {
+    std::vector<ClusterPosterior> out(counts_.size());
+    for (std::size_t k = 0; k < counts_.size(); ++k) {
+        out[k].count = counts_[k];
+        out[k].covariance = linalg::Matrix(dim_, dim_);
+        posterior_of_mean(counts_[k], sums_[k], out[k].mean, out[k].covariance);
+    }
+    return out;
+}
+
+MixturePrior DpmmGibbs::extract_prior(bool include_base_atom) const {
+    const double n = static_cast<double>(observations_.size());
+    linalg::Vector weights;
+    std::vector<stats::MultivariateNormal> atoms;
+    for (std::size_t k = 0; k < counts_.size(); ++k) {
+        linalg::Vector mean;
+        linalg::Matrix v(dim_, dim_);
+        posterior_of_mean(counts_[k], sums_[k], mean, v);
+        // Predictive spread for a NEW device's parameter: posterior
+        // uncertainty about the cluster mean plus the within-cluster spread.
+        v += config_.within_covariance;
+        weights.push_back(static_cast<double>(counts_[k]) / (n + config_.alpha));
+        atoms.emplace_back(std::move(mean), std::move(v));
+    }
+    if (include_base_atom) {
+        linalg::Matrix broad = config_.base_covariance;
+        broad += config_.within_covariance;
+        weights.push_back(config_.alpha / (n + config_.alpha));
+        atoms.emplace_back(config_.base_mean, std::move(broad));
+    }
+    return MixturePrior(std::move(weights), std::move(atoms));
+}
+
+}  // namespace drel::dp

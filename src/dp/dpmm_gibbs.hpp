@@ -1,0 +1,118 @@
+// Dirichlet-process mixture model over parameter vectors — collapsed Gibbs.
+//
+// The cloud observes one fitted parameter vector theta_hat per contributing
+// device and must distill the device population into a transferable prior.
+// Model:
+//
+//   z_j ~ CRP(alpha)
+//   mu_k ~ N(m0, S0)                       (base measure G0)
+//   theta_hat_j | z_j = k ~ N(mu_k, Sw)    (within-cluster spread; includes
+//                                           both population spread and the
+//                                           devices' estimation noise)
+//
+// With mu integrated out analytically (conjugate Normal-Normal), the Gibbs
+// sweep needs only per-cluster counts and sums; every predictive density is
+// a Gaussian with covariance V_k + Sw, where V_k is the posterior covariance
+// of mu_k. Optionally resamples alpha with the Escobar & West (1995)
+// auxiliary-variable move.
+//
+// extract_prior() emits the truncated MixturePrior actually shipped to the
+// edge: one atom per occupied cluster at its posterior predictive, plus
+// (optionally) one broad atom at the base measure carrying the leftover
+// alpha/(N+alpha) CRP mass — the "new device type" escape hatch that keeps
+// the transferred prior from being overconfident.
+#pragma once
+
+#include <vector>
+
+#include "dp/mixture_prior.hpp"
+#include "linalg/cholesky.hpp"
+#include "linalg/matrix.hpp"
+#include "stats/rng.hpp"
+
+namespace drel::dp {
+
+struct DpmmConfig {
+    double alpha = 1.0;                 ///< DP concentration
+    linalg::Vector base_mean;           ///< m0
+    linalg::Matrix base_covariance;     ///< S0
+    linalg::Matrix within_covariance;   ///< Sw
+    int num_sweeps = 200;
+    bool resample_alpha = false;
+    double alpha_prior_shape = 2.0;     ///< Gamma(a, rate=b) prior when resampling
+    double alpha_prior_rate = 0.5;
+};
+
+class DpmmGibbs {
+ public:
+    /// `observations` must be non-empty with consistent dimension matching
+    /// the config's base measure.
+    DpmmGibbs(std::vector<linalg::Vector> observations, DpmmConfig config);
+
+    /// Runs config.num_sweeps full Gibbs sweeps, tracking the maximum
+    /// a-posteriori state seen (by log_joint) and restoring it at the end —
+    /// a single trailing sweep can leave a transient singleton cluster, and
+    /// the prior the cloud ships should come from the best partition, not
+    /// the last one.
+    void run(stats::Rng& rng);
+
+    /// One sweep: resamples every assignment (and alpha if configured).
+    void sweep(stats::Rng& rng);
+
+    /// Online update: inserts a new observation by its CRP-predictive
+    /// probabilities, then runs `refresh_sweeps` sweeps to let the partition
+    /// re-settle. This is how the cloud absorbs a newly contributing device
+    /// without refitting from scratch; tests check the incremental posterior
+    /// tracks the batch refit.
+    void add_observation(linalg::Vector theta, stats::Rng& rng, int refresh_sweeps = 5);
+
+    std::size_t num_observations() const noexcept { return observations_.size(); }
+    std::size_t num_clusters() const noexcept { return counts_.size(); }
+    const std::vector<std::size_t>& assignments() const noexcept { return assignments_; }
+    double alpha() const noexcept { return config_.alpha; }
+
+    /// log p(z, data) up to an additive constant: CRP log-prior plus the
+    /// exact marginal likelihood of each cluster's members (mu integrated
+    /// out). Diagnostic for mixing tests.
+    double log_joint() const;
+
+    /// Posterior over a cluster's mean: N(mean, covariance), plus count.
+    struct ClusterPosterior {
+        std::size_t count = 0;
+        linalg::Vector mean;
+        linalg::Matrix covariance;   ///< V_k (posterior covariance of mu_k)
+    };
+    std::vector<ClusterPosterior> cluster_posteriors() const;
+
+    /// Builds the transferable prior (see file comment).
+    MixturePrior extract_prior(bool include_base_atom = true) const;
+
+ private:
+    /// Predictive log-density of x for a cluster with `count` members
+    /// summing to `sum`; count==0 gives the base predictive N(m0, S0+Sw).
+    double predictive_log_pdf(const linalg::Vector& x, std::size_t count,
+                              const linalg::Vector& sum) const;
+
+    /// Posterior (mean, covariance) of mu for a cluster.
+    void posterior_of_mean(std::size_t count, const linalg::Vector& sum,
+                           linalg::Vector& mean_out, linalg::Matrix& cov_out) const;
+
+    void remove_observation(std::size_t j);
+    void insert_observation(std::size_t j, std::size_t cluster);
+    void resample_alpha(stats::Rng& rng);
+
+    std::vector<linalg::Vector> observations_;
+    DpmmConfig config_;
+    std::size_t dim_;
+
+    // Precomputed precision matrices of the conjugate model.
+    linalg::Matrix base_precision_;     ///< S0^{-1}
+    linalg::Vector base_precision_m0_;  ///< S0^{-1} m0
+    linalg::Matrix within_precision_;   ///< Sw^{-1}
+
+    std::vector<std::size_t> assignments_;
+    std::vector<std::size_t> counts_;          ///< per-cluster member count
+    std::vector<linalg::Vector> sums_;         ///< per-cluster member sum
+};
+
+}  // namespace drel::dp

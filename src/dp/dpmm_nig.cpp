@@ -1,0 +1,232 @@
+#include "dp/dpmm_nig.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "dp/crp.hpp"
+#include "stats/distributions.hpp"
+
+namespace drel::dp {
+namespace {
+
+/// NIG posterior parameters for one dimension given (n, sum, sum_sq).
+struct NigPosterior {
+    double kappa;
+    double m;
+    double a;
+    double b;
+};
+
+NigPosterior posterior_1d(double kappa0, double m0, double a0, double b0, double n,
+                          double sum, double sum_sq) {
+    NigPosterior p;
+    p.kappa = kappa0 + n;
+    p.m = (kappa0 * m0 + sum) / p.kappa;
+    p.a = a0 + 0.5 * n;
+    if (n > 0.0) {
+        const double mean = sum / n;
+        const double scatter = std::max(0.0, sum_sq - n * mean * mean);
+        p.b = b0 + 0.5 * scatter +
+              0.5 * kappa0 * n * (mean - m0) * (mean - m0) / p.kappa;
+    } else {
+        p.b = b0;
+    }
+    return p;
+}
+
+}  // namespace
+
+DpmmNigGibbs::DpmmNigGibbs(std::vector<linalg::Vector> observations, NigConfig config)
+    : observations_(std::move(observations)), config_(std::move(config)) {
+    if (observations_.empty()) throw std::invalid_argument("DpmmNigGibbs: no observations");
+    if (!(config_.alpha > 0.0)) throw std::invalid_argument("DpmmNigGibbs: alpha must be > 0");
+    if (!(config_.kappa0 > 0.0) || !(config_.a0 > 1.0) || !(config_.b0 > 0.0)) {
+        throw std::invalid_argument("DpmmNigGibbs: invalid NIG hyperparameters");
+    }
+    dim_ = observations_.front().size();
+    for (const auto& obs : observations_) {
+        if (obs.size() != dim_) {
+            throw std::invalid_argument("DpmmNigGibbs: inconsistent observation dimensions");
+        }
+    }
+    if (config_.base_mean.size() != dim_) {
+        throw std::invalid_argument("DpmmNigGibbs: base_mean dimension mismatch");
+    }
+
+    assignments_.assign(observations_.size(), 0);
+    counts_.assign(1, observations_.size());
+    linalg::Vector total = linalg::zeros(dim_);
+    linalg::Vector total_sq = linalg::zeros(dim_);
+    for (const auto& obs : observations_) {
+        for (std::size_t j = 0; j < dim_; ++j) {
+            total[j] += obs[j];
+            total_sq[j] += obs[j] * obs[j];
+        }
+    }
+    sums_.assign(1, total);
+    sum_squares_.assign(1, total_sq);
+}
+
+double DpmmNigGibbs::predictive_log_pdf(const linalg::Vector& x, std::size_t count,
+                                        const linalg::Vector& sum,
+                                        const linalg::Vector& sum_sq) const {
+    double acc = 0.0;
+    const double n = static_cast<double>(count);
+    for (std::size_t j = 0; j < dim_; ++j) {
+        const NigPosterior p = posterior_1d(config_.kappa0, config_.base_mean[j], config_.a0,
+                                            config_.b0, n, count == 0 ? 0.0 : sum[j],
+                                            count == 0 ? 0.0 : sum_sq[j]);
+        // Predictive: Student-t with dof 2a, location m,
+        // scale sqrt(b (kappa+1) / (a kappa)).
+        const double scale = std::sqrt(p.b * (p.kappa + 1.0) / (p.a * p.kappa));
+        acc += stats::log_student_t_pdf(x[j], 2.0 * p.a, p.m, scale);
+    }
+    return acc;
+}
+
+void DpmmNigGibbs::remove_observation(std::size_t j) {
+    const std::size_t k = assignments_[j];
+    counts_[k] -= 1;
+    for (std::size_t d = 0; d < dim_; ++d) {
+        sums_[k][d] -= observations_[j][d];
+        sum_squares_[k][d] -= observations_[j][d] * observations_[j][d];
+    }
+    if (counts_[k] == 0) {
+        const std::size_t last = counts_.size() - 1;
+        if (k != last) {
+            counts_[k] = counts_[last];
+            sums_[k] = std::move(sums_[last]);
+            sum_squares_[k] = std::move(sum_squares_[last]);
+            for (std::size_t& z : assignments_) {
+                if (z == last) z = k;
+            }
+        }
+        counts_.pop_back();
+        sums_.pop_back();
+        sum_squares_.pop_back();
+    }
+}
+
+void DpmmNigGibbs::insert_observation(std::size_t j, std::size_t cluster) {
+    if (cluster == counts_.size()) {
+        counts_.push_back(0);
+        sums_.push_back(linalg::zeros(dim_));
+        sum_squares_.push_back(linalg::zeros(dim_));
+    }
+    assignments_[j] = cluster;
+    counts_[cluster] += 1;
+    for (std::size_t d = 0; d < dim_; ++d) {
+        sums_[cluster][d] += observations_[j][d];
+        sum_squares_[cluster][d] += observations_[j][d] * observations_[j][d];
+    }
+}
+
+void DpmmNigGibbs::sweep(stats::Rng& rng) {
+    for (std::size_t j = 0; j < observations_.size(); ++j) {
+        remove_observation(j);
+        linalg::Vector log_weights(counts_.size() + 1);
+        for (std::size_t k = 0; k < counts_.size(); ++k) {
+            log_weights[k] =
+                std::log(static_cast<double>(counts_[k])) +
+                predictive_log_pdf(observations_[j], counts_[k], sums_[k], sum_squares_[k]);
+        }
+        log_weights.back() =
+            std::log(config_.alpha) +
+            predictive_log_pdf(observations_[j], 0, linalg::Vector{}, linalg::Vector{});
+        linalg::softmax_inplace(log_weights);
+        insert_observation(j, rng.categorical(log_weights));
+    }
+}
+
+void DpmmNigGibbs::run(stats::Rng& rng) {
+    std::vector<std::size_t> best_assignments = assignments_;
+    double best_log_joint = log_joint();
+    for (int s = 0; s < config_.num_sweeps; ++s) {
+        sweep(rng);
+        const double lj = log_joint();
+        if (lj > best_log_joint) {
+            best_log_joint = lj;
+            best_assignments = assignments_;
+        }
+    }
+    // Restore the MAP state: rebuild sufficient statistics from assignments.
+    const std::size_t k = count_clusters(best_assignments);
+    assignments_ = std::move(best_assignments);
+    counts_.assign(k, 0);
+    sums_.assign(k, linalg::zeros(dim_));
+    sum_squares_.assign(k, linalg::zeros(dim_));
+    for (std::size_t j = 0; j < observations_.size(); ++j) {
+        const std::size_t cluster = assignments_[j];
+        counts_[cluster] += 1;
+        for (std::size_t d = 0; d < dim_; ++d) {
+            sums_[cluster][d] += observations_[j][d];
+            sum_squares_[cluster][d] += observations_[j][d] * observations_[j][d];
+        }
+    }
+}
+
+double DpmmNigGibbs::log_joint() const {
+    const double n = static_cast<double>(observations_.size());
+    double lp = static_cast<double>(counts_.size()) * std::log(config_.alpha);
+    for (const std::size_t c : counts_) lp += std::lgamma(static_cast<double>(c));
+    for (double i = 0.0; i < n; i += 1.0) lp -= std::log(config_.alpha + i);
+
+    // Chain-rule marginal per cluster.
+    for (std::size_t k = 0; k < counts_.size(); ++k) {
+        std::size_t seen = 0;
+        linalg::Vector partial_sum = linalg::zeros(dim_);
+        linalg::Vector partial_sq = linalg::zeros(dim_);
+        for (std::size_t j = 0; j < observations_.size(); ++j) {
+            if (assignments_[j] != k) continue;
+            lp += predictive_log_pdf(observations_[j], seen, partial_sum, partial_sq);
+            for (std::size_t d = 0; d < dim_; ++d) {
+                partial_sum[d] += observations_[j][d];
+                partial_sq[d] += observations_[j][d] * observations_[j][d];
+            }
+            ++seen;
+        }
+    }
+    return lp;
+}
+
+std::vector<DpmmNigGibbs::ClusterSummary> DpmmNigGibbs::cluster_summaries() const {
+    std::vector<ClusterSummary> out(counts_.size());
+    for (std::size_t k = 0; k < counts_.size(); ++k) {
+        out[k].count = counts_[k];
+        out[k].mean = linalg::Vector(dim_);
+        out[k].variance = linalg::Vector(dim_);
+        for (std::size_t j = 0; j < dim_; ++j) {
+            const NigPosterior p = posterior_1d(
+                config_.kappa0, config_.base_mean[j], config_.a0, config_.b0,
+                static_cast<double>(counts_[k]), sums_[k][j], sum_squares_[k][j]);
+            out[k].mean[j] = p.m;
+            // Variance of the Student-t predictive (dof 2a > 2 by a0 > 1):
+            // scale^2 * dof/(dof-2) = b(kappa+1)/(kappa (a-1)).
+            out[k].variance[j] = p.b * (p.kappa + 1.0) / (p.kappa * (p.a - 1.0));
+        }
+    }
+    return out;
+}
+
+MixturePrior DpmmNigGibbs::extract_prior(bool include_base_atom) const {
+    const double n = static_cast<double>(observations_.size());
+    linalg::Vector weights;
+    std::vector<stats::MultivariateNormal> atoms;
+    for (const ClusterSummary& c : cluster_summaries()) {
+        weights.push_back(static_cast<double>(c.count) / (n + config_.alpha));
+        atoms.push_back(stats::MultivariateNormal::diagonal(c.mean, c.variance));
+    }
+    if (include_base_atom) {
+        linalg::Vector base_var(dim_);
+        for (std::size_t j = 0; j < dim_; ++j) {
+            const NigPosterior p = posterior_1d(config_.kappa0, config_.base_mean[j],
+                                                config_.a0, config_.b0, 0.0, 0.0, 0.0);
+            base_var[j] = p.b * (p.kappa + 1.0) / (p.kappa * (p.a - 1.0));
+        }
+        weights.push_back(config_.alpha / (n + config_.alpha));
+        atoms.push_back(stats::MultivariateNormal::diagonal(config_.base_mean, base_var));
+    }
+    return MixturePrior(std::move(weights), std::move(atoms));
+}
+
+}  // namespace drel::dp

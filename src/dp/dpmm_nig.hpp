@@ -1,0 +1,84 @@
+// DP mixture with learned per-cluster spreads (extension).
+//
+// The baseline cloud model (dpmm_gibbs.hpp) fixes the within-cluster
+// covariance Sw — fine when device types are equally tight, wrong when some
+// types are far more variable than others. This variant gives every cluster
+// its own diagonal covariance with the conjugate Normal-Inverse-Gamma prior,
+// per dimension j:
+//
+//   sigma2_kj ~ InvGamma(a0, b0)
+//   mu_kj | sigma2_kj ~ N(m0_j, sigma2_kj / kappa0)
+//   x_ij | z_i = k ~ N(mu_kj, sigma2_kj)
+//
+// Collapsing (mu, sigma2) analytically, the per-cluster predictive density
+// is a product of univariate Student-t's whose parameters come from the
+// standard NIG posterior updates, so the Gibbs sweep needs only per-cluster
+// (count, sum, sum-of-squares) per dimension. extract_prior() moment-matches
+// each cluster's posterior predictive into a diagonal Gaussian atom, keeping
+// the wire format unchanged.
+#pragma once
+
+#include <vector>
+
+#include "dp/mixture_prior.hpp"
+#include "linalg/vector_ops.hpp"
+#include "stats/rng.hpp"
+
+namespace drel::dp {
+
+struct NigConfig {
+    double alpha = 1.0;            ///< DP concentration
+    linalg::Vector base_mean;      ///< m0 (per dimension)
+    double kappa0 = 0.05;          ///< prior pseudo-count on the mean
+    double a0 = 2.5;               ///< InvGamma shape (>1 so the mean exists)
+    double b0 = 0.5;               ///< InvGamma scale
+    int num_sweeps = 200;
+};
+
+class DpmmNigGibbs {
+ public:
+    DpmmNigGibbs(std::vector<linalg::Vector> observations, NigConfig config);
+
+    /// Runs the sweeps, tracking and restoring the MAP state (log_joint).
+    void run(stats::Rng& rng);
+    void sweep(stats::Rng& rng);
+
+    std::size_t num_observations() const noexcept { return observations_.size(); }
+    std::size_t num_clusters() const noexcept { return counts_.size(); }
+    const std::vector<std::size_t>& assignments() const noexcept { return assignments_; }
+
+    /// log p(z, data) up to a constant (CRP prior + exact NIG marginals).
+    double log_joint() const;
+
+    /// Posterior-predictive mean and variance (per dimension) of a cluster.
+    struct ClusterSummary {
+        std::size_t count = 0;
+        linalg::Vector mean;
+        linalg::Vector variance;   ///< moment-matched predictive variance
+    };
+    std::vector<ClusterSummary> cluster_summaries() const;
+
+    /// Diagonal-atom mixture prior; weights n_k/(N+alpha) plus an optional
+    /// base atom carrying the alpha mass.
+    MixturePrior extract_prior(bool include_base_atom = true) const;
+
+ private:
+    /// Student-t predictive log-density of x for a cluster described by its
+    /// per-dimension sufficient statistics (count==0 -> the base predictive).
+    double predictive_log_pdf(const linalg::Vector& x, std::size_t count,
+                              const linalg::Vector& sum, const linalg::Vector& sum_sq) const;
+
+    void remove_observation(std::size_t j);
+    void insert_observation(std::size_t j, std::size_t cluster);
+
+    std::vector<linalg::Vector> observations_;
+    NigConfig config_;
+    std::size_t dim_ = 0;
+
+    std::vector<std::size_t> assignments_;
+    std::vector<std::size_t> counts_;
+    std::vector<linalg::Vector> sums_;
+    std::vector<linalg::Vector> sum_squares_;
+};
+
+}  // namespace drel::dp

@@ -1,0 +1,110 @@
+#include "dp/mixture_prior.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "linalg/vector_ops.hpp"
+
+namespace drel::dp {
+
+MixturePrior::MixturePrior(linalg::Vector weights, std::vector<stats::MultivariateNormal> atoms)
+    : weights_(std::move(weights)), atoms_(std::move(atoms)) {
+    if (atoms_.empty()) throw std::invalid_argument("MixturePrior: no atoms");
+    if (weights_.size() != atoms_.size()) {
+        throw std::invalid_argument("MixturePrior: weights/atoms count mismatch");
+    }
+    double total = 0.0;
+    for (const double w : weights_) {
+        if (!(w > 0.0)) throw std::invalid_argument("MixturePrior: weights must be positive");
+        total += w;
+    }
+    for (double& w : weights_) w /= total;
+    const std::size_t d = atoms_.front().dim();
+    for (const auto& a : atoms_) {
+        if (a.dim() != d) throw std::invalid_argument("MixturePrior: atom dimension mismatch");
+    }
+}
+
+MixturePrior MixturePrior::single(stats::MultivariateNormal atom) {
+    std::vector<stats::MultivariateNormal> atoms;
+    atoms.push_back(std::move(atom));
+    return MixturePrior(linalg::Vector{1.0}, std::move(atoms));
+}
+
+double MixturePrior::log_pdf(const linalg::Vector& theta) const {
+    linalg::Vector log_terms(num_components());
+    for (std::size_t k = 0; k < num_components(); ++k) {
+        log_terms[k] = std::log(weights_[k]) + atoms_[k].log_pdf(theta);
+    }
+    return linalg::log_sum_exp(log_terms);
+}
+
+linalg::Vector MixturePrior::responsibilities(const linalg::Vector& theta) const {
+    linalg::Vector log_terms(num_components());
+    for (std::size_t k = 0; k < num_components(); ++k) {
+        log_terms[k] = std::log(weights_[k]) + atoms_[k].log_pdf(theta);
+    }
+    linalg::softmax_inplace(log_terms);
+    return log_terms;
+}
+
+linalg::Vector MixturePrior::log_pdf_gradient(const linalg::Vector& theta) const {
+    const linalg::Vector r = responsibilities(theta);
+    return em_surrogate_gradient(theta, r);
+}
+
+double MixturePrior::em_surrogate(const linalg::Vector& theta, const linalg::Vector& r) const {
+    if (r.size() != num_components()) {
+        throw std::invalid_argument("MixturePrior::em_surrogate: responsibility size mismatch");
+    }
+    double acc = 0.0;
+    for (std::size_t k = 0; k < num_components(); ++k) {
+        if (r[k] == 0.0) continue;
+        acc += r[k] * (std::log(weights_[k]) + atoms_[k].log_pdf(theta));
+    }
+    return acc;
+}
+
+linalg::Vector MixturePrior::em_surrogate_gradient(const linalg::Vector& theta,
+                                                   const linalg::Vector& r) const {
+    if (r.size() != num_components()) {
+        throw std::invalid_argument(
+            "MixturePrior::em_surrogate_gradient: responsibility size mismatch");
+    }
+    linalg::Vector grad = linalg::zeros(dim());
+    for (std::size_t k = 0; k < num_components(); ++k) {
+        if (r[k] == 0.0) continue;
+        // d/dtheta log N = -Sigma^{-1}(theta - mu)
+        linalg::axpy(-r[k], atoms_[k].precision_times_residual(theta), grad);
+    }
+    return grad;
+}
+
+linalg::Vector MixturePrior::mean() const {
+    linalg::Vector m = linalg::zeros(dim());
+    for (std::size_t k = 0; k < num_components(); ++k) {
+        linalg::axpy(weights_[k], atoms_[k].mean(), m);
+    }
+    return m;
+}
+
+linalg::Vector MixturePrior::sample(stats::Rng& rng) const {
+    const std::size_t k = rng.categorical(weights_);
+    return atoms_[k].sample(rng);
+}
+
+std::size_t MixturePrior::map_component(const linalg::Vector& theta) const {
+    return linalg::argmax(responsibilities(theta));
+}
+
+stats::MultivariateNormal MixturePrior::moment_matched_gaussian() const {
+    const linalg::Vector m = mean();
+    linalg::Matrix cov(dim(), dim());
+    for (std::size_t k = 0; k < num_components(); ++k) {
+        cov += weights_[k] * atoms_[k].covariance();
+        cov.add_outer(weights_[k], linalg::sub(atoms_[k].mean(), m));
+    }
+    return stats::MultivariateNormal(m, std::move(cov));
+}
+
+}  // namespace drel::dp

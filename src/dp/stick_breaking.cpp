@@ -1,0 +1,63 @@
+#include "dp/stick_breaking.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace drel::dp {
+namespace {
+
+void check_alpha(double alpha) {
+    if (!(alpha > 0.0)) throw std::invalid_argument("stick-breaking: alpha must be positive");
+}
+
+}  // namespace
+
+linalg::Vector sample_stick_breaking_weights(double alpha, std::size_t truncation,
+                                             stats::Rng& rng) {
+    check_alpha(alpha);
+    if (truncation == 0) throw std::invalid_argument("stick-breaking: truncation must be >= 1");
+    linalg::Vector v(truncation > 1 ? truncation - 1 : 0);
+    for (double& vi : v) vi = rng.beta(1.0, alpha);
+    return stick_fractions_to_weights(v);
+}
+
+linalg::Vector stick_fractions_to_weights(const linalg::Vector& v) {
+    linalg::Vector weights(v.size() + 1);
+    double remaining = 1.0;
+    for (std::size_t k = 0; k < v.size(); ++k) {
+        if (!(v[k] >= 0.0) || !(v[k] <= 1.0)) {
+            throw std::invalid_argument("stick_fractions_to_weights: fractions must be in [0,1]");
+        }
+        weights[k] = v[k] * remaining;
+        remaining *= (1.0 - v[k]);
+    }
+    weights.back() = remaining;
+    return weights;
+}
+
+linalg::Vector expected_stick_weights(double alpha, std::size_t truncation) {
+    check_alpha(alpha);
+    if (truncation == 0) throw std::invalid_argument("stick-breaking: truncation must be >= 1");
+    linalg::Vector weights(truncation);
+    const double mean_v = 1.0 / (1.0 + alpha);
+    const double decay = alpha / (1.0 + alpha);
+    double remaining = 1.0;
+    for (std::size_t k = 0; k + 1 < truncation; ++k) {
+        weights[k] = mean_v * remaining;
+        remaining *= decay;
+    }
+    weights.back() = remaining;
+    return weights;
+}
+
+std::size_t truncation_for_mass(double alpha, double epsilon) {
+    check_alpha(alpha);
+    if (!(epsilon > 0.0) || !(epsilon < 1.0)) {
+        throw std::invalid_argument("truncation_for_mass: epsilon must be in (0,1)");
+    }
+    const double decay = alpha / (1.0 + alpha);
+    const double k = std::log(epsilon) / std::log(decay);
+    return static_cast<std::size_t>(std::ceil(k)) + 1;
+}
+
+}  // namespace drel::dp

@@ -1,0 +1,29 @@
+// Stick-breaking construction of the Dirichlet process (Sethuraman 1994).
+//
+// G = sum_k pi_k delta_{theta_k} with pi_k = v_k prod_{j<k} (1 - v_j),
+// v_k ~ Beta(1, alpha), theta_k ~ G0. The truncated version (fixed K, last
+// stick takes the remainder) is the wire format the cloud ships to edges.
+#pragma once
+
+#include "linalg/vector_ops.hpp"
+#include "stats/rng.hpp"
+
+namespace drel::dp {
+
+/// Draws v_1..v_{K-1} ~ Beta(1, alpha) and converts to K weights, with the
+/// K-th weight absorbing the leftover stick so the result sums to 1 exactly.
+linalg::Vector sample_stick_breaking_weights(double alpha, std::size_t truncation,
+                                             stats::Rng& rng);
+
+/// Converts explicit stick fractions v (size K-1, each in [0,1]) to weights.
+linalg::Vector stick_fractions_to_weights(const linalg::Vector& v);
+
+/// E[pi_k] under v_k ~ Beta(1, alpha) with truncation K:
+/// E[pi_k] = (1/(1+alpha)) * (alpha/(1+alpha))^{k-1}, remainder on the last.
+linalg::Vector expected_stick_weights(double alpha, std::size_t truncation);
+
+/// Number of sticks needed so the expected leftover mass is below `epsilon`:
+/// smallest K with (alpha/(1+alpha))^K < epsilon. Used to size truncations.
+std::size_t truncation_for_mass(double alpha, double epsilon);
+
+}  // namespace drel::dp

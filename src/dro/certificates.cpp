@@ -1,0 +1,76 @@
+#include "dro/certificates.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "dro/robust_objective.hpp"
+#include "dro/wasserstein.hpp"
+#include "models/metrics.hpp"
+#include "optim/scalar.hpp"
+
+namespace drel::dro {
+
+double certified_radius(const linalg::Vector& theta, const models::Dataset& data,
+                        const models::Loss& loss, AmbiguityKind kind, double loss_budget,
+                        double max_radius, double tolerance) {
+    if (kind == AmbiguityKind::kNone) {
+        throw std::invalid_argument("certified_radius: pick a non-trivial ambiguity family");
+    }
+    if (!(max_radius > 0.0)) {
+        throw std::invalid_argument("certified_radius: max_radius must be positive");
+    }
+    auto excess = [&](double rho) {
+        return robust_loss(theta, data, loss, AmbiguitySet{kind, rho}) - loss_budget;
+    };
+    if (excess(0.0) > 0.0) return 0.0;
+    if (excess(max_radius) <= 0.0) return max_radius;
+    return optim::bisect_root(excess, 0.0, max_radius, tolerance).x;
+}
+
+std::vector<CertificatePoint> certificate_profile(const linalg::Vector& theta,
+                                                  const models::Dataset& data,
+                                                  const models::Loss& loss, AmbiguityKind kind,
+                                                  const std::vector<double>& radii) {
+    std::vector<CertificatePoint> out;
+    out.reserve(radii.size());
+    for (const double rho : radii) {
+        out.push_back({rho, robust_loss(theta, data, loss, AmbiguitySet{kind, rho})});
+    }
+    return out;
+}
+
+linalg::Vector prediction_margins(const models::LinearModel& model,
+                                  const models::Dataset& data) {
+    if (data.empty()) throw std::invalid_argument("prediction_margins: empty dataset");
+    const std::size_t perturbable = perturbable_dims(data);
+    const double wnorm = feature_norm(model.weights(), perturbable);
+    linalg::Vector out(data.size(), 0.0);
+    if (wnorm < 1e-15) return out;  // constant classifier: no margin anywhere
+    for (std::size_t i = 0; i < data.size(); ++i) {
+        const double signed_margin =
+            data.label(i) * model.decision_value(data.feature_row(i));
+        out[i] = signed_margin > 0.0 ? signed_margin / wnorm : 0.0;
+    }
+    return out;
+}
+
+std::vector<double> certified_accuracy_curve(const models::LinearModel& model,
+                                             const models::Dataset& data,
+                                             const std::vector<double>& epsilons) {
+    const linalg::Vector margins = prediction_margins(model, data);
+    std::vector<double> out;
+    out.reserve(epsilons.size());
+    for (const double eps : epsilons) {
+        if (!(eps >= 0.0)) {
+            throw std::invalid_argument("certified_accuracy_curve: epsilon must be >= 0");
+        }
+        std::size_t certified = 0;
+        for (const double m : margins) {
+            if (m > eps) ++certified;
+        }
+        out.push_back(static_cast<double>(certified) / static_cast<double>(data.size()));
+    }
+    return out;
+}
+
+}  // namespace drel::dro

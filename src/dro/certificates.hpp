@@ -1,0 +1,52 @@
+// Robustness certificates — the quantities a deployment engineer reads off
+// a trained model before signing off on it.
+//
+// Because every dual in this library evaluates the *exact* worst-case loss,
+// certificates are not bounds-on-bounds: certified_radius() returns the
+// largest ambiguity radius at which the worst-case loss still meets a
+// budget, and per-example margin radii give the exact L2 feature
+// perturbation each prediction survives.
+#pragma once
+
+#include <vector>
+
+#include "dro/ambiguity.hpp"
+#include "linalg/vector_ops.hpp"
+#include "models/dataset.hpp"
+#include "models/linear_model.hpp"
+#include "models/loss.hpp"
+
+namespace drel::dro {
+
+/// Largest rho such that sup_{Q in B_rho} E_Q[loss(theta)] <= loss_budget,
+/// found by bisection (the robust value is continuous and non-decreasing in
+/// rho). Returns 0 if the budget is violated already at rho=0 and
+/// `max_radius` if it holds there.
+double certified_radius(const linalg::Vector& theta, const models::Dataset& data,
+                        const models::Loss& loss, AmbiguityKind kind, double loss_budget,
+                        double max_radius = 16.0, double tolerance = 1e-6);
+
+/// (rho, worst-case loss) samples of the certificate curve at the given radii.
+struct CertificatePoint {
+    double radius = 0.0;
+    double worst_case_loss = 0.0;
+};
+std::vector<CertificatePoint> certificate_profile(const linalg::Vector& theta,
+                                                  const models::Dataset& data,
+                                                  const models::Loss& loss, AmbiguityKind kind,
+                                                  const std::vector<double>& radii);
+
+/// Exact per-example robustness radius of a linear classifier: the smallest
+/// L2 feature perturbation that flips the prediction of example i, i.e.
+/// |<w, x_i>| / ||w_feat||. Misclassified examples get radius 0.
+linalg::Vector prediction_margins(const models::LinearModel& model,
+                                  const models::Dataset& data);
+
+/// Fraction of test examples whose prediction is both correct and survives
+/// every perturbation of norm <= epsilon, for each epsilon (a certified
+/// accuracy curve; equals models::adversarial_accuracy pointwise).
+std::vector<double> certified_accuracy_curve(const models::LinearModel& model,
+                                             const models::Dataset& data,
+                                             const std::vector<double>& epsilons);
+
+}  // namespace drel::dro

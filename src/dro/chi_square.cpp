@@ -1,0 +1,108 @@
+#include "dro/chi_square.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "models/erm_objective.hpp"
+#include "optim/scalar.hpp"
+
+namespace drel::dro {
+namespace {
+
+/// The dual integrand at fixed (lambda, eta).
+double dual_value(const linalg::Vector& losses, double rho, double lambda, double eta) {
+    double acc = 0.0;
+    for (const double l : losses) {
+        const double a = l - eta;
+        if (a >= -lambda) {
+            acc += a + a * a / (2.0 * lambda);
+        } else {
+            acc += -lambda / 2.0;
+        }
+    }
+    return lambda * rho + eta + acc / static_cast<double>(losses.size());
+}
+
+}  // namespace
+
+ChiSquareDualSolution solve_chi_square_dual(const linalg::Vector& losses, double rho) {
+    if (losses.empty()) throw std::invalid_argument("solve_chi_square_dual: empty losses");
+    if (!(rho >= 0.0)) throw std::invalid_argument("solve_chi_square_dual: rho must be >= 0");
+
+    const std::size_t n = losses.size();
+    ChiSquareDualSolution solution;
+    const double max_loss = *std::max_element(losses.begin(), losses.end());
+    const double min_loss = *std::min_element(losses.begin(), losses.end());
+
+    if (rho == 0.0 || max_loss - min_loss < 1e-14) {
+        solution.value = (rho == 0.0) ? linalg::sum(losses) / static_cast<double>(n) : max_loss;
+        solution.lambda = 0.0;
+        solution.eta = solution.value;
+        solution.weights = linalg::constant(n, 1.0 / static_cast<double>(n));
+        return solution;
+    }
+
+    const double spread = max_loss - min_loss;
+    // Inner minimization over eta for a fixed lambda (convex in eta).
+    auto inner = [&](double lambda, double* eta_out) {
+        const auto f_eta = [&](double eta) { return dual_value(losses, rho, lambda, eta); };
+        const auto r = optim::golden_section_minimize(
+            f_eta, min_loss - 2.0 * lambda - spread, max_loss + spread, 1e-10, 300);
+        if (eta_out) *eta_out = r.x;
+        return r.value;
+    };
+    // Outer minimization over lambda on a ray (convex by partial minimization).
+    const double lo = 1e-9 * std::max(1.0, spread);
+    const auto outer =
+        optim::minimize_convex_on_ray([&](double lambda) { return inner(lambda, nullptr); }, lo,
+                                      spread + 1.0, 1e-9, 400);
+    solution.lambda = outer.x;
+    solution.value = inner(solution.lambda, &solution.eta);
+
+    // Clipped linear tilt, renormalized against round-off.
+    solution.weights = linalg::Vector(n);
+    double total = 0.0;
+    for (std::size_t i = 0; i < n; ++i) {
+        solution.weights[i] =
+            std::max(0.0, 1.0 + (losses[i] - solution.eta) / solution.lambda) /
+            static_cast<double>(n);
+        total += solution.weights[i];
+    }
+    if (total > 0.0) {
+        for (double& w : solution.weights) w /= total;
+    } else {
+        solution.weights = linalg::constant(n, 1.0 / static_cast<double>(n));
+    }
+    return solution;
+}
+
+ChiSquareDroObjective::ChiSquareDroObjective(const models::Dataset& data,
+                                             const models::Loss& loss, double rho, double l2)
+    : data_(&data), loss_(&loss), rho_(rho), l2_(l2) {
+    if (data.empty()) throw std::invalid_argument("ChiSquareDroObjective: empty dataset");
+    if (!(rho >= 0.0)) throw std::invalid_argument("ChiSquareDroObjective: rho must be >= 0");
+    if (l2 < 0.0) throw std::invalid_argument("ChiSquareDroObjective: l2 must be >= 0");
+}
+
+std::size_t ChiSquareDroObjective::dim() const { return data_->dim(); }
+
+double ChiSquareDroObjective::eval(const linalg::Vector& theta, linalg::Vector* grad) const {
+    const linalg::Vector losses = models::per_example_losses(*data_, *loss_, theta);
+    const ChiSquareDualSolution dual = solve_chi_square_dual(losses, rho_);
+    double value = dual.value;
+    if (grad) {
+        *grad = linalg::zeros(dim());
+        for (std::size_t i = 0; i < data_->size(); ++i) {
+            if (dual.weights[i] == 0.0) continue;
+            models::add_example_gradient(*data_, *loss_, theta, i, dual.weights[i], *grad);
+        }
+    }
+    if (l2_ > 0.0) {
+        value += 0.5 * l2_ * linalg::dot(theta, theta);
+        if (grad) linalg::axpy(l2_, theta, *grad);
+    }
+    return value;
+}
+
+}  // namespace drel::dro

@@ -1,0 +1,87 @@
+#include "dro/group_dro.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "models/erm_objective.hpp"
+
+namespace drel::dro {
+
+GroupDroObjective::GroupDroObjective(const models::Dataset& data, const models::Loss& loss,
+                                     std::vector<std::size_t> groups, double smoothing,
+                                     double l2)
+    : data_(&data), loss_(&loss), smoothing_(smoothing), l2_(l2) {
+    if (data.empty()) throw std::invalid_argument("GroupDro: empty dataset");
+    if (groups.size() != data.size()) {
+        throw std::invalid_argument("GroupDro: group labels must match example count");
+    }
+    if (!(smoothing >= 0.0)) throw std::invalid_argument("GroupDro: smoothing must be >= 0");
+    if (l2 < 0.0) throw std::invalid_argument("GroupDro: l2 must be >= 0");
+    std::size_t num_groups = 0;
+    for (const std::size_t g : groups) num_groups = std::max(num_groups, g + 1);
+    group_members_.assign(num_groups, {});
+    for (std::size_t i = 0; i < groups.size(); ++i) group_members_[groups[i]].push_back(i);
+    for (std::size_t g = 0; g < num_groups; ++g) {
+        if (group_members_[g].empty()) {
+            throw std::invalid_argument("GroupDro: group " + std::to_string(g) + " is empty");
+        }
+    }
+}
+
+std::size_t GroupDroObjective::dim() const { return data_->dim(); }
+
+linalg::Vector GroupDroObjective::group_losses(const linalg::Vector& theta) const {
+    linalg::Vector losses(group_members_.size(), 0.0);
+    for (std::size_t g = 0; g < group_members_.size(); ++g) {
+        for (const std::size_t i : group_members_[g]) {
+            const double z = data_->label(i) * linalg::dot(theta, data_->feature_row(i));
+            losses[g] += loss_->phi(z);
+        }
+        losses[g] /= static_cast<double>(group_members_[g].size());
+    }
+    return losses;
+}
+
+std::size_t GroupDroObjective::worst_group(const linalg::Vector& theta) const {
+    return linalg::argmax(group_losses(theta));
+}
+
+double GroupDroObjective::eval(const linalg::Vector& theta, linalg::Vector* grad) const {
+    if (theta.size() != dim()) throw std::invalid_argument("GroupDro: dimension mismatch");
+    const linalg::Vector losses = group_losses(theta);
+
+    // Group mixture weights: one-hot argmax (hard) or softmax (smoothed).
+    linalg::Vector weights(losses.size(), 0.0);
+    double value = 0.0;
+    if (smoothing_ > 0.0) {
+        linalg::Vector scaled = losses;
+        linalg::scale(scaled, 1.0 / smoothing_);
+        const double lse = linalg::log_sum_exp(scaled);
+        value = smoothing_ * lse;   // >= max(losses); -> max as smoothing -> 0
+        for (std::size_t g = 0; g < losses.size(); ++g) {
+            weights[g] = std::exp(scaled[g] - lse);
+        }
+    } else {
+        const std::size_t g_star = linalg::argmax(losses);
+        value = losses[g_star];
+        weights[g_star] = 1.0;
+    }
+
+    if (grad) {
+        *grad = linalg::zeros(dim());
+        for (std::size_t g = 0; g < group_members_.size(); ++g) {
+            if (weights[g] == 0.0) continue;
+            const double coeff = weights[g] / static_cast<double>(group_members_[g].size());
+            for (const std::size_t i : group_members_[g]) {
+                models::add_example_gradient(*data_, *loss_, theta, i, coeff, *grad);
+            }
+        }
+    }
+    if (l2_ > 0.0) {
+        value += 0.5 * l2_ * linalg::dot(theta, theta);
+        if (grad) linalg::axpy(l2_, theta, *grad);
+    }
+    return value;
+}
+
+}  // namespace drel::dro

@@ -1,0 +1,50 @@
+// Group DRO (extension): worst-group risk minimization.
+//
+// When edge examples carry a group attribute (sensor placement, firmware
+// version, operating regime), average-risk training can quietly sacrifice a
+// small group. Group DRO minimizes the WORST per-group mean loss
+//
+//   max_{g in groups} (1/n_g) sum_{i in g} phi_i(theta)
+//
+// — a pointwise max of convex functions (convex), handled with the
+// active-group subgradient. A `smoothing` temperature > 0 swaps the hard
+// max for the log-sum-exp softmax bound (still an upper bound on the max,
+// and smooth), which trains more stably with quasi-Newton methods.
+#pragma once
+
+#include <vector>
+
+#include "models/dataset.hpp"
+#include "models/loss.hpp"
+#include "optim/objective.hpp"
+
+namespace drel::dro {
+
+class GroupDroObjective final : public optim::Objective {
+ public:
+    /// `groups[i]` is example i's group id in [0, num_groups); every group
+    /// must be non-empty.
+    GroupDroObjective(const models::Dataset& data, const models::Loss& loss,
+                      std::vector<std::size_t> groups, double smoothing = 0.0,
+                      double l2 = 0.0);
+
+    std::size_t dim() const override;
+    double eval(const linalg::Vector& theta, linalg::Vector* grad) const override;
+
+    std::size_t num_groups() const noexcept { return group_members_.size(); }
+
+    /// Per-group mean losses at theta (diagnostics).
+    linalg::Vector group_losses(const linalg::Vector& theta) const;
+
+    /// Index of the worst group at theta.
+    std::size_t worst_group(const linalg::Vector& theta) const;
+
+ private:
+    const models::Dataset* data_;
+    const models::Loss* loss_;
+    std::vector<std::vector<std::size_t>> group_members_;
+    double smoothing_;
+    double l2_;
+};
+
+}  // namespace drel::dro

@@ -1,0 +1,92 @@
+#include "dro/kl.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "models/erm_objective.hpp"
+#include "optim/scalar.hpp"
+
+namespace drel::dro {
+
+KlDualSolution solve_kl_dual(const linalg::Vector& losses, double rho) {
+    if (losses.empty()) throw std::invalid_argument("solve_kl_dual: empty losses");
+    if (!(rho >= 0.0)) throw std::invalid_argument("solve_kl_dual: rho must be >= 0");
+
+    const std::size_t n = losses.size();
+    KlDualSolution solution;
+    if (rho == 0.0) {
+        solution.value = linalg::sum(losses) / static_cast<double>(n);
+        solution.lambda = std::numeric_limits<double>::infinity();
+        solution.weights = linalg::constant(n, 1.0 / static_cast<double>(n));
+        return solution;
+    }
+
+    const double max_loss = *std::max_element(losses.begin(), losses.end());
+    const double min_loss = *std::min_element(losses.begin(), losses.end());
+    if (max_loss - min_loss < 1e-14) {
+        // Degenerate: every distribution in the ball has the same mean.
+        solution.value = max_loss;
+        solution.lambda = 0.0;
+        solution.weights = linalg::constant(n, 1.0 / static_cast<double>(n));
+        return solution;
+    }
+
+    // g(lambda) = lambda*rho + max + lambda*log (1/n) sum e^{(l_i-max)/lambda}
+    auto dual = [&](double lambda) {
+        double acc = 0.0;
+        for (const double l : losses) acc += std::exp((l - max_loss) / lambda);
+        return lambda * rho + max_loss + lambda * std::log(acc / static_cast<double>(n));
+    };
+
+    // As lambda -> 0 the dual tends to max_loss; as lambda -> inf it grows
+    // like lambda*rho. Minimize on a ray from (near) zero.
+    const double lo = 1e-8 * std::max(1.0, max_loss - min_loss);
+    const auto r = optim::minimize_convex_on_ray(dual, lo, (max_loss - min_loss) + 1.0, 1e-10,
+                                                 500);
+    solution.lambda = r.x;
+    // The sup can never exceed the largest per-example loss; clamp the tiny
+    // positive slack the numeric dual carries when the minimizer sits at the
+    // lambda -> 0 boundary (very large radii).
+    solution.value = std::min(r.value, max_loss);
+
+    // Exponential-tilt worst-case weights at the optimal temperature.
+    solution.weights = linalg::Vector(n);
+    double z = 0.0;
+    for (std::size_t i = 0; i < n; ++i) {
+        solution.weights[i] = std::exp((losses[i] - max_loss) / solution.lambda);
+        z += solution.weights[i];
+    }
+    for (double& w : solution.weights) w /= z;
+    return solution;
+}
+
+KlDroObjective::KlDroObjective(const models::Dataset& data, const models::Loss& loss,
+                               double rho, double l2)
+    : data_(&data), loss_(&loss), rho_(rho), l2_(l2) {
+    if (data.empty()) throw std::invalid_argument("KlDroObjective: empty dataset");
+    if (!(rho >= 0.0)) throw std::invalid_argument("KlDroObjective: rho must be >= 0");
+    if (l2 < 0.0) throw std::invalid_argument("KlDroObjective: l2 must be >= 0");
+}
+
+std::size_t KlDroObjective::dim() const { return data_->dim(); }
+
+double KlDroObjective::eval(const linalg::Vector& theta, linalg::Vector* grad) const {
+    const linalg::Vector losses = models::per_example_losses(*data_, *loss_, theta);
+    const KlDualSolution dual = solve_kl_dual(losses, rho_);
+    double value = dual.value;
+    if (grad) {
+        *grad = linalg::zeros(dim());
+        for (std::size_t i = 0; i < data_->size(); ++i) {
+            if (dual.weights[i] == 0.0) continue;
+            models::add_example_gradient(*data_, *loss_, theta, i, dual.weights[i], *grad);
+        }
+    }
+    if (l2_ > 0.0) {
+        value += 0.5 * l2_ * linalg::dot(theta, theta);
+        if (grad) linalg::axpy(l2_, theta, *grad);
+    }
+    return value;
+}
+
+}  // namespace drel::dro

@@ -1,0 +1,84 @@
+#include "dro/label_shift.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "models/erm_objective.hpp"
+
+namespace drel::dro {
+
+LabelShiftDroObjective::LabelShiftDroObjective(const models::Dataset& data,
+                                               const models::Loss& loss, double delta,
+                                               double l2)
+    : data_(&data), loss_(&loss), l2_(l2) {
+    if (data.empty()) throw std::invalid_argument("LabelShiftDro: empty dataset");
+    if (!(delta >= 0.0)) throw std::invalid_argument("LabelShiftDro: delta must be >= 0");
+    if (l2 < 0.0) throw std::invalid_argument("LabelShiftDro: l2 must be >= 0");
+    if (!loss.is_margin_loss()) {
+        throw std::invalid_argument("LabelShiftDro: requires a margin (classification) loss");
+    }
+    for (std::size_t i = 0; i < data.size(); ++i) {
+        if (data.label(i) > 0.0) ++n_positive_;
+    }
+    if (n_positive_ == 0 || n_positive_ == data.size()) {
+        throw std::invalid_argument("LabelShiftDro: need both classes present");
+    }
+    const double p_hat =
+        static_cast<double>(n_positive_) / static_cast<double>(data.size());
+    q_low_ = std::max(0.0, p_hat - delta);
+    q_high_ = std::min(1.0, p_hat + delta);
+}
+
+std::size_t LabelShiftDroObjective::dim() const { return data_->dim(); }
+
+double LabelShiftDroObjective::class_mean_loss(const linalg::Vector& theta, bool positive,
+                                               linalg::Vector* grad) const {
+    double total = 0.0;
+    std::size_t count = 0;
+    for (std::size_t i = 0; i < data_->size(); ++i) {
+        if ((data_->label(i) > 0.0) != positive) continue;
+        ++count;
+        const double z = data_->label(i) * linalg::dot(theta, data_->feature_row(i));
+        total += loss_->phi(z);
+    }
+    const double inv = 1.0 / static_cast<double>(count);
+    if (grad) {
+        *grad = linalg::zeros(dim());
+        for (std::size_t i = 0; i < data_->size(); ++i) {
+            if ((data_->label(i) > 0.0) != positive) continue;
+            models::add_example_gradient(*data_, *loss_, theta, i, inv, *grad);
+        }
+    }
+    return total * inv;
+}
+
+double LabelShiftDroObjective::eval(const linalg::Vector& theta, linalg::Vector* grad) const {
+    if (theta.size() != dim()) throw std::invalid_argument("LabelShiftDro: dim mismatch");
+    linalg::Vector grad_pos;
+    linalg::Vector grad_neg;
+    const double l_pos = class_mean_loss(theta, true, grad ? &grad_pos : nullptr);
+    const double l_neg = class_mean_loss(theta, false, grad ? &grad_neg : nullptr);
+
+    // Affine in q: the worst rate is the endpoint favoring the lossier class.
+    const double q = (l_pos >= l_neg) ? q_high_ : q_low_;
+    double value = q * l_pos + (1.0 - q) * l_neg;
+    if (grad) {
+        *grad = linalg::zeros(dim());
+        linalg::axpy(q, grad_pos, *grad);
+        linalg::axpy(1.0 - q, grad_neg, *grad);
+    }
+    if (l2_ > 0.0) {
+        value += 0.5 * l2_ * linalg::dot(theta, theta);
+        if (grad) linalg::axpy(l2_, theta, *grad);
+    }
+    return value;
+}
+
+double LabelShiftDroObjective::worst_positive_rate(const linalg::Vector& theta) const {
+    const double l_pos = class_mean_loss(theta, true, nullptr);
+    const double l_neg = class_mean_loss(theta, false, nullptr);
+    return (l_pos >= l_neg) ? q_high_ : q_low_;
+}
+
+}  // namespace drel::dro

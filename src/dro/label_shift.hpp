@@ -1,0 +1,53 @@
+// Label-shift ambiguity (extension): robustness to class-prior drift.
+//
+// Covariate-style balls (Wasserstein on features) cannot express "the
+// positive rate at deployment differs from the training sample" — the E5
+// label-shift scenario. Here the uncertainty set reweights the CLASS
+// MARGINAL: with L+(theta), L-(theta) the per-class mean losses and
+// empirical positive rate p_hat,
+//
+//   sup_{q in [max(0, p_hat - delta), min(1, p_hat + delta)]}
+//       q * L+(theta) + (1 - q) * L-(theta)
+//
+// The sup of an affine function of q sits at an endpoint, so the objective
+// is a max of two convex functions of theta — still convex, with the
+// active-endpoint subgradient. delta = 0 recovers the class-balanced
+// empirical risk at rate p_hat.
+#pragma once
+
+#include "models/dataset.hpp"
+#include "models/loss.hpp"
+#include "optim/objective.hpp"
+
+namespace drel::dro {
+
+class LabelShiftDroObjective final : public optim::Objective {
+ public:
+    /// `data` needs at least one example of each class; labels are -1/+1.
+    LabelShiftDroObjective(const models::Dataset& data, const models::Loss& loss,
+                           double delta, double l2 = 0.0);
+
+    std::size_t dim() const override;
+    double eval(const linalg::Vector& theta, linalg::Vector* grad) const override;
+
+    /// The positive-rate interval actually in force.
+    double q_low() const noexcept { return q_low_; }
+    double q_high() const noexcept { return q_high_; }
+
+    /// The adversarial positive rate at theta (the attaining endpoint).
+    double worst_positive_rate(const linalg::Vector& theta) const;
+
+ private:
+    /// Mean loss and (optionally) gradient over one class's examples.
+    double class_mean_loss(const linalg::Vector& theta, bool positive,
+                           linalg::Vector* grad) const;
+
+    const models::Dataset* data_;
+    const models::Loss* loss_;
+    double l2_;
+    double q_low_ = 0.0;
+    double q_high_ = 1.0;
+    std::size_t n_positive_ = 0;
+};
+
+}  // namespace drel::dro

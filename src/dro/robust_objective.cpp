@@ -1,0 +1,33 @@
+#include "dro/robust_objective.hpp"
+
+#include <stdexcept>
+
+#include "dro/chi_square.hpp"
+#include "dro/kl.hpp"
+#include "dro/wasserstein.hpp"
+#include "models/erm_objective.hpp"
+
+namespace drel::dro {
+
+std::unique_ptr<optim::Objective> make_robust_objective(const models::Dataset& data,
+                                                        const models::Loss& loss,
+                                                        const AmbiguitySet& set, double l2) {
+    switch (set.kind) {
+        case AmbiguityKind::kNone:
+            return std::make_unique<models::ErmObjective>(data, loss, l2);
+        case AmbiguityKind::kWasserstein:
+            return std::make_unique<WassersteinDroObjective>(data, loss, set.radius, l2);
+        case AmbiguityKind::kKl:
+            return std::make_unique<KlDroObjective>(data, loss, set.radius, l2);
+        case AmbiguityKind::kChiSquare:
+            return std::make_unique<ChiSquareDroObjective>(data, loss, set.radius, l2);
+    }
+    throw std::invalid_argument("make_robust_objective: unknown ambiguity kind");
+}
+
+double robust_loss(const linalg::Vector& theta, const models::Dataset& data,
+                   const models::Loss& loss, const AmbiguitySet& set) {
+    return make_robust_objective(data, loss, set, 0.0)->value(theta);
+}
+
+}  // namespace drel::dro

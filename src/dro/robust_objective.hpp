@@ -1,0 +1,32 @@
+// Unified worst-case-loss objective over any ambiguity set.
+//
+// make_robust_objective dispatches to the exact dual reformulation for the
+// chosen divergence; the result is always a convex optim::Objective (for a
+// convex margin loss), so every learner in the repository — the baselines
+// and the EM-DRO core — is solver-agnostic about which ambiguity set is in
+// force.
+#pragma once
+
+#include <memory>
+
+#include "dro/ambiguity.hpp"
+#include "models/dataset.hpp"
+#include "models/loss.hpp"
+#include "optim/objective.hpp"
+
+namespace drel::dro {
+
+/// Builds the dual reformulation of
+///   sup_{Q in B(set)} E_Q[loss(theta)] + (l2/2)||theta||^2
+/// as a single-layer objective. kNone yields plain ERM.
+/// The dataset and loss are borrowed and must outlive the objective.
+std::unique_ptr<optim::Objective> make_robust_objective(const models::Dataset& data,
+                                                        const models::Loss& loss,
+                                                        const AmbiguitySet& set,
+                                                        double l2 = 0.0);
+
+/// Convenience: the robust (worst-case) expected loss of a fixed theta.
+double robust_loss(const linalg::Vector& theta, const models::Dataset& data,
+                   const models::Loss& loss, const AmbiguitySet& set);
+
+}  // namespace drel::dro

@@ -1,0 +1,111 @@
+#include "dro/softmax_dro.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "dro/chi_square.hpp"
+#include "dro/kl.hpp"
+
+namespace drel::dro {
+namespace {
+
+std::size_t checked_label(double raw, std::size_t num_classes) {
+    const double rounded = std::nearbyint(raw);
+    if (rounded < 0.0 || rounded >= static_cast<double>(num_classes) ||
+        std::fabs(raw - rounded) > 1e-9) {
+        throw std::invalid_argument("softmax dro: labels must be integers in [0, C)");
+    }
+    return static_cast<std::size_t>(rounded);
+}
+
+}  // namespace
+
+SoftmaxFDivergenceObjective::SoftmaxFDivergenceObjective(const models::Dataset& data,
+                                                         std::size_t num_classes,
+                                                         AmbiguityKind kind, double rho,
+                                                         double l2)
+    : data_(&data), num_classes_(num_classes), kind_(kind), rho_(rho), l2_(l2) {
+    if (data.empty()) throw std::invalid_argument("SoftmaxFDivergence: empty dataset");
+    if (num_classes < 2) throw std::invalid_argument("SoftmaxFDivergence: need >= 2 classes");
+    if (!(rho >= 0.0)) throw std::invalid_argument("SoftmaxFDivergence: rho must be >= 0");
+    if (l2 < 0.0) throw std::invalid_argument("SoftmaxFDivergence: l2 must be >= 0");
+    if (kind != AmbiguityKind::kKl && kind != AmbiguityKind::kChiSquare) {
+        throw std::invalid_argument(
+            "SoftmaxFDivergence: supports kKl/kChiSquare only (use the Wasserstein or ERM "
+            "objectives otherwise)");
+    }
+}
+
+std::size_t SoftmaxFDivergenceObjective::dim() const {
+    return num_classes_ * data_->dim();
+}
+
+double SoftmaxFDivergenceObjective::eval(const linalg::Vector& stacked,
+                                         linalg::Vector* grad) const {
+    if (stacked.size() != dim()) {
+        throw std::invalid_argument("SoftmaxFDivergence: dimension mismatch");
+    }
+    const std::size_t n = data_->size();
+    const std::size_t d = data_->dim();
+    const models::SoftmaxModel model(num_classes_, stacked);
+
+    linalg::Vector losses(n);
+    std::vector<std::size_t> labels(n);
+    for (std::size_t i = 0; i < n; ++i) {
+        labels[i] = checked_label(data_->label(i), num_classes_);
+        losses[i] = model.example_loss(data_->feature_row(i), labels[i]);
+    }
+
+    linalg::Vector weights;
+    double value = 0.0;
+    if (kind_ == AmbiguityKind::kKl) {
+        const KlDualSolution dual = solve_kl_dual(losses, rho_);
+        value = dual.value;
+        weights = dual.weights;
+    } else {
+        const ChiSquareDualSolution dual = solve_chi_square_dual(losses, rho_);
+        value = dual.value;
+        weights = dual.weights;
+    }
+
+    if (grad) {
+        *grad = linalg::zeros(dim());
+        for (std::size_t i = 0; i < n; ++i) {
+            const double qi = weights[i];
+            if (qi == 0.0) continue;
+            const linalg::Vector xi = data_->feature_row(i);
+            const linalg::Vector p = model.probabilities(xi);
+            for (std::size_t c = 0; c < num_classes_; ++c) {
+                const double coeff = qi * (p[c] - (c == labels[i] ? 1.0 : 0.0));
+                if (coeff == 0.0) continue;
+                double* row = grad->data() + c * d;
+                for (std::size_t k = 0; k < d; ++k) row[k] += coeff * xi[k];
+            }
+        }
+    }
+    if (l2_ > 0.0) {
+        value += 0.5 * l2_ * linalg::dot(stacked, stacked);
+        if (grad) linalg::axpy(l2_, stacked, *grad);
+    }
+    return value;
+}
+
+std::unique_ptr<optim::Objective> make_softmax_robust_objective(const models::Dataset& data,
+                                                                std::size_t num_classes,
+                                                                const AmbiguitySet& set,
+                                                                double l2) {
+    switch (set.kind) {
+        case AmbiguityKind::kNone:
+            return std::make_unique<models::SoftmaxErmObjective>(data, num_classes, l2);
+        case AmbiguityKind::kWasserstein:
+            return std::make_unique<models::SoftmaxWassersteinObjective>(data, num_classes,
+                                                                         set.radius, l2);
+        case AmbiguityKind::kKl:
+        case AmbiguityKind::kChiSquare:
+            return std::make_unique<SoftmaxFDivergenceObjective>(data, num_classes, set.kind,
+                                                                 set.radius, l2);
+    }
+    throw std::invalid_argument("make_softmax_robust_objective: unknown ambiguity kind");
+}
+
+}  // namespace drel::dro

@@ -1,0 +1,47 @@
+// f-divergence DRO for the multiclass softmax model.
+//
+// The KL and chi-square duals (kl.hpp, chi_square.hpp) act on the vector of
+// per-example losses and never look inside the hypothesis class, so they
+// extend to softmax verbatim: evaluate the per-example cross-entropies,
+// solve the same 1-D dual, and push the worst-case weights into the
+// per-example gradients (Danskin). Together with
+// models::SoftmaxWassersteinObjective this completes the ambiguity-set menu
+// for the multiclass learner.
+#pragma once
+
+#include <memory>
+
+#include "dro/ambiguity.hpp"
+#include "models/dataset.hpp"
+#include "models/softmax.hpp"
+#include "optim/objective.hpp"
+
+namespace drel::dro {
+
+/// sup_{Q in B(kind, rho)} E_Q[softmax CE(theta)] + (l2/2)||theta||^2 over
+/// the stacked C x dim parameter. Supports kKl and kChiSquare (use
+/// models::SoftmaxWassersteinObjective for kWasserstein and
+/// models::SoftmaxErmObjective for kNone).
+class SoftmaxFDivergenceObjective final : public optim::Objective {
+ public:
+    SoftmaxFDivergenceObjective(const models::Dataset& data, std::size_t num_classes,
+                                AmbiguityKind kind, double rho, double l2 = 0.0);
+
+    std::size_t dim() const override;
+    double eval(const linalg::Vector& stacked, linalg::Vector* grad) const override;
+
+ private:
+    const models::Dataset* data_;
+    std::size_t num_classes_;
+    AmbiguityKind kind_;
+    double rho_;
+    double l2_;
+};
+
+/// Factory mirroring dro::make_robust_objective for the softmax class.
+std::unique_ptr<optim::Objective> make_softmax_robust_objective(const models::Dataset& data,
+                                                                std::size_t num_classes,
+                                                                const AmbiguitySet& set,
+                                                                double l2 = 0.0);
+
+}  // namespace drel::dro

@@ -1,0 +1,117 @@
+#include "dro/wasserstein.hpp"
+
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+#include "models/erm_objective.hpp"
+#include "optim/scalar.hpp"
+
+namespace drel::dro {
+
+std::size_t perturbable_dims(const models::Dataset& data) noexcept {
+    // Convention across the library: generated/bias-augmented datasets carry
+    // the constant-1 bias as their LAST column.
+    return data.dim() == 0 ? 0 : data.dim() - 1;
+}
+
+double feature_norm(const linalg::Vector& theta, std::size_t perturbable) {
+    if (perturbable > theta.size()) {
+        throw std::invalid_argument("feature_norm: perturbable exceeds dimension");
+    }
+    double acc = 0.0;
+    for (std::size_t i = 0; i < perturbable; ++i) acc += theta[i] * theta[i];
+    return std::sqrt(acc);
+}
+
+linalg::Vector feature_norm_subgradient(const linalg::Vector& theta, std::size_t perturbable) {
+    linalg::Vector g = linalg::zeros(theta.size());
+    const double n = feature_norm(theta, perturbable);
+    if (n < 1e-15) return g;  // subgradient 0 at the kink
+    for (std::size_t i = 0; i < perturbable; ++i) g[i] = theta[i] / n;
+    return g;
+}
+
+WassersteinDroObjective::WassersteinDroObjective(const models::Dataset& data,
+                                                 const models::Loss& loss, double rho,
+                                                 double l2)
+    : data_(&data), loss_(&loss), rho_(rho), l2_(l2), perturbable_(perturbable_dims(data)) {
+    if (data.empty()) throw std::invalid_argument("WassersteinDroObjective: empty dataset");
+    if (!(rho >= 0.0)) throw std::invalid_argument("WassersteinDroObjective: rho must be >= 0");
+    if (l2 < 0.0) throw std::invalid_argument("WassersteinDroObjective: l2 must be >= 0");
+    if (!loss.is_margin_loss()) {
+        throw std::invalid_argument(
+            "WassersteinDroObjective: requires a margin loss (closed form needs phi(y<w,x>))");
+    }
+    if (!std::isfinite(loss.lipschitz())) {
+        throw std::invalid_argument(
+            "WassersteinDroObjective: loss must have a finite Lipschitz constant");
+    }
+}
+
+std::size_t WassersteinDroObjective::dim() const { return data_->dim(); }
+
+double WassersteinDroObjective::eval(const linalg::Vector& theta, linalg::Vector* grad) const {
+    const models::ErmObjective erm(*data_, *loss_, l2_);
+    double value = erm.eval(theta, grad);
+    const double coeff = rho_ * loss_->lipschitz();
+    if (coeff > 0.0) {
+        value += coeff * feature_norm(theta, perturbable_);
+        if (grad) {
+            linalg::axpy(coeff, feature_norm_subgradient(theta, perturbable_), *grad);
+        }
+    }
+    return value;
+}
+
+double wasserstein_robust_value_numeric(const linalg::Vector& theta,
+                                        const models::Dataset& data, const models::Loss& loss,
+                                        double rho) {
+    if (!loss.is_margin_loss()) {
+        throw std::invalid_argument("wasserstein_robust_value_numeric: requires a margin loss");
+    }
+    if (!(rho >= 0.0)) {
+        throw std::invalid_argument("wasserstein_robust_value_numeric: rho must be >= 0");
+    }
+    const std::size_t perturbable = perturbable_dims(data);
+    const double tnorm = feature_norm(theta, perturbable);
+    const linalg::Vector margins = [&] {
+        linalg::Vector m(data.size());
+        for (std::size_t i = 0; i < data.size(); ++i) {
+            m[i] = data.label(i) * linalg::dot(theta, data.feature_row(i));
+        }
+        return m;
+    }();
+
+    if (tnorm < 1e-15 || rho == 0.0) {
+        double acc = 0.0;
+        for (const double m : margins) acc += loss.phi(m);
+        return acc / static_cast<double>(data.size());
+    }
+
+    const double lipschitz = loss.lipschitz();
+    // The dual objective is +inf for lambda < L*||theta_feat|| and
+    //   g(lambda) = lambda*rho + (1/n) sum_i sup_{s >= 0} [phi(m_i - s*tnorm) - lambda*s]
+    // above it; minimize on the ray starting just above the boundary.
+    auto dual = [&](double lambda) {
+        double acc = lambda * rho;
+        double sum = 0.0;
+        for (const double m : margins) {
+            // Inner sup over the transport distance s (concave in s).
+            const auto inner = [&](double s) { return -(loss.phi(m - s * tnorm) - lambda * s); };
+            // A generous bracket: beyond s_max the penalty dominates for
+            // lambda > L*tnorm.
+            const double s_max = std::fabs(m) / tnorm + 64.0 / std::max(tnorm, 1e-8) + 16.0;
+            const auto r = optim::golden_section_minimize(inner, 0.0, s_max, 1e-9, 300);
+            sum += -r.value;
+        }
+        return acc + sum / static_cast<double>(data.size());
+    };
+
+    const double lambda_lo = lipschitz * tnorm * (1.0 + 1e-9) + 1e-12;
+    const auto result = optim::minimize_convex_on_ray(dual, lambda_lo, lipschitz * tnorm + 1.0,
+                                                      1e-9, 600);
+    return result.value;
+}
+
+}  // namespace drel::dro

@@ -1,0 +1,120 @@
+#include "dro/worst_case.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "dro/chi_square.hpp"
+#include "dro/kl.hpp"
+#include "dro/wasserstein.hpp"
+#include "models/erm_objective.hpp"
+
+namespace drel::dro {
+namespace {
+
+/// Shifts example i's features by `distance` along the loss-increasing
+/// direction -y_i * theta_feat / ||theta_feat|| (margin losses).
+models::Dataset shift_examples(const models::Dataset& data, const linalg::Vector& theta,
+                               const linalg::Vector& per_example_distance) {
+    const std::size_t perturbable = perturbable_dims(data);
+    const double tnorm = feature_norm(theta, perturbable);
+    linalg::Matrix features(data.size(), data.dim());
+    for (std::size_t i = 0; i < data.size(); ++i) {
+        linalg::Vector x = data.feature_row(i);
+        if (tnorm > 1e-15 && per_example_distance[i] > 0.0) {
+            const double coeff = -data.label(i) * per_example_distance[i] / tnorm;
+            for (std::size_t c = 0; c < perturbable; ++c) x[c] += coeff * theta[c];
+        }
+        features.set_row(i, x);
+    }
+    return models::Dataset(std::move(features), data.labels());
+}
+
+double expected_loss(const linalg::Vector& theta, const models::Dataset& support,
+                     const models::Loss& loss, const linalg::Vector& weights) {
+    double acc = 0.0;
+    for (std::size_t i = 0; i < support.size(); ++i) {
+        const double score = linalg::dot(theta, support.feature_row(i));
+        const double l = loss.is_margin_loss() ? loss.phi(support.label(i) * score)
+                                               : loss.phi(support.label(i) - score);
+        acc += weights[i] * l;
+    }
+    return acc;
+}
+
+/// Wasserstein: the sup over transport plans is approached (for strictly
+/// saturating losses like logistic, not attained) in the limit of moving a
+/// vanishing mass infinitely far. We return the better of two *feasible*
+/// plans, so expected_loss is a valid lower witness of the dual value:
+///   (a) uniform: every example moves exactly rho;
+///   (b) concentrated: the whole budget n*rho moves the single example
+///       where it buys the largest loss increase.
+WorstCase wasserstein_worst_case(const linalg::Vector& theta, const models::Dataset& data,
+                                 const models::Loss& loss, double rho) {
+    if (!loss.is_margin_loss()) {
+        throw std::invalid_argument("worst_case_distribution: Wasserstein needs a margin loss");
+    }
+    const std::size_t n = data.size();
+    const std::size_t perturbable = perturbable_dims(data);
+    const double tnorm = feature_norm(theta, perturbable);
+    const linalg::Vector uniform_weights = linalg::constant(n, 1.0 / static_cast<double>(n));
+
+    // (a) uniform plan.
+    WorstCase uniform{shift_examples(data, theta, linalg::constant(n, rho)), uniform_weights,
+                      0.0};
+    uniform.expected_loss = expected_loss(theta, uniform.support, loss, uniform_weights);
+
+    // (b) concentrated plan.
+    const double full_budget = rho * static_cast<double>(n);
+    std::size_t best = 0;
+    double best_gain = -1.0;
+    for (std::size_t i = 0; i < n; ++i) {
+        const double m = data.label(i) * linalg::dot(theta, data.feature_row(i));
+        const double gain = loss.phi(m - full_budget * tnorm) - loss.phi(m);
+        if (gain > best_gain) {
+            best_gain = gain;
+            best = i;
+        }
+    }
+    linalg::Vector distances = linalg::zeros(n);
+    distances[best] = full_budget;
+    WorstCase concentrated{shift_examples(data, theta, distances), uniform_weights, 0.0};
+    concentrated.expected_loss =
+        expected_loss(theta, concentrated.support, loss, uniform_weights);
+
+    return concentrated.expected_loss > uniform.expected_loss ? std::move(concentrated)
+                                                              : std::move(uniform);
+}
+
+}  // namespace
+
+WorstCase worst_case_distribution(const linalg::Vector& theta, const models::Dataset& data,
+                                  const models::Loss& loss, const AmbiguitySet& set) {
+    if (data.empty()) throw std::invalid_argument("worst_case_distribution: empty dataset");
+    const std::size_t n = data.size();
+    switch (set.kind) {
+        case AmbiguityKind::kNone: {
+            WorstCase wc{data, linalg::constant(n, 1.0 / static_cast<double>(n)), 0.0};
+            wc.expected_loss = expected_loss(theta, wc.support, loss, wc.weights);
+            return wc;
+        }
+        case AmbiguityKind::kWasserstein:
+            return wasserstein_worst_case(theta, data, loss, set.radius);
+        case AmbiguityKind::kKl: {
+            const linalg::Vector losses = models::per_example_losses(data, loss, theta);
+            const KlDualSolution dual = solve_kl_dual(losses, set.radius);
+            WorstCase wc{data, dual.weights, 0.0};
+            wc.expected_loss = expected_loss(theta, data, loss, dual.weights);
+            return wc;
+        }
+        case AmbiguityKind::kChiSquare: {
+            const linalg::Vector losses = models::per_example_losses(data, loss, theta);
+            const ChiSquareDualSolution dual = solve_chi_square_dual(losses, set.radius);
+            WorstCase wc{data, dual.weights, 0.0};
+            wc.expected_loss = expected_loss(theta, data, loss, dual.weights);
+            return wc;
+        }
+    }
+    throw std::invalid_argument("worst_case_distribution: unknown ambiguity kind");
+}
+
+}  // namespace drel::dro

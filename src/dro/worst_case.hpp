@@ -1,0 +1,32 @@
+// Worst-case distribution extraction — the attaining Q* of each dual.
+//
+// Beyond diagnostics, these are the library's robustness certificates: the
+// tests check that E_{Q*}[loss] reproduces the dual's robust value (strong
+// duality holds with no gap), and the benches evaluate models against each
+// other's worst cases.
+#pragma once
+
+#include "dro/ambiguity.hpp"
+#include "linalg/vector_ops.hpp"
+#include "models/dataset.hpp"
+#include "models/loss.hpp"
+
+namespace drel::dro {
+
+struct WorstCase {
+    /// Perturbed support points (Wasserstein) or the original features (KL/chi2).
+    models::Dataset support;
+    /// Probability mass on each support point; sums to 1.
+    linalg::Vector weights;
+    /// E over (support, weights) of the loss — should equal the dual value.
+    double expected_loss = 0.0;
+};
+
+/// Computes the distribution attaining the sup for the given set. For
+/// Wasserstein (margin losses) the optimizer moves the budget onto the
+/// examples with the steepest local loss slope, shifting their features
+/// along -y * theta_feat / ||theta_feat||; for KL/chi-square it reweights.
+WorstCase worst_case_distribution(const linalg::Vector& theta, const models::Dataset& data,
+                                  const models::Loss& loss, const AmbiguitySet& set);
+
+}  // namespace drel::dro

@@ -1,0 +1,72 @@
+// CloudNode — the knowledge-distillation side of the system.
+//
+// Contributor devices upload their (plentiful) local datasets; the cloud
+// fits one model per contributor, runs DP mixture inference over the fitted
+// parameter vectors, and exports the truncated prior for transfer. This is
+// the paper's "cloud knowledge" pipeline end to end.
+#pragma once
+
+#include <vector>
+
+#include "dp/dpmm_gibbs.hpp"
+#include "dp/dpmm_nig.hpp"
+#include "dp/dpmm_variational.hpp"
+#include "dp/mixture_prior.hpp"
+#include "models/dataset.hpp"
+#include "models/loss.hpp"
+#include "stats/rng.hpp"
+
+namespace drel::edgesim {
+
+/// kGibbs: collapsed Gibbs with fixed within-cluster covariance Sw.
+/// kVariational: truncated stick-breaking CAVI, same likelihood model.
+/// kNigGibbs: collapsed Gibbs with per-cluster learned diagonal covariances
+///            (Normal-Inverse-Gamma) — use when device types have very
+///            different variability; within_scale is ignored.
+enum class PriorInference { kGibbs, kVariational, kNigGibbs };
+
+struct CloudConfig {
+    models::LossKind loss = models::LossKind::kLogistic;
+    double contributor_l2 = 1.0;      ///< ridge weight c (l2 = c/n) per contributor fit
+    double dp_alpha = 1.0;
+    PriorInference inference = PriorInference::kGibbs;
+    int gibbs_sweeps = 150;
+    std::size_t variational_truncation = 12;
+    /// Within-cluster spread Sw = within_scale * I. Covers both the device
+    /// population's within-mode variance and contributor estimation noise.
+    double within_scale = 0.25;
+    /// Base covariance S0 = base_scale * Cov(theta_hats) + jitter; scales
+    /// how permissive the "new device type" escape atom is.
+    double base_scale = 2.0;
+};
+
+class CloudNode {
+ public:
+    explicit CloudNode(CloudConfig config) : config_(std::move(config)) {}
+
+    const CloudConfig& config() const noexcept { return config_; }
+
+    /// Registers one contributor's dataset (bias column last).
+    void add_contributor_data(models::Dataset data);
+
+    std::size_t num_contributors() const noexcept { return contributor_data_.size(); }
+
+    /// Fits the per-contributor models (ridge ERM). Called by fit_prior()
+    /// if needed; exposed for inspection.
+    void fit_contributor_models();
+
+    const std::vector<linalg::Vector>& contributor_thetas() const noexcept {
+        return contributor_thetas_;
+    }
+
+    /// Runs DP mixture inference over the contributor thetas and returns
+    /// the transferable prior. Requires >= 2 contributors.
+    dp::MixturePrior fit_prior(stats::Rng& rng);
+
+ private:
+    CloudConfig config_;
+    std::vector<models::Dataset> contributor_data_;
+    std::vector<linalg::Vector> contributor_thetas_;
+};
+
+}  // namespace drel::edgesim

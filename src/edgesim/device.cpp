@@ -1,0 +1,44 @@
+#include "edgesim/device.hpp"
+
+#include <stdexcept>
+
+#include "edgesim/transfer.hpp"
+
+namespace drel::edgesim {
+
+EdgeDevice::EdgeDevice(std::string id, models::Dataset local_data,
+                       core::EdgeLearnerConfig config)
+    : id_(std::move(id)), local_data_(std::move(local_data)), config_(std::move(config)) {
+    if (local_data_.empty()) {
+        throw std::invalid_argument("EdgeDevice: local dataset must be non-empty");
+    }
+}
+
+std::size_t EdgeDevice::receive_prior(const std::vector<std::uint8_t>& encoded) {
+    dp::MixturePrior prior = decode_prior(encoded);
+    if (prior.dim() != local_data_.dim()) {
+        throw std::invalid_argument("EdgeDevice::receive_prior: prior/data dimension mismatch");
+    }
+    learner_.emplace(std::move(prior), config_);
+    bytes_received_ += encoded.size();
+    return encoded.size();
+}
+
+core::FitResult EdgeDevice::train() {
+    if (!learner_) {
+        throw std::logic_error("EdgeDevice::train: no prior received yet");
+    }
+    fit_ = learner_->fit(local_data_);
+    return *fit_;
+}
+
+double EdgeDevice::evaluate_accuracy(const models::Dataset& test) const {
+    return models::accuracy(model(), test);
+}
+
+const models::LinearModel& EdgeDevice::model() const {
+    if (!fit_) throw std::logic_error("EdgeDevice::model: train() has not been called");
+    return fit_->model;
+}
+
+}  // namespace drel::edgesim

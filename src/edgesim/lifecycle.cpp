@@ -1,0 +1,160 @@
+#include "edgesim/lifecycle.hpp"
+
+#include <stdexcept>
+
+#include "data/task_generator.hpp"
+#include "dp/dpmm_gibbs.hpp"
+#include "dp/prior_diagnostics.hpp"
+#include "edgesim/transfer.hpp"
+#include "models/erm_objective.hpp"
+#include "models/metrics.hpp"
+#include "optim/lbfgs.hpp"
+#include "stats/descriptive.hpp"
+
+namespace drel::edgesim {
+namespace {
+
+/// Ridge-ERM parameter fit (what contributors and feedback uploads use).
+linalg::Vector fit_theta(const models::Dataset& data, const models::Loss& loss) {
+    const double l2 = 1.0 / static_cast<double>(data.size());
+    const models::ErmObjective objective(data, loss, l2);
+    optim::LbfgsOptions options;
+    options.stopping.max_iterations = 300;
+    return optim::minimize_lbfgs(objective, linalg::zeros(data.dim()), options).x;
+}
+
+data::TaskPopulation population_with_modes(const std::vector<data::ParameterMode>& modes) {
+    return data::TaskPopulation(std::vector<data::ParameterMode>(modes));
+}
+
+}  // namespace
+
+LifecycleReport run_lifecycle(const LifecycleConfig& config, stats::Rng& rng) {
+    if (config.rounds == 0 || config.devices_per_round == 0) {
+        throw std::invalid_argument("run_lifecycle: rounds and devices_per_round must be > 0");
+    }
+    if (config.initial_contributors < 2) {
+        throw std::invalid_argument("run_lifecycle: need >= 2 initial contributors");
+    }
+
+    const auto loss = models::make_loss(config.learner.loss);
+    data::DataOptions options;
+    options.margin_scale = config.margin_scale;
+
+    // --- Population: initial modes now, one extra mode appears later. ---
+    stats::Rng pop_rng = rng.fork(1);
+    const data::TaskPopulation initial_population = data::TaskPopulation::make_synthetic(
+        config.feature_dim, config.initial_modes + 1, config.mode_radius,
+        config.within_mode_var, pop_rng);
+    // Reserve the LAST synthesized mode as the novel type; the pre-novel
+    // population exposes only the first `initial_modes`.
+    std::vector<data::ParameterMode> base_modes(
+        initial_population.modes().begin(),
+        initial_population.modes().begin() + static_cast<long>(config.initial_modes));
+    const data::ParameterMode novel_mode = initial_population.modes().back();
+    const data::TaskPopulation pre_population =
+        population_with_modes(base_modes);
+
+    // --- Cloud bootstrap: contributors from the pre-novel population. ---
+    stats::Rng contributor_rng = rng.fork(2);
+    std::vector<linalg::Vector> thetas;
+    for (std::size_t j = 0; j < config.initial_contributors; ++j) {
+        stats::Rng device_rng = contributor_rng.fork(j);
+        const data::TaskSpec task = pre_population.sample_task(device_rng);
+        thetas.push_back(fit_theta(
+            pre_population.generate(task, config.contributor_samples, device_rng, options),
+            *loss));
+    }
+    const std::size_t d = thetas.front().size();
+    dp::DpmmConfig dpmm;
+    dpmm.alpha = config.dp_alpha;
+    dpmm.base_mean = stats::mean_rows(thetas);
+    dpmm.base_covariance = stats::covariance_rows(thetas);
+    dpmm.base_covariance *= 2.0;
+    dpmm.base_covariance.add_diagonal(1e-6 + 0.01 * config.within_scale);
+    dpmm.within_covariance = linalg::Matrix::identity(d);
+    dpmm.within_covariance *= config.within_scale;
+    dpmm.num_sweeps = config.gibbs_sweeps;
+    dp::DpmmGibbs sampler(thetas, dpmm);
+    stats::Rng gibbs_rng = rng.fork(3);
+    sampler.run(gibbs_rng);
+
+    LifecycleReport report;
+    dp::MixturePrior broadcast_prior = sampler.extract_prior();
+    auto payload = encode_prior(broadcast_prior);
+    report.total_broadcast_bytes += payload.size();
+
+    // --- Rounds. ---
+    stats::Rng round_rng = rng.fork(4);
+    for (std::size_t round = 0; round < config.rounds; ++round) {
+        const bool novel_active = config.novel_mode_round >= 0 &&
+                                  round >= static_cast<std::size_t>(config.novel_mode_round);
+
+        LifecycleRound summary;
+        summary.round = round;
+        summary.prior_components = broadcast_prior.num_components();
+        if (round == 0) {
+            summary.rebroadcast = true;   // initial push
+            summary.broadcast_bytes = payload.size();
+        }
+
+        stats::RunningStats round_accuracy;
+        stats::RunningStats novel_accuracy;
+        std::vector<linalg::Vector> uploads;
+        for (std::size_t j = 0; j < config.devices_per_round; ++j) {
+            stats::Rng device_rng = round_rng.fork(round * 1000 + j);
+            // After the novel round, alternate novel-type devices in.
+            const bool is_novel = novel_active && (j % 2 == 0);
+            data::TaskSpec task;
+            if (is_novel) {
+                const stats::MultivariateNormal mode_dist(novel_mode.mean,
+                                                          novel_mode.covariance);
+                task.theta_star = mode_dist.sample(device_rng);
+                task.mode_index = config.initial_modes;  // the novel id
+            } else {
+                task = pre_population.sample_task(device_rng);
+            }
+            const models::Dataset train =
+                pre_population.generate(task, config.edge_samples, device_rng, options);
+            const models::Dataset test =
+                pre_population.generate(task, config.test_samples, device_rng, options);
+
+            const core::EdgeLearner learner(broadcast_prior, config.learner);
+            const double accuracy = models::accuracy(learner.fit(train).model, test);
+            round_accuracy.push(accuracy);
+            if (is_novel) novel_accuracy.push(accuracy);
+
+            if (config.feedback) {
+                uploads.push_back(fit_theta(train, *loss));
+                report.total_upload_bytes += d * sizeof(double);
+            }
+        }
+        summary.mean_accuracy = round_accuracy.mean();
+        if (novel_accuracy.count() > 0) summary.novel_mode_accuracy = novel_accuracy.mean();
+
+        // --- Cloud absorbs the uploads and decides about a re-push. ---
+        if (config.feedback && !uploads.empty()) {
+            stats::Rng update_rng = round_rng.fork(90000 + round);
+            for (auto& theta : uploads) {
+                sampler.add_observation(std::move(theta), update_rng,
+                                        config.refresh_sweeps_per_upload);
+            }
+            const dp::MixturePrior refreshed = sampler.extract_prior();
+            stats::Rng kl_rng = round_rng.fork(91000 + round);
+            const double drift = dp::symmetric_kl_estimate(refreshed, broadcast_prior,
+                                                           config.kl_samples, kl_rng);
+            if (drift > config.rebroadcast_kl_threshold) {
+                broadcast_prior = refreshed;
+                payload = encode_prior(broadcast_prior);
+                report.total_broadcast_bytes +=
+                    payload.size() * config.devices_per_round;  // push to next round's fleet
+                summary.rebroadcast = true;
+                summary.broadcast_bytes = payload.size();
+            }
+        }
+        report.rounds.push_back(summary);
+    }
+    return report;
+}
+
+}  // namespace drel::edgesim

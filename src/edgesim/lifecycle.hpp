@@ -1,0 +1,80 @@
+// Fleet lifecycle simulation (extension): the closed loop over rounds.
+//
+// The one-shot pipeline (simulation.hpp) broadcasts a prior once. Real
+// deployments live for years: new devices keep joining, their fitted models
+// flow BACK to the cloud, the cloud's DP posterior absorbs them online
+// (DpmmGibbs::add_observation), and the prior is re-broadcast when — and
+// only when — it has moved enough to justify the bytes (the symmetric-KL
+// trigger from dp/prior_diagnostics.hpp). The scenario that makes this loop
+// earn its keep: a NOVEL device type starts appearing mid-run. With
+// feedback, the nonparametric posterior opens a new cluster and later
+// devices of that type get a useful prior; without feedback they are stuck
+// with the escape atom forever.
+#pragma once
+
+#include <vector>
+
+#include "core/edge_learner.hpp"
+#include "edgesim/cloud.hpp"
+#include "stats/rng.hpp"
+
+namespace drel::edgesim {
+
+struct LifecycleConfig {
+    // Population.
+    std::size_t feature_dim = 8;
+    std::size_t initial_modes = 3;
+    double mode_radius = 2.5;
+    double within_mode_var = 0.05;
+    double margin_scale = 2.0;
+
+    // Cloud bootstrap.
+    std::size_t initial_contributors = 24;
+    std::size_t contributor_samples = 300;
+    double dp_alpha = 1.0;
+    int gibbs_sweeps = 60;
+    double within_scale = 0.25;
+
+    // Rounds.
+    std::size_t rounds = 8;
+    std::size_t devices_per_round = 8;
+    std::size_t edge_samples = 16;
+    std::size_t test_samples = 1500;
+
+    /// Round (0-based) at which a new device type joins the population;
+    /// negative = never. From that round on, half of each round's devices
+    /// are of the novel type.
+    int novel_mode_round = 3;
+
+    /// Devices upload their (ridge-fitted) parameters after training and the
+    /// cloud updates the prior online. false = static prior forever.
+    bool feedback = true;
+    int refresh_sweeps_per_upload = 3;
+
+    /// Re-broadcast when symmetric KL(new prior, last broadcast) exceeds
+    /// this; the check itself is cheap (Monte-Carlo with `kl_samples`).
+    double rebroadcast_kl_threshold = 0.05;
+    std::size_t kl_samples = 200;
+
+    core::EdgeLearnerConfig learner;
+};
+
+struct LifecycleRound {
+    std::size_t round = 0;
+    double mean_accuracy = 0.0;
+    /// Mean accuracy over this round's novel-type devices; -1 if none.
+    double novel_mode_accuracy = -1.0;
+    std::size_t prior_components = 0;
+    bool rebroadcast = false;
+    std::size_t broadcast_bytes = 0;   ///< bytes pushed this round (0 if no re-push)
+};
+
+struct LifecycleReport {
+    std::vector<LifecycleRound> rounds;
+    std::size_t total_broadcast_bytes = 0;
+    std::size_t total_upload_bytes = 0;   ///< device -> cloud theta uploads
+};
+
+LifecycleReport run_lifecycle(const LifecycleConfig& config, stats::Rng& rng);
+
+}  // namespace drel::edgesim

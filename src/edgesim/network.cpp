@@ -1,0 +1,77 @@
+#include "edgesim/network.hpp"
+
+#include <stdexcept>
+
+#include "edgesim/transfer.hpp"
+
+namespace drel::edgesim {
+namespace {
+
+bool prior_validates(const std::vector<std::uint8_t>& payload) {
+    try {
+        (void)decode_prior(payload);
+        return true;
+    } catch (const std::exception&) {
+        return false;
+    }
+}
+
+}  // namespace
+
+TransmissionReport transmit_with_retries(const std::vector<std::uint8_t>& payload,
+                                         const ChannelConfig& config, stats::Rng& rng,
+                                         bool (*validate)(const std::vector<std::uint8_t>&)) {
+    if (config.packet_bytes == 0) {
+        throw std::invalid_argument("transmit_with_retries: packet_bytes must be > 0");
+    }
+    if (config.max_transmissions < 1) {
+        throw std::invalid_argument("transmit_with_retries: max_transmissions must be >= 1");
+    }
+    if (validate == nullptr) {
+        throw std::invalid_argument("transmit_with_retries: validate must be non-null");
+    }
+
+    TransmissionReport report;
+    report.payload_bytes = payload.size();
+
+    for (int attempt = 0; attempt < config.max_transmissions; ++attempt) {
+        ++report.attempts;
+        report.transmitted_bytes += payload.size();
+
+        std::vector<std::uint8_t> received;
+        received.reserve(payload.size());
+        bool any_drop = false;
+        for (std::size_t offset = 0; offset < payload.size(); offset += config.packet_bytes) {
+            const std::size_t end = std::min(offset + config.packet_bytes, payload.size());
+            if (config.packet_loss_prob > 0.0 && rng.uniform() < config.packet_loss_prob) {
+                ++report.dropped_packets;
+                any_drop = true;
+                continue;  // packet vanishes; receiver sees a short payload
+            }
+            for (std::size_t i = offset; i < end; ++i) {
+                std::uint8_t byte = payload[i];
+                if (config.bit_flip_prob > 0.0 && rng.uniform() < config.bit_flip_prob) {
+                    byte ^= static_cast<std::uint8_t>(1u << rng.uniform_index(8));
+                }
+                received.push_back(byte);
+            }
+        }
+
+        if (!any_drop && received.size() == payload.size() && validate(received)) {
+            report.delivered = true;
+            report.payload = std::move(received);
+            return report;
+        }
+        if (!any_drop && received.size() == payload.size()) {
+            ++report.corrupted_attempts;  // intact length but failed validation
+        }
+    }
+    return report;
+}
+
+TransmissionReport transmit_prior(const std::vector<std::uint8_t>& encoded_prior,
+                                  const ChannelConfig& config, stats::Rng& rng) {
+    return transmit_with_retries(encoded_prior, config, rng, &prior_validates);
+}
+
+}  // namespace drel::edgesim

@@ -1,0 +1,49 @@
+// Lossy-channel simulation for the cloud->edge broadcast (extension).
+//
+// Real edge links drop and corrupt packets. This module models the prior
+// broadcast over an unreliable channel with per-packet loss and bit-flip
+// probabilities plus an ack/retransmit loop, and measures what the
+// deployment pays: transmitted bytes (including retransmissions) and whether
+// the payload finally validated. The receiver-side integrity check is the
+// wire format's own strict decoder (transfer.hpp) — a corrupted payload
+// raises, triggering retransmission, so a device can never install a
+// garbled prior.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "stats/rng.hpp"
+
+namespace drel::edgesim {
+
+struct ChannelConfig {
+    std::size_t packet_bytes = 256;     ///< MTU-style fragmentation unit
+    double packet_loss_prob = 0.0;      ///< whole-packet drop probability
+    double bit_flip_prob = 0.0;         ///< per-BYTE corruption probability
+    int max_transmissions = 10;         ///< attempts before giving up
+};
+
+struct TransmissionReport {
+    bool delivered = false;             ///< payload eventually validated
+    int attempts = 0;                   ///< full-payload transmissions
+    std::size_t payload_bytes = 0;
+    std::size_t transmitted_bytes = 0;  ///< includes every retransmission
+    std::size_t corrupted_attempts = 0; ///< payloads rejected by validation
+    std::size_t dropped_packets = 0;
+    std::vector<std::uint8_t> payload;  ///< the delivered bytes (if any)
+};
+
+/// Pushes `payload` through the channel until a transmission arrives intact
+/// (every packet delivered, no byte corrupted, and `validate` accepts it) or
+/// attempts run out. `validate` should decode the payload and return false
+/// on any exception — see transmit_prior below for the canonical use.
+TransmissionReport transmit_with_retries(const std::vector<std::uint8_t>& payload,
+                                         const ChannelConfig& config, stats::Rng& rng,
+                                         bool (*validate)(const std::vector<std::uint8_t>&));
+
+/// Convenience: transmits an encoded prior, validating with decode_prior.
+TransmissionReport transmit_prior(const std::vector<std::uint8_t>& encoded_prior,
+                                  const ChannelConfig& config, stats::Rng& rng);
+
+}  // namespace drel::edgesim

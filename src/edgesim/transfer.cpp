@@ -1,0 +1,162 @@
+#include "edgesim/transfer.hpp"
+
+#include <cstring>
+#include <stdexcept>
+
+#include "linalg/matrix.hpp"
+
+namespace drel::edgesim {
+namespace {
+
+constexpr char kMagic[8] = {'D', 'R', 'E', 'L', 'P', 'R', 'I', 'O'};
+constexpr std::uint32_t kVersion = 1;
+constexpr std::uint32_t kFlagFloat32 = 1u << 0;
+constexpr std::uint32_t kFlagDiagonalOnly = 1u << 1;
+
+class Writer {
+ public:
+    explicit Writer(std::vector<std::uint8_t>& buffer) : buffer_(buffer) {}
+
+    template <typename T>
+    void put(T value) {
+        std::uint8_t raw[sizeof(T)];
+        std::memcpy(raw, &value, sizeof(T));
+        buffer_.insert(buffer_.end(), raw, raw + sizeof(T));
+    }
+
+    void put_scalar(double value, bool as_float32) {
+        if (as_float32) {
+            put(static_cast<float>(value));
+        } else {
+            put(value);
+        }
+    }
+
+ private:
+    std::vector<std::uint8_t>& buffer_;
+};
+
+class Reader {
+ public:
+    explicit Reader(const std::vector<std::uint8_t>& buffer) : buffer_(buffer) {}
+
+    template <typename T>
+    T get() {
+        if (offset_ + sizeof(T) > buffer_.size()) {
+            throw std::invalid_argument("decode_prior: truncated buffer");
+        }
+        T value;
+        std::memcpy(&value, buffer_.data() + offset_, sizeof(T));
+        offset_ += sizeof(T);
+        return value;
+    }
+
+    double get_scalar(bool as_float32) {
+        return as_float32 ? static_cast<double>(get<float>()) : get<double>();
+    }
+
+    bool exhausted() const noexcept { return offset_ == buffer_.size(); }
+
+ private:
+    const std::vector<std::uint8_t>& buffer_;
+    std::size_t offset_ = 0;
+};
+
+}  // namespace
+
+std::size_t encoded_size(std::size_t num_components, std::size_t dim,
+                         const EncodingOptions& options) {
+    const std::size_t scalar = options.use_float32 ? 4 : 8;
+    const std::size_t cov_entries =
+        options.diagonal_only ? dim : dim * (dim + 1) / 2;
+    const std::size_t per_atom = 8 /*weight f64*/ + dim * scalar + cov_entries * scalar;
+    return 8 /*magic*/ + 4 * 4 /*version, flags, K, dim*/ + num_components * per_atom;
+}
+
+std::vector<std::uint8_t> encode_prior(const dp::MixturePrior& prior,
+                                       const EncodingOptions& options) {
+    std::vector<std::uint8_t> buffer;
+    buffer.reserve(encoded_size(prior.num_components(), prior.dim(), options));
+    Writer w(buffer);
+    buffer.insert(buffer.end(), kMagic, kMagic + 8);
+    w.put(kVersion);
+    std::uint32_t flags = 0;
+    if (options.use_float32) flags |= kFlagFloat32;
+    if (options.diagonal_only) flags |= kFlagDiagonalOnly;
+    w.put(flags);
+    w.put(static_cast<std::uint32_t>(prior.num_components()));
+    w.put(static_cast<std::uint32_t>(prior.dim()));
+
+    const std::size_t d = prior.dim();
+    for (std::size_t k = 0; k < prior.num_components(); ++k) {
+        w.put(prior.weights()[k]);
+        const auto& atom = prior.atom(k);
+        for (std::size_t i = 0; i < d; ++i) w.put_scalar(atom.mean()[i], options.use_float32);
+        const linalg::Matrix& cov = atom.covariance();
+        if (options.diagonal_only) {
+            for (std::size_t i = 0; i < d; ++i) w.put_scalar(cov(i, i), options.use_float32);
+        } else {
+            for (std::size_t r = 0; r < d; ++r) {
+                for (std::size_t c = 0; c <= r; ++c) {
+                    w.put_scalar(cov(r, c), options.use_float32);
+                }
+            }
+        }
+    }
+    return buffer;
+}
+
+dp::MixturePrior decode_prior(const std::vector<std::uint8_t>& buffer) {
+    if (buffer.size() < 8 || std::memcmp(buffer.data(), kMagic, 8) != 0) {
+        throw std::invalid_argument("decode_prior: bad magic");
+    }
+    Reader r(buffer);
+    for (int i = 0; i < 8; ++i) (void)r.get<std::uint8_t>();  // skip magic
+    const std::uint32_t version = r.get<std::uint32_t>();
+    if (version != kVersion) {
+        throw std::invalid_argument("decode_prior: unsupported version " +
+                                    std::to_string(version));
+    }
+    const std::uint32_t flags = r.get<std::uint32_t>();
+    if ((flags & ~(kFlagFloat32 | kFlagDiagonalOnly)) != 0) {
+        throw std::invalid_argument("decode_prior: unknown flags");
+    }
+    const bool float32 = (flags & kFlagFloat32) != 0;
+    const bool diagonal = (flags & kFlagDiagonalOnly) != 0;
+    const std::uint32_t num_components = r.get<std::uint32_t>();
+    const std::uint32_t dim = r.get<std::uint32_t>();
+    if (num_components == 0 || num_components > 100000 || dim == 0 || dim > 100000) {
+        throw std::invalid_argument("decode_prior: implausible header counts");
+    }
+
+    linalg::Vector weights(num_components);
+    std::vector<stats::MultivariateNormal> atoms;
+    atoms.reserve(num_components);
+    for (std::uint32_t k = 0; k < num_components; ++k) {
+        weights[k] = r.get<double>();
+        if (!(weights[k] > 0.0)) {
+            throw std::invalid_argument("decode_prior: non-positive weight");
+        }
+        linalg::Vector mean(dim);
+        for (std::uint32_t i = 0; i < dim; ++i) mean[i] = r.get_scalar(float32);
+        linalg::Matrix cov(dim, dim);
+        if (diagonal) {
+            for (std::uint32_t i = 0; i < dim; ++i) cov(i, i) = r.get_scalar(float32);
+        } else {
+            for (std::uint32_t row = 0; row < dim; ++row) {
+                for (std::uint32_t col = 0; col <= row; ++col) {
+                    const double v = r.get_scalar(float32);
+                    cov(row, col) = v;
+                    cov(col, row) = v;
+                }
+            }
+        }
+        atoms.emplace_back(std::move(mean), std::move(cov));
+    }
+    if (!r.exhausted()) {
+        throw std::invalid_argument("decode_prior: trailing bytes");
+    }
+    return dp::MixturePrior(std::move(weights), std::move(atoms));
+}
+
+}  // namespace drel::edgesim

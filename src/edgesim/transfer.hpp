@@ -1,0 +1,40 @@
+// Cloud -> edge knowledge-transfer wire format.
+//
+// The transferred knowledge is a truncated DP prior: K weighted Gaussian
+// atoms over the theta space. The encoding is a little-endian binary layout:
+//
+//   magic "DRELPRIO" (8 bytes) | version u32 | flags u32 | K u32 | dim u32
+//   then per atom: weight f64 | mean dim x f64-or-f32
+//                  | covariance payload (full lower triangle or diagonal)
+//
+// Flags select two size/fidelity trade-offs the communication benches sweep:
+//   kFloat32      — 4-byte scalars for means/covariances (weights stay f64)
+//   kDiagonalOnly — ship only diag(Sigma_k), reconstructing diagonal atoms
+//
+// Decoding validates magic, version, flags and buffer length and throws
+// std::invalid_argument on any malformed input (the fuzz-ish tests feed
+// truncated and bit-flipped buffers).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "dp/mixture_prior.hpp"
+
+namespace drel::edgesim {
+
+struct EncodingOptions {
+    bool use_float32 = false;
+    bool diagonal_only = false;
+};
+
+std::vector<std::uint8_t> encode_prior(const dp::MixturePrior& prior,
+                                       const EncodingOptions& options = {});
+
+dp::MixturePrior decode_prior(const std::vector<std::uint8_t>& buffer);
+
+/// Exact size in bytes that encode_prior would produce.
+std::size_t encoded_size(std::size_t num_components, std::size_t dim,
+                         const EncodingOptions& options);
+
+}  // namespace drel::edgesim

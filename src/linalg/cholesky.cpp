@@ -1,0 +1,99 @@
+#include "linalg/cholesky.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace drel::linalg {
+
+std::optional<Matrix> Cholesky::factor_impl(const Matrix& a) {
+    if (!a.is_square()) throw std::invalid_argument("Cholesky: matrix must be square");
+    const std::size_t n = a.rows();
+    Matrix l(n, n);
+    for (std::size_t j = 0; j < n; ++j) {
+        double diag = a(j, j);
+        for (std::size_t k = 0; k < j; ++k) diag -= l(j, k) * l(j, k);
+        if (!(diag > 0.0) || !std::isfinite(diag)) return std::nullopt;
+        const double ljj = std::sqrt(diag);
+        l(j, j) = ljj;
+        for (std::size_t i = j + 1; i < n; ++i) {
+            double acc = a(i, j);
+            for (std::size_t k = 0; k < j; ++k) acc -= l(i, k) * l(j, k);
+            l(i, j) = acc / ljj;
+        }
+    }
+    return l;
+}
+
+Cholesky::Cholesky(const Matrix& a) : l_(0, 0) {
+    auto l = factor_impl(a);
+    if (!l) throw std::invalid_argument("Cholesky: matrix is not positive definite");
+    l_ = std::move(*l);
+}
+
+std::optional<Cholesky> Cholesky::try_factor(const Matrix& a) {
+    auto l = factor_impl(a);
+    if (!l) return std::nullopt;
+    return Cholesky(Unchecked{}, std::move(*l));
+}
+
+Cholesky Cholesky::factor_with_jitter(Matrix a, double initial_jitter, int max_tries) {
+    if (auto c = try_factor(a)) return std::move(*c);
+    double jitter = initial_jitter;
+    for (int attempt = 0; attempt < max_tries; ++attempt) {
+        Matrix damped = a;
+        damped.add_diagonal(jitter);
+        if (auto c = try_factor(damped)) return std::move(*c);
+        jitter *= 10.0;
+    }
+    throw std::invalid_argument("Cholesky: matrix not PD even after jittering");
+}
+
+Vector Cholesky::solve_lower(const Vector& b) const {
+    const std::size_t n = dim();
+    if (b.size() != n) throw std::invalid_argument("Cholesky::solve_lower: dimension mismatch");
+    Vector y(n);
+    for (std::size_t i = 0; i < n; ++i) {
+        double acc = b[i];
+        for (std::size_t k = 0; k < i; ++k) acc -= l_(i, k) * y[k];
+        y[i] = acc / l_(i, i);
+    }
+    return y;
+}
+
+Vector Cholesky::solve_upper(const Vector& y) const {
+    const std::size_t n = dim();
+    if (y.size() != n) throw std::invalid_argument("Cholesky::solve_upper: dimension mismatch");
+    Vector x(n);
+    for (std::size_t ii = n; ii-- > 0;) {
+        double acc = y[ii];
+        for (std::size_t k = ii + 1; k < n; ++k) acc -= l_(k, ii) * x[k];
+        x[ii] = acc / l_(ii, ii);
+    }
+    return x;
+}
+
+Vector Cholesky::solve(const Vector& b) const { return solve_upper(solve_lower(b)); }
+
+double Cholesky::log_det() const {
+    double acc = 0.0;
+    for (std::size_t i = 0; i < dim(); ++i) acc += std::log(l_(i, i));
+    return 2.0 * acc;
+}
+
+double Cholesky::quad_form_inv(const Vector& x) const {
+    // xᵀ A⁻¹ x = ||L⁻¹ x||² — one triangular solve, no full inverse.
+    const Vector y = solve_lower(x);
+    return dot(y, y);
+}
+
+Matrix Cholesky::inverse() const {
+    const std::size_t n = dim();
+    Matrix inv(n, n);
+    for (std::size_t c = 0; c < n; ++c) {
+        const Vector col = solve(unit(n, c));
+        for (std::size_t r = 0; r < n; ++r) inv(r, c) = col[r];
+    }
+    return inv;
+}
+
+}  // namespace drel::linalg

@@ -1,0 +1,94 @@
+#include "linalg/eigen_sym.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <stdexcept>
+
+namespace drel::linalg {
+
+EigenSym eigen_sym(const Matrix& input, int max_sweeps) {
+    if (!input.is_square()) throw std::invalid_argument("eigen_sym: matrix must be square");
+    const std::size_t n = input.rows();
+
+    // Symmetrize to absorb round-off asymmetry.
+    Matrix a(n, n);
+    for (std::size_t r = 0; r < n; ++r) {
+        for (std::size_t c = 0; c < n; ++c) a(r, c) = 0.5 * (input(r, c) + input(c, r));
+    }
+    Matrix v = Matrix::identity(n);
+
+    for (int sweep = 0; sweep < max_sweeps; ++sweep) {
+        double off = 0.0;
+        for (std::size_t r = 0; r < n; ++r) {
+            for (std::size_t c = r + 1; c < n; ++c) off += a(r, c) * a(r, c);
+        }
+        if (off < 1e-24) break;
+
+        for (std::size_t p = 0; p < n; ++p) {
+            for (std::size_t q = p + 1; q < n; ++q) {
+                const double apq = a(p, q);
+                if (std::fabs(apq) < 1e-300) continue;
+                const double app = a(p, p);
+                const double aqq = a(q, q);
+                const double tau = (aqq - app) / (2.0 * apq);
+                const double t = (tau >= 0.0)
+                                     ? 1.0 / (tau + std::sqrt(1.0 + tau * tau))
+                                     : -1.0 / (-tau + std::sqrt(1.0 + tau * tau));
+                const double cth = 1.0 / std::sqrt(1.0 + t * t);
+                const double sth = t * cth;
+
+                for (std::size_t k = 0; k < n; ++k) {
+                    const double akp = a(k, p);
+                    const double akq = a(k, q);
+                    a(k, p) = cth * akp - sth * akq;
+                    a(k, q) = sth * akp + cth * akq;
+                }
+                for (std::size_t k = 0; k < n; ++k) {
+                    const double apk = a(p, k);
+                    const double aqk = a(q, k);
+                    a(p, k) = cth * apk - sth * aqk;
+                    a(q, k) = sth * apk + cth * aqk;
+                }
+                for (std::size_t k = 0; k < n; ++k) {
+                    const double vkp = v(k, p);
+                    const double vkq = v(k, q);
+                    v(k, p) = cth * vkp - sth * vkq;
+                    v(k, q) = sth * vkp + cth * vkq;
+                }
+            }
+        }
+    }
+
+    // Sort ascending by eigenvalue, permuting eigenvector columns to match.
+    std::vector<std::size_t> order(n);
+    std::iota(order.begin(), order.end(), std::size_t{0});
+    std::sort(order.begin(), order.end(),
+              [&](std::size_t i, std::size_t j) { return a(i, i) < a(j, j); });
+
+    EigenSym out{Vector(n), Matrix(n, n)};
+    for (std::size_t k = 0; k < n; ++k) {
+        out.values[k] = a(order[k], order[k]);
+        for (std::size_t r = 0; r < n; ++r) out.vectors(r, k) = v(r, order[k]);
+    }
+    return out;
+}
+
+Matrix sqrt_psd(const Matrix& a, double tol) {
+    const EigenSym es = eigen_sym(a);
+    const std::size_t n = a.rows();
+    for (const double lambda : es.values) {
+        if (lambda < -tol) throw std::invalid_argument("sqrt_psd: matrix is not PSD");
+    }
+    // B = V diag(sqrt(max(lambda,0))) Vᵀ
+    Matrix scaled = es.vectors;
+    for (std::size_t c = 0; c < n; ++c) {
+        const double s = std::sqrt(std::max(0.0, es.values[c]));
+        for (std::size_t r = 0; r < n; ++r) scaled(r, c) *= s;
+    }
+    return scaled.matmul(es.vectors.transposed());
+}
+
+double min_eigenvalue(const Matrix& a) { return eigen_sym(a).values.front(); }
+
+}  // namespace drel::linalg

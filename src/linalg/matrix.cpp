@@ -1,0 +1,176 @@
+#include "linalg/matrix.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace drel::linalg {
+namespace {
+
+[[noreturn]] void shape_error(const char* op) {
+    throw std::invalid_argument(std::string("Matrix::") + op + ": shape mismatch");
+}
+
+}  // namespace
+
+Matrix::Matrix(std::size_t rows, std::size_t cols, double fill)
+    : rows_(rows), cols_(cols), data_(rows * cols, fill) {}
+
+Matrix::Matrix(std::size_t rows, std::size_t cols, std::vector<double> data)
+    : rows_(rows), cols_(cols), data_(std::move(data)) {
+    if (data_.size() != rows_ * cols_) {
+        throw std::invalid_argument("Matrix: data size does not match rows*cols");
+    }
+}
+
+Matrix Matrix::identity(std::size_t n) {
+    Matrix out(n, n);
+    for (std::size_t i = 0; i < n; ++i) out(i, i) = 1.0;
+    return out;
+}
+
+Matrix Matrix::diagonal(const Vector& d) {
+    Matrix out(d.size(), d.size());
+    for (std::size_t i = 0; i < d.size(); ++i) out(i, i) = d[i];
+    return out;
+}
+
+Matrix Matrix::outer(const Vector& x, const Vector& y) {
+    Matrix out(x.size(), y.size());
+    for (std::size_t r = 0; r < x.size(); ++r) {
+        for (std::size_t c = 0; c < y.size(); ++c) out(r, c) = x[r] * y[c];
+    }
+    return out;
+}
+
+double& Matrix::at(std::size_t r, std::size_t c) {
+    if (r >= rows_ || c >= cols_) throw std::out_of_range("Matrix::at: index out of range");
+    return (*this)(r, c);
+}
+
+double Matrix::at(std::size_t r, std::size_t c) const {
+    if (r >= rows_ || c >= cols_) throw std::out_of_range("Matrix::at: index out of range");
+    return (*this)(r, c);
+}
+
+Vector Matrix::row(std::size_t r) const {
+    if (r >= rows_) throw std::out_of_range("Matrix::row: index out of range");
+    return Vector(data_.begin() + static_cast<std::ptrdiff_t>(r * cols_),
+                  data_.begin() + static_cast<std::ptrdiff_t>((r + 1) * cols_));
+}
+
+Vector Matrix::col(std::size_t c) const {
+    if (c >= cols_) throw std::out_of_range("Matrix::col: index out of range");
+    Vector out(rows_);
+    for (std::size_t r = 0; r < rows_; ++r) out[r] = (*this)(r, c);
+    return out;
+}
+
+void Matrix::set_row(std::size_t r, const Vector& v) {
+    if (r >= rows_) throw std::out_of_range("Matrix::set_row: index out of range");
+    if (v.size() != cols_) shape_error("set_row");
+    for (std::size_t c = 0; c < cols_; ++c) (*this)(r, c) = v[c];
+}
+
+Matrix Matrix::transposed() const {
+    Matrix out(cols_, rows_);
+    for (std::size_t r = 0; r < rows_; ++r) {
+        for (std::size_t c = 0; c < cols_; ++c) out(c, r) = (*this)(r, c);
+    }
+    return out;
+}
+
+Vector Matrix::matvec(const Vector& x) const {
+    if (x.size() != cols_) shape_error("matvec");
+    Vector out(rows_, 0.0);
+    for (std::size_t r = 0; r < rows_; ++r) {
+        double acc = 0.0;
+        const double* row_ptr = data_.data() + r * cols_;
+        for (std::size_t c = 0; c < cols_; ++c) acc += row_ptr[c] * x[c];
+        out[r] = acc;
+    }
+    return out;
+}
+
+Vector Matrix::matvec_transposed(const Vector& x) const {
+    if (x.size() != rows_) shape_error("matvec_transposed");
+    Vector out(cols_, 0.0);
+    for (std::size_t r = 0; r < rows_; ++r) {
+        const double xr = x[r];
+        if (xr == 0.0) continue;
+        const double* row_ptr = data_.data() + r * cols_;
+        for (std::size_t c = 0; c < cols_; ++c) out[c] += xr * row_ptr[c];
+    }
+    return out;
+}
+
+Matrix Matrix::matmul(const Matrix& other) const {
+    if (cols_ != other.rows_) shape_error("matmul");
+    Matrix out(rows_, other.cols_);
+    // ikj loop order keeps the inner loop contiguous in both `other` and `out`.
+    for (std::size_t i = 0; i < rows_; ++i) {
+        for (std::size_t k = 0; k < cols_; ++k) {
+            const double aik = (*this)(i, k);
+            if (aik == 0.0) continue;
+            const double* b_row = other.data_.data() + k * other.cols_;
+            double* o_row = out.data_.data() + i * out.cols_;
+            for (std::size_t j = 0; j < other.cols_; ++j) o_row[j] += aik * b_row[j];
+        }
+    }
+    return out;
+}
+
+Matrix& Matrix::operator+=(const Matrix& other) {
+    if (!same_shape(other)) shape_error("operator+=");
+    for (std::size_t i = 0; i < data_.size(); ++i) data_[i] += other.data_[i];
+    return *this;
+}
+
+Matrix& Matrix::operator-=(const Matrix& other) {
+    if (!same_shape(other)) shape_error("operator-=");
+    for (std::size_t i = 0; i < data_.size(); ++i) data_[i] -= other.data_[i];
+    return *this;
+}
+
+Matrix& Matrix::operator*=(double alpha) noexcept {
+    for (double& v : data_) v *= alpha;
+    return *this;
+}
+
+void Matrix::add_diagonal(double alpha) {
+    if (!is_square()) shape_error("add_diagonal");
+    for (std::size_t i = 0; i < rows_; ++i) (*this)(i, i) += alpha;
+}
+
+void Matrix::add_outer(double alpha, const Vector& x) {
+    if (!is_square() || x.size() != rows_) shape_error("add_outer");
+    for (std::size_t r = 0; r < rows_; ++r) {
+        const double ax = alpha * x[r];
+        if (ax == 0.0) continue;
+        double* row_ptr = data_.data() + r * cols_;
+        for (std::size_t c = 0; c < cols_; ++c) row_ptr[c] += ax * x[c];
+    }
+}
+
+double Matrix::trace() const {
+    if (!is_square()) shape_error("trace");
+    double acc = 0.0;
+    for (std::size_t i = 0; i < rows_; ++i) acc += (*this)(i, i);
+    return acc;
+}
+
+double Matrix::frobenius_norm() const noexcept {
+    double acc = 0.0;
+    for (const double v : data_) acc += v * v;
+    return std::sqrt(acc);
+}
+
+double Matrix::max_abs_diff(const Matrix& a, const Matrix& b) {
+    if (!a.same_shape(b)) shape_error("max_abs_diff");
+    double acc = 0.0;
+    for (std::size_t i = 0; i < a.data_.size(); ++i) {
+        acc = std::max(acc, std::fabs(a.data_[i] - b.data_[i]));
+    }
+    return acc;
+}
+
+}  // namespace drel::linalg

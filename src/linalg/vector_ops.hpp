@@ -1,0 +1,73 @@
+// Dense vector operations.
+//
+// A vector is a plain std::vector<double>; keeping the representation open
+// lets callers interoperate with parsed data and RNG output without copies.
+// All binary ops check dimensions and throw std::invalid_argument on
+// mismatch — silent broadcasting bugs are the classic failure mode of
+// hand-rolled numerical code.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace drel::linalg {
+
+using Vector = std::vector<double>;
+
+/// <x, y>
+double dot(const Vector& x, const Vector& y);
+
+/// y += alpha * x
+void axpy(double alpha, const Vector& x, Vector& y);
+
+/// x *= alpha
+void scale(Vector& x, double alpha) noexcept;
+
+/// Returns x + y.
+Vector add(const Vector& x, const Vector& y);
+
+/// Returns x - y.
+Vector sub(const Vector& x, const Vector& y);
+
+/// Returns alpha * x.
+Vector scaled(const Vector& x, double alpha);
+
+/// Elementwise product.
+Vector hadamard(const Vector& x, const Vector& y);
+
+/// sum_i x_i
+double sum(const Vector& x) noexcept;
+
+/// Euclidean norm, computed with scaling to avoid overflow.
+double norm2(const Vector& x) noexcept;
+
+/// L1 norm.
+double norm1(const Vector& x) noexcept;
+
+/// max_i |x_i|; 0 for the empty vector.
+double norm_inf(const Vector& x) noexcept;
+
+/// ||x - y||_2
+double distance2(const Vector& x, const Vector& y);
+
+/// Vector of `n` zeros / constant `value`.
+Vector zeros(std::size_t n);
+Vector constant(std::size_t n, double value);
+
+/// e_i of dimension n.
+Vector unit(std::size_t n, std::size_t i);
+
+/// Index of the largest element; throws on empty input.
+std::size_t argmax(const Vector& x);
+
+/// Numerically stable log(sum_i exp(x_i)); -inf for the empty vector.
+double log_sum_exp(const Vector& x) noexcept;
+
+/// Normalizes a vector of log-weights into probabilities, in place.
+void softmax_inplace(Vector& log_weights);
+
+/// Projects x onto the probability simplex {p : p >= 0, sum p = 1}
+/// (Duchi et al. 2008 algorithm, O(n log n)).
+Vector project_to_simplex(const Vector& x);
+
+}  // namespace drel::linalg

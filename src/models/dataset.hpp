@@ -1,0 +1,72 @@
+// Supervised dataset container.
+//
+// The hypothesis class of the paper's edge learner is a (generalized) linear
+// model, so a dataset is a dense feature matrix plus a label vector. Labels
+// are -1/+1 for binary classification and real-valued for regression; the
+// loss chosen downstream decides the interpretation.
+#pragma once
+
+#include <cstddef>
+#include <utility>
+#include <vector>
+
+#include "linalg/matrix.hpp"
+#include "linalg/vector_ops.hpp"
+#include "stats/rng.hpp"
+
+namespace drel::models {
+
+class Dataset {
+ public:
+    Dataset() = default;
+
+    /// `features` is n x d; `labels` has n entries.
+    Dataset(linalg::Matrix features, linalg::Vector labels);
+
+    std::size_t size() const noexcept { return labels_.size(); }
+    std::size_t dim() const noexcept { return features_.cols(); }
+    bool empty() const noexcept { return labels_.empty(); }
+
+    const linalg::Matrix& features() const noexcept { return features_; }
+    const linalg::Vector& labels() const noexcept { return labels_; }
+
+    linalg::Vector feature_row(std::size_t i) const { return features_.row(i); }
+    double label(std::size_t i) const { return labels_.at(i); }
+
+    /// Appends one example.
+    void push_back(const linalg::Vector& x, double y);
+
+    /// Subset by indices (duplicates allowed — used by bootstrap resampling).
+    Dataset subset(const std::vector<std::size_t>& indices) const;
+
+    /// Randomly splits into (train of `train_fraction`, rest). Shuffles with
+    /// `rng` so the split is reproducible from the experiment seed.
+    std::pair<Dataset, Dataset> split(double train_fraction, stats::Rng& rng) const;
+
+    /// Merges two datasets with identical dimensionality.
+    static Dataset concatenate(const Dataset& a, const Dataset& b);
+
+    /// Per-feature standardization parameters (mean, stddev).
+    struct Standardizer {
+        linalg::Vector mean;
+        linalg::Vector stddev;   ///< floored at 1e-12
+        linalg::Vector apply_to(const linalg::Vector& x) const;
+        Dataset apply_to(const Dataset& d) const;
+    };
+
+    /// Fits a standardizer on this dataset (typically the training split).
+    Standardizer fit_standardizer() const;
+
+    /// Fraction of labels equal to +1 (classification convenience).
+    double positive_fraction() const;
+
+ private:
+    linalg::Matrix features_;
+    linalg::Vector labels_;
+};
+
+/// Appends a constant-1 bias feature to every row (the linear models in this
+/// library fold the intercept into the weight vector).
+Dataset with_bias_feature(const Dataset& d);
+
+}  // namespace drel::models

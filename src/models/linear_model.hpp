@@ -1,0 +1,55 @@
+// The edge hypothesis: a linear model over (bias-augmented) features.
+//
+// The weight vector *is* the model parameter theta that the DP prior from
+// the cloud is a distribution over; keeping the model this thin makes the
+// cloud->edge transfer a plain vector/covariance exchange.
+#pragma once
+
+#include "linalg/vector_ops.hpp"
+#include "models/dataset.hpp"
+#include "models/loss.hpp"
+
+namespace drel::models {
+
+class LinearModel {
+ public:
+    LinearModel() = default;
+    explicit LinearModel(linalg::Vector weights) : weights_(std::move(weights)) {}
+
+    std::size_t dim() const noexcept { return weights_.size(); }
+    const linalg::Vector& weights() const noexcept { return weights_; }
+    linalg::Vector& weights() noexcept { return weights_; }
+
+    /// <w, x>
+    double decision_value(const linalg::Vector& x) const;
+
+    /// sign(<w, x>) in {-1, +1}; ties break to +1.
+    double predict_class(const linalg::Vector& x) const;
+
+    /// sigmoid(<w, x>) — probability of class +1 under the logistic link.
+    double predict_probability(const linalg::Vector& x) const;
+
+    /// Per-example loss: phi(y <w,x>) for margin losses, phi(y - <w,x>)
+    /// for residual losses.
+    double example_loss(const Loss& loss, const linalg::Vector& x, double y) const;
+
+    /// Average loss over a dataset.
+    double average_loss(const Loss& loss, const Dataset& data) const;
+
+    /// Per-example loss under the worst feature perturbation with
+    /// ||delta||_2 <= epsilon, where only the non-bias features (all but the
+    /// trailing coordinate, per library convention) are perturbable. For
+    /// margin losses this is exact: phi(y<w,x> - epsilon ||w_feat||_2). For
+    /// residual losses it is phi(|y - <w,x>| + epsilon ||w_feat||_2), exact
+    /// for monotone-in-|r| phi.
+    double adversarial_example_loss(const Loss& loss, const linalg::Vector& x, double y,
+                                    double epsilon) const;
+
+    double average_adversarial_loss(const Loss& loss, const Dataset& data,
+                                    double epsilon) const;
+
+ private:
+    linalg::Vector weights_;
+};
+
+}  // namespace drel::models

@@ -1,0 +1,36 @@
+// Evaluation metrics reported by the benches and EXPERIMENTS.md.
+#pragma once
+
+#include "models/dataset.hpp"
+#include "models/linear_model.hpp"
+#include "models/loss.hpp"
+
+namespace drel::models {
+
+/// Fraction of examples with sign(<w,x>) == y (binary classification).
+double accuracy(const LinearModel& model, const Dataset& data);
+
+/// Average logistic negative log-likelihood with labels in {-1,+1}.
+double log_loss(const LinearModel& model, const Dataset& data);
+
+/// Mean squared error for regression tasks.
+double mse(const LinearModel& model, const Dataset& data);
+
+/// Accuracy under the strongest L2 feature perturbation of size epsilon
+/// (exact for linear models: an example survives iff
+/// y<w,x> > epsilon*||w_feat||, with the trailing bias weight excluded from
+/// the norm since the constant bias feature cannot be perturbed).
+double adversarial_accuracy(const LinearModel& model, const Dataset& data, double epsilon);
+
+/// Brier-style calibration error: mean (p(+1|x) - 1{y=+1})^2.
+double brier_score(const LinearModel& model, const Dataset& data);
+
+/// Per-class error rates {error on y=+1, error on y=-1} — the fleet bench
+/// reports these to show robustness under label shift.
+struct ClassErrors {
+    double positive;
+    double negative;
+};
+ClassErrors per_class_errors(const LinearModel& model, const Dataset& data);
+
+}  // namespace drel::models

@@ -1,0 +1,35 @@
+#include "models/stochastic_erm.hpp"
+
+#include <stdexcept>
+
+#include "models/erm_objective.hpp"
+
+namespace drel::models {
+
+StochasticErm::StochasticErm(const Dataset& data, const Loss& loss, double l2)
+    : data_(&data), loss_(&loss), l2_(l2) {
+    if (data.empty()) throw std::invalid_argument("StochasticErm: empty dataset");
+    if (l2 < 0.0) throw std::invalid_argument("StochasticErm: l2 must be >= 0");
+}
+
+std::size_t StochasticErm::dim() const { return data_->dim(); }
+std::size_t StochasticErm::num_examples() const { return data_->size(); }
+
+void StochasticErm::batch_gradient(const linalg::Vector& x,
+                                   const std::vector<std::size_t>& batch,
+                                   linalg::Vector& grad) const {
+    if (batch.empty()) throw std::invalid_argument("StochasticErm: empty batch");
+    grad = linalg::zeros(dim());
+    const double inv = 1.0 / static_cast<double>(batch.size());
+    for (const std::size_t i : batch) {
+        add_example_gradient(*data_, *loss_, x, i, inv, grad);
+    }
+    if (l2_ > 0.0) linalg::axpy(l2_, x, grad);
+}
+
+double StochasticErm::full_value(const linalg::Vector& x) const {
+    const ErmObjective erm(*data_, *loss_, l2_);
+    return erm.value(x);
+}
+
+}  // namespace drel::models

@@ -1,0 +1,28 @@
+// ERM as a mini-batch gradient oracle for optim::minimize_sgd.
+#pragma once
+
+#include "models/dataset.hpp"
+#include "models/loss.hpp"
+#include "optim/sgd.hpp"
+
+namespace drel::models {
+
+/// (1/|B|) sum_{i in B} grad phi_i(w) + l2 * w — an unbiased full-gradient
+/// estimate for f(w) = mean loss + (l2/2)||w||^2.
+class StochasticErm final : public optim::StochasticObjective {
+ public:
+    StochasticErm(const Dataset& data, const Loss& loss, double l2 = 0.0);
+
+    std::size_t dim() const override;
+    std::size_t num_examples() const override;
+    void batch_gradient(const linalg::Vector& x, const std::vector<std::size_t>& batch,
+                        linalg::Vector& grad) const override;
+    double full_value(const linalg::Vector& x) const override;
+
+ private:
+    const Dataset* data_;
+    const Loss* loss_;
+    double l2_;
+};
+
+}  // namespace drel::models

@@ -1,0 +1,108 @@
+#include "optim/fista.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace drel::optim {
+
+linalg::Vector prox_l1(const linalg::Vector& v, double t, double lambda) {
+    const double threshold = t * lambda;
+    linalg::Vector out(v.size());
+    for (std::size_t i = 0; i < v.size(); ++i) {
+        if (v[i] > threshold) {
+            out[i] = v[i] - threshold;
+        } else if (v[i] < -threshold) {
+            out[i] = v[i] + threshold;
+        } else {
+            out[i] = 0.0;
+        }
+    }
+    return out;
+}
+
+linalg::Vector prox_l2_norm(const linalg::Vector& v, double t, double lambda) {
+    const double n = linalg::norm2(v);
+    const double threshold = t * lambda;
+    if (n <= threshold) return linalg::zeros(v.size());
+    return linalg::scaled(v, 1.0 - threshold / n);
+}
+
+OptimResult minimize_fista(const Objective& smooth, const ProxOperator& prox,
+                           const NonSmoothValue& g_value, linalg::Vector x0,
+                           const FistaOptions& options) {
+    if (!prox) throw std::invalid_argument("minimize_fista: prox must be callable");
+    if (x0.size() != smooth.dim()) {
+        throw std::invalid_argument("minimize_fista: x0 dimension mismatch");
+    }
+
+    OptimResult result;
+    linalg::Vector x = std::move(x0);
+    linalg::Vector y = x;  // extrapolated point
+    double t_momentum = 1.0;
+    double step = options.initial_step;
+
+    auto total = [&](const linalg::Vector& p) {
+        return smooth.value(p) + (g_value ? g_value(p) : 0.0);
+    };
+
+    double f_total = total(x);
+
+    for (int it = 0; it < options.stopping.max_iterations; ++it) {
+        result.iterations = it;
+        linalg::Vector grad;
+        const double fy = smooth.eval(y, &grad);
+
+        // Backtrack on the smooth-part quadratic upper bound at y.
+        linalg::Vector x_next;
+        for (int b = 0; b < 60; ++b) {
+            linalg::Vector v = y;
+            linalg::axpy(-step, grad, v);
+            x_next = prox(v, step);
+            const linalg::Vector diff = linalg::sub(x_next, y);
+            const double f_next = smooth.value(x_next);
+            const double bound = fy + linalg::dot(grad, diff) +
+                                 linalg::dot(diff, diff) / (2.0 * step);
+            if (std::isfinite(f_next) && f_next <= bound + 1e-12 * (std::fabs(bound) + 1.0)) {
+                break;
+            }
+            step *= options.shrink;
+            if (step < 1e-20) {
+                result.message = "step underflow";
+                result.x = std::move(x);
+                result.value = f_total;
+                return result;
+            }
+        }
+
+        const double move = linalg::distance2(x_next, x);
+        if (options.accelerate) {
+            const double t_next = 0.5 * (1.0 + std::sqrt(1.0 + 4.0 * t_momentum * t_momentum));
+            y = x_next;
+            linalg::axpy((t_momentum - 1.0) / t_next, linalg::sub(x_next, x), y);
+            t_momentum = t_next;
+        } else {
+            y = x_next;
+        }
+        x = std::move(x_next);
+        const double f_new = total(x);
+        const double decrease = f_total - f_new;
+        f_total = f_new;
+
+        if (move <= options.stopping.grad_tolerance ||
+            (decrease >= 0.0 &&
+             decrease <= options.stopping.value_tolerance * (std::fabs(f_total) + 1.0) &&
+             it > 2)) {
+            result.converged = true;
+            result.message = "step/value tolerance reached";
+            result.iterations = it + 1;
+            break;
+        }
+    }
+    result.x = std::move(x);
+    result.value = f_total;
+    result.grad_norm = 0.0;  // composite objective: gradient norm not meaningful
+    if (result.message.empty()) result.message = "max iterations reached";
+    return result;
+}
+
+}  // namespace drel::optim

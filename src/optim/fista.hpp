@@ -1,0 +1,39 @@
+// Proximal gradient (ISTA) and its accelerated variant (FISTA).
+//
+// Used when the M-step carries a non-smooth regularizer — the exact
+// Wasserstein-DRO reformulation of a linear model adds a rho*||theta||_* term
+// which, for the L1 transport cost, is a (non-smooth) L-inf-dual = L1 penalty
+// handled by prox, not by gradients.
+#pragma once
+
+#include <functional>
+
+#include "optim/objective.hpp"
+
+namespace drel::optim {
+
+/// prox_{t g}(v) = argmin_x g(x) + ||x - v||² / (2t).
+using ProxOperator = std::function<linalg::Vector(const linalg::Vector& v, double t)>;
+
+/// Value of the non-smooth part g(x) (for reporting total objective).
+using NonSmoothValue = std::function<double(const linalg::Vector&)>;
+
+struct FistaOptions {
+    StoppingCriteria stopping;
+    double initial_step = 1.0;
+    double shrink = 0.5;       ///< backtracking factor on the smooth-part Lipschitz estimate
+    bool accelerate = true;    ///< FISTA momentum; false gives plain ISTA
+};
+
+/// Minimizes f(x) + g(x) with f smooth (the Objective) and g given by prox.
+OptimResult minimize_fista(const Objective& smooth, const ProxOperator& prox,
+                           const NonSmoothValue& g_value, linalg::Vector x0,
+                           const FistaOptions& options = {});
+
+/// Soft-thresholding prox for g(x) = lambda * ||x||_1.
+linalg::Vector prox_l1(const linalg::Vector& v, double t, double lambda);
+
+/// Prox for g(x) = lambda * ||x||_2 (group-lasso style shrinkage).
+linalg::Vector prox_l2_norm(const linalg::Vector& v, double t, double lambda);
+
+}  // namespace drel::optim

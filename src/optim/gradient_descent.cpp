@@ -1,0 +1,111 @@
+#include "optim/gradient_descent.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "optim/line_search.hpp"
+
+namespace drel::optim {
+
+OptimResult minimize_gradient_descent(const Objective& objective, linalg::Vector x0,
+                                      const GradientDescentOptions& options) {
+    if (x0.size() != objective.dim()) {
+        throw std::invalid_argument("minimize_gradient_descent: x0 dimension mismatch");
+    }
+    OptimResult result;
+    result.x = std::move(x0);
+    linalg::Vector grad;
+    double fx = objective.eval(result.x, &grad);
+    double step_hint = options.initial_step;
+
+    for (int it = 0; it < options.stopping.max_iterations; ++it) {
+        result.iterations = it;
+        const double gnorm = linalg::norm_inf(grad);
+        if (gnorm <= options.stopping.grad_tolerance) {
+            result.converged = true;
+            result.message = "gradient tolerance reached";
+            break;
+        }
+        const linalg::Vector direction = linalg::scaled(grad, -1.0);
+        const LineSearchResult ls =
+            backtracking_armijo(objective, result.x, fx, grad, direction, step_hint);
+        if (!ls.success) {
+            result.message = "line search failed";
+            break;
+        }
+        linalg::axpy(ls.step, direction, result.x);
+        const double f_new = objective.eval(result.x, &grad);
+        const double decrease = fx - f_new;
+        fx = f_new;
+        // Warm-start the next search near the accepted step.
+        step_hint = std::max(ls.step * 2.0, 1e-12);
+        if (decrease >= 0.0 &&
+            decrease <= options.stopping.value_tolerance * (std::fabs(fx) + 1.0)) {
+            result.converged = true;
+            result.message = "value tolerance reached";
+            result.iterations = it + 1;
+            break;
+        }
+    }
+    result.value = fx;
+    result.grad_norm = linalg::norm_inf(grad);
+    if (result.message.empty()) result.message = "max iterations reached";
+    return result;
+}
+
+OptimResult minimize_projected_gradient(const Objective& objective, linalg::Vector x0,
+                                        const Projection& project,
+                                        const ProjectedGradientOptions& options) {
+    if (!project) {
+        throw std::invalid_argument("minimize_projected_gradient: projection must be callable");
+    }
+    OptimResult result;
+    result.x = project(std::move(x0));
+    if (result.x.size() != objective.dim()) {
+        throw std::invalid_argument("minimize_projected_gradient: x0 dimension mismatch");
+    }
+    linalg::Vector grad;
+    double fx = objective.eval(result.x, &grad);
+
+    for (int it = 0; it < options.stopping.max_iterations; ++it) {
+        result.iterations = it;
+        double step = options.step;
+        bool accepted = false;
+        linalg::Vector candidate;
+        double f_candidate = fx;
+        for (int b = 0; b < options.max_backtracks; ++b) {
+            candidate = result.x;
+            linalg::axpy(-step, grad, candidate);
+            candidate = project(candidate);
+            f_candidate = objective.value(candidate);
+            // Armijo along the projection arc with the natural quadratic bound.
+            const double move_sq =
+                linalg::dot(linalg::sub(candidate, result.x), linalg::sub(candidate, result.x));
+            if (std::isfinite(f_candidate) && f_candidate <= fx - 1e-4 / step * move_sq) {
+                accepted = true;
+                break;
+            }
+            step *= options.shrink;
+        }
+        if (!accepted) {
+            result.message = "projection-arc search failed";
+            break;
+        }
+        const double move = linalg::distance2(candidate, result.x);
+        result.x = std::move(candidate);
+        fx = objective.eval(result.x, &grad);
+        (void)f_candidate;
+        if (move <= options.stopping.grad_tolerance) {
+            result.converged = true;
+            result.message = "projected step tolerance reached";
+            result.iterations = it + 1;
+            break;
+        }
+    }
+    result.value = fx;
+    result.grad_norm = linalg::norm_inf(grad);
+    if (result.message.empty()) result.message = "max iterations reached";
+    return result;
+}
+
+}  // namespace drel::optim

@@ -1,0 +1,33 @@
+// Line searches used by the first-order solvers.
+#pragma once
+
+#include "optim/objective.hpp"
+
+namespace drel::optim {
+
+struct LineSearchResult {
+    double step = 0.0;
+    double value = 0.0;       ///< f(x + step * direction)
+    int evaluations = 0;
+    bool success = false;
+};
+
+/// Backtracking Armijo search: shrinks `initial_step` by `shrink` until
+///   f(x + t d) <= f(x) + c1 * t * <grad, d>.
+/// `direction` must be a descent direction (<grad, d> < 0); returns
+/// success=false otherwise or when the step underflows.
+LineSearchResult backtracking_armijo(const Objective& objective, const linalg::Vector& x,
+                                     double fx, const linalg::Vector& grad,
+                                     const linalg::Vector& direction,
+                                     double initial_step = 1.0, double c1 = 1e-4,
+                                     double shrink = 0.5, int max_evals = 60);
+
+/// Strong-Wolfe search (Nocedal & Wright alg. 3.5/3.6) used by L-BFGS.
+/// Satisfies the Armijo condition with c1 and the curvature condition
+/// |<grad(x+td), d>| <= c2 |<grad(x), d>|.
+LineSearchResult strong_wolfe(const Objective& objective, const linalg::Vector& x, double fx,
+                              const linalg::Vector& grad, const linalg::Vector& direction,
+                              double initial_step = 1.0, double c1 = 1e-4, double c2 = 0.9,
+                              int max_evals = 60);
+
+}  // namespace drel::optim

@@ -1,0 +1,20 @@
+#include "optim/objective.hpp"
+
+namespace drel::optim {
+
+linalg::Vector Objective::numerical_gradient(const linalg::Vector& x, double h) const {
+    linalg::Vector g(x.size());
+    linalg::Vector probe = x;
+    for (std::size_t i = 0; i < x.size(); ++i) {
+        const double orig = probe[i];
+        probe[i] = orig + h;
+        const double fp = value(probe);
+        probe[i] = orig - h;
+        const double fm = value(probe);
+        probe[i] = orig;
+        g[i] = (fp - fm) / (2.0 * h);
+    }
+    return g;
+}
+
+}  // namespace drel::optim

@@ -1,0 +1,64 @@
+#include "optim/sgd.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace drel::optim {
+
+SgdResult minimize_sgd(const StochasticObjective& objective, linalg::Vector x0,
+                       stats::Rng& rng, const SgdOptions& options) {
+    if (x0.size() != objective.dim()) {
+        throw std::invalid_argument("minimize_sgd: x0 dimension mismatch");
+    }
+    if (options.epochs < 1 || options.batch_size < 1) {
+        throw std::invalid_argument("minimize_sgd: epochs and batch_size must be >= 1");
+    }
+    if (!(options.step > 0.0)) throw std::invalid_argument("minimize_sgd: step must be > 0");
+    if (!(options.momentum >= 0.0) || !(options.momentum < 1.0)) {
+        throw std::invalid_argument("minimize_sgd: momentum must be in [0, 1)");
+    }
+
+    SgdResult result;
+    linalg::Vector x = std::move(x0);
+    linalg::Vector velocity = linalg::zeros(x.size());
+    linalg::Vector grad;
+    linalg::Vector average = linalg::zeros(x.size());
+    std::size_t averaged_epochs = 0;
+    const std::size_t n = objective.num_examples();
+    double step = options.step;
+
+    for (int epoch = 0; epoch < options.epochs; ++epoch) {
+        const std::vector<std::size_t> order = rng.permutation(n);
+        for (std::size_t start = 0; start < n; start += options.batch_size) {
+            const std::size_t end = std::min(start + options.batch_size, n);
+            const std::vector<std::size_t> batch(
+                order.begin() + static_cast<std::ptrdiff_t>(start),
+                order.begin() + static_cast<std::ptrdiff_t>(end));
+            objective.batch_gradient(x, batch, grad);
+            // Heavy-ball update.
+            linalg::scale(velocity, options.momentum);
+            linalg::axpy(-step, grad, velocity);
+            linalg::axpy(1.0, velocity, x);
+        }
+        step *= options.step_decay;
+        result.epoch_values.push_back(objective.full_value(x));
+        result.epochs = epoch + 1;
+        // Tail averaging over the last half of the schedule.
+        if (options.average_iterates && epoch >= options.epochs / 2) {
+            linalg::axpy(1.0, x, average);
+            ++averaged_epochs;
+        }
+    }
+    if (options.average_iterates && averaged_epochs > 0) {
+        linalg::scale(average, 1.0 / static_cast<double>(averaged_epochs));
+        // Keep the average only if it is at least as good (it usually is).
+        if (objective.full_value(average) <= result.epoch_values.back()) {
+            x = std::move(average);
+        }
+    }
+    result.value = objective.full_value(x);
+    result.x = std::move(x);
+    return result;
+}
+
+}  // namespace drel::optim

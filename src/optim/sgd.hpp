@@ -1,0 +1,52 @@
+// Mini-batch stochastic gradient descent with momentum and Polyak-Ruppert
+// iterate averaging.
+//
+// The batch solvers (L-BFGS) are the right tool at the paper's data scales;
+// SGD exists for the streaming/large-n corner (n in the thousands on a
+// constrained device) where full-gradient passes per line-search probe cost
+// too much. Works on any StochasticObjective — an abstract mini-batch
+// gradient oracle; models/stochastic_erm.hpp provides the ERM adapter.
+#pragma once
+
+#include <vector>
+
+#include "linalg/vector_ops.hpp"
+#include "stats/rng.hpp"
+
+namespace drel::optim {
+
+/// Mini-batch gradient oracle over an indexed example set.
+class StochasticObjective {
+ public:
+    virtual ~StochasticObjective() = default;
+    virtual std::size_t dim() const = 0;
+    virtual std::size_t num_examples() const = 0;
+    /// Mean gradient over `batch` (indices into the example set) plus any
+    /// deterministic regularizer gradient.
+    virtual void batch_gradient(const linalg::Vector& x,
+                                const std::vector<std::size_t>& batch,
+                                linalg::Vector& grad) const = 0;
+    /// Full objective value (used for reporting/tests, not per step).
+    virtual double full_value(const linalg::Vector& x) const = 0;
+};
+
+struct SgdOptions {
+    int epochs = 30;
+    std::size_t batch_size = 8;
+    double step = 0.5;              ///< initial step size
+    double step_decay = 0.7;        ///< multiplicative per-epoch decay
+    double momentum = 0.9;
+    bool average_iterates = true;   ///< Polyak-Ruppert tail averaging (last half)
+};
+
+struct SgdResult {
+    linalg::Vector x;
+    double value = 0.0;
+    int epochs = 0;
+    std::vector<double> epoch_values;   ///< full objective after each epoch
+};
+
+SgdResult minimize_sgd(const StochasticObjective& objective, linalg::Vector x0,
+                       stats::Rng& rng, const SgdOptions& options = {});
+
+}  // namespace drel::optim

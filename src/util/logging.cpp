@@ -1,0 +1,45 @@
+#include "util/logging.hpp"
+
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <mutex>
+
+namespace drel::util {
+namespace {
+
+std::atomic<LogLevel> g_level{LogLevel::kWarn};
+std::mutex g_mutex;
+
+const char* level_name(LogLevel level) noexcept {
+    switch (level) {
+        case LogLevel::kDebug: return "DEBUG";
+        case LogLevel::kInfo: return "INFO ";
+        case LogLevel::kWarn: return "WARN ";
+        case LogLevel::kError: return "ERROR";
+        case LogLevel::kOff: return "OFF  ";
+    }
+    return "?????";
+}
+
+double seconds_since_start() noexcept {
+    using Clock = std::chrono::steady_clock;
+    static const Clock::time_point start = Clock::now();
+    return std::chrono::duration<double>(Clock::now() - start).count();
+}
+
+}  // namespace
+
+void set_log_level(LogLevel level) noexcept { g_level.store(level, std::memory_order_relaxed); }
+
+LogLevel log_level() noexcept { return g_level.load(std::memory_order_relaxed); }
+
+void log_line(LogLevel level, std::string_view component, std::string_view message) {
+    if (static_cast<int>(level) < static_cast<int>(log_level())) return;
+    const std::lock_guard<std::mutex> lock(g_mutex);
+    std::fprintf(stderr, "[%9.3f] [%s] [%.*s] %.*s\n", seconds_since_start(), level_name(level),
+                 static_cast<int>(component.size()), component.data(),
+                 static_cast<int>(message.size()), message.data());
+}
+
+}  // namespace drel::util

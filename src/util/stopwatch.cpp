@@ -1,0 +1,5 @@
+#include "util/stopwatch.hpp"
+
+// Header-only in practice; this TU exists so the module always has an object
+// file and the header stays self-contained under -Wall.
+namespace drel::util {}

@@ -1,0 +1,26 @@
+// Wall-clock stopwatch for the benches and the fleet simulation.
+#pragma once
+
+#include <chrono>
+
+namespace drel::util {
+
+class Stopwatch {
+ public:
+    Stopwatch() : start_(Clock::now()) {}
+
+    /// Seconds elapsed since construction or the last reset().
+    double elapsed_seconds() const {
+        return std::chrono::duration<double>(Clock::now() - start_).count();
+    }
+
+    double elapsed_millis() const { return elapsed_seconds() * 1e3; }
+
+    void reset() { start_ = Clock::now(); }
+
+ private:
+    using Clock = std::chrono::steady_clock;
+    Clock::time_point start_;
+};
+
+}  // namespace drel::util

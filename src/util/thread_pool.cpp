@@ -1,0 +1,77 @@
+#include "util/thread_pool.hpp"
+
+#include <atomic>
+#include <stdexcept>
+
+namespace drel::util {
+
+ThreadPool::ThreadPool(std::size_t num_threads) {
+    if (num_threads == 0) throw std::invalid_argument("ThreadPool: need >= 1 thread");
+    workers_.reserve(num_threads);
+    for (std::size_t t = 0; t < num_threads; ++t) {
+        workers_.emplace_back([this] { worker_loop(); });
+    }
+}
+
+ThreadPool::~ThreadPool() {
+    {
+        const std::lock_guard<std::mutex> lock(mutex_);
+        stopping_ = true;
+    }
+    condition_.notify_all();
+    for (std::thread& worker : workers_) worker.join();
+}
+
+std::future<void> ThreadPool::submit(std::function<void()> task) {
+    std::packaged_task<void()> packaged(std::move(task));
+    std::future<void> future = packaged.get_future();
+    {
+        const std::lock_guard<std::mutex> lock(mutex_);
+        if (stopping_) throw std::runtime_error("ThreadPool::submit: pool is shutting down");
+        queue_.push(std::move(packaged));
+    }
+    condition_.notify_one();
+    return future;
+}
+
+void ThreadPool::worker_loop() {
+    while (true) {
+        std::packaged_task<void()> task;
+        {
+            std::unique_lock<std::mutex> lock(mutex_);
+            condition_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
+            if (queue_.empty()) return;  // stopping and drained
+            task = std::move(queue_.front());
+            queue_.pop();
+        }
+        task();  // exceptions are captured by the packaged_task
+    }
+}
+
+void parallel_for(std::size_t count, std::size_t num_threads,
+                  const std::function<void(std::size_t)>& body) {
+    if (!body) throw std::invalid_argument("parallel_for: body must be callable");
+    if (count == 0) return;
+    if (num_threads <= 1 || count == 1) {
+        for (std::size_t i = 0; i < count; ++i) body(i);
+        return;
+    }
+    const std::size_t workers = std::min(num_threads, count);
+    ThreadPool pool(workers);
+    std::atomic<std::size_t> next{0};
+    std::vector<std::future<void>> futures;
+    futures.reserve(workers);
+    for (std::size_t w = 0; w < workers; ++w) {
+        futures.push_back(pool.submit([&] {
+            while (true) {
+                const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
+                if (i >= count) return;
+                body(i);
+            }
+        }));
+    }
+    // Join, rethrowing the first failure.
+    for (auto& future : futures) future.get();
+}
+
+}  // namespace drel::util

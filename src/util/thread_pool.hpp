@@ -1,0 +1,53 @@
+// Fixed-size thread pool and a deterministic parallel_for.
+//
+// The fleet simulation trains dozens of independent edge devices; each
+// device derives its randomness from a forked RNG stream and writes to its
+// own result slot, so running them on a pool is bit-identical to the serial
+// loop. The pool is deliberately minimal: fixed worker count, FIFO queue,
+// futures for joining, no work stealing.
+#pragma once
+
+#include <condition_variable>
+#include <functional>
+#include <future>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <vector>
+
+namespace drel::util {
+
+class ThreadPool {
+ public:
+    /// Spawns `num_threads` workers (>= 1).
+    explicit ThreadPool(std::size_t num_threads);
+
+    /// Drains the queue and joins all workers.
+    ~ThreadPool();
+
+    ThreadPool(const ThreadPool&) = delete;
+    ThreadPool& operator=(const ThreadPool&) = delete;
+
+    std::size_t num_threads() const noexcept { return workers_.size(); }
+
+    /// Enqueues a task; the future resolves when it completes (exceptions
+    /// propagate through the future).
+    std::future<void> submit(std::function<void()> task);
+
+ private:
+    void worker_loop();
+
+    std::vector<std::thread> workers_;
+    std::queue<std::packaged_task<void()>> queue_;
+    std::mutex mutex_;
+    std::condition_variable condition_;
+    bool stopping_ = false;
+};
+
+/// Runs body(i) for i in [0, count) across up to `num_threads` threads.
+/// With num_threads <= 1 it degenerates to the plain serial loop (no pool
+/// is created). Rethrows the first exception any iteration produced.
+void parallel_for(std::size_t count, std::size_t num_threads,
+                  const std::function<void(std::size_t)>& body);
+
+}  // namespace drel::util

@@ -1,0 +1,189 @@
+// Tests for robustness certificates and the lossy-channel transfer.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "data/task_generator.hpp"
+#include "dro/certificates.hpp"
+#include "dro/robust_objective.hpp"
+#include "edgesim/network.hpp"
+#include "edgesim/transfer.hpp"
+#include "models/metrics.hpp"
+#include "optim/lbfgs.hpp"
+#include "stats/rng.hpp"
+
+namespace drel {
+namespace {
+
+models::Dataset fixture(stats::Rng& rng, std::size_t n = 40) {
+    const data::TaskPopulation pop = data::TaskPopulation::make_synthetic(4, 2, 2.0, 0.05, rng);
+    return pop.generate(pop.sample_task(rng), n, rng);
+}
+
+// ------------------------------------------------------------ certificates
+
+TEST(Certificates, RadiusInvertsTheProfile) {
+    stats::Rng rng(1);
+    const models::Dataset d = fixture(rng);
+    const auto loss = models::make_logistic_loss();
+    const linalg::Vector theta = rng.standard_normal_vector(d.dim());
+
+    const double budget =
+        dro::robust_loss(theta, d, *loss, dro::AmbiguitySet::wasserstein(0.37));
+    const double rho = dro::certified_radius(theta, d, *loss,
+                                             dro::AmbiguityKind::kWasserstein, budget);
+    EXPECT_NEAR(rho, 0.37, 1e-4);
+}
+
+TEST(Certificates, BudgetBelowCleanLossGivesZero) {
+    stats::Rng rng(2);
+    const models::Dataset d = fixture(rng);
+    const auto loss = models::make_logistic_loss();
+    const linalg::Vector theta = rng.standard_normal_vector(d.dim());
+    const double clean = dro::robust_loss(theta, d, *loss, dro::AmbiguitySet::none());
+    EXPECT_DOUBLE_EQ(dro::certified_radius(theta, d, *loss,
+                                           dro::AmbiguityKind::kWasserstein, clean * 0.5),
+                     0.0);
+}
+
+TEST(Certificates, HugeBudgetSaturatesAtMaxRadius) {
+    stats::Rng rng(3);
+    const models::Dataset d = fixture(rng);
+    const auto loss = models::make_logistic_loss();
+    const linalg::Vector theta = rng.standard_normal_vector(d.dim());
+    EXPECT_DOUBLE_EQ(
+        dro::certified_radius(theta, d, *loss, dro::AmbiguityKind::kKl, 1e9, 4.0), 4.0);
+}
+
+TEST(Certificates, ProfileIsMonotone) {
+    stats::Rng rng(4);
+    const models::Dataset d = fixture(rng);
+    const auto loss = models::make_logistic_loss();
+    const linalg::Vector theta = rng.standard_normal_vector(d.dim());
+    const auto profile = dro::certificate_profile(
+        theta, d, *loss, dro::AmbiguityKind::kChiSquare, {0.0, 0.1, 0.3, 1.0});
+    ASSERT_EQ(profile.size(), 4u);
+    for (std::size_t i = 1; i < profile.size(); ++i) {
+        EXPECT_GE(profile[i].worst_case_loss, profile[i - 1].worst_case_loss - 1e-9);
+    }
+}
+
+TEST(Certificates, MarginsMatchAdversarialAccuracy) {
+    stats::Rng rng(5);
+    const models::Dataset d = fixture(rng, 200);
+    const auto loss = models::make_logistic_loss();
+    const auto objective = dro::make_robust_objective(d, *loss, dro::AmbiguitySet::none());
+    const models::LinearModel model(optim::minimize_lbfgs(*objective, linalg::zeros(d.dim())).x);
+    const std::vector<double> epsilons = {0.0, 0.2, 0.5, 1.0};
+    const std::vector<double> curve = dro::certified_accuracy_curve(model, d, epsilons);
+    for (std::size_t i = 0; i < epsilons.size(); ++i) {
+        EXPECT_NEAR(curve[i], models::adversarial_accuracy(model, d, epsilons[i]), 1e-12);
+    }
+    // Curve is non-increasing and starts at clean accuracy.
+    EXPECT_NEAR(curve[0], models::accuracy(model, d), 1e-12);
+    for (std::size_t i = 1; i < curve.size(); ++i) EXPECT_LE(curve[i], curve[i - 1]);
+}
+
+TEST(Certificates, MisclassifiedExamplesGetZeroMargin) {
+    // A model pointing the wrong way on one example.
+    const models::Dataset d(linalg::Matrix(2, 3, {1.0, 0.0, 1.0, -1.0, 0.0, 1.0}),
+                            {1.0, 1.0});
+    const models::LinearModel model({1.0, 0.0, 0.0});
+    const linalg::Vector margins = dro::prediction_margins(model, d);
+    EXPECT_GT(margins[0], 0.0);
+    EXPECT_DOUBLE_EQ(margins[1], 0.0);
+}
+
+TEST(Certificates, RejectsTrivialFamily) {
+    stats::Rng rng(6);
+    const models::Dataset d = fixture(rng);
+    const auto loss = models::make_logistic_loss();
+    EXPECT_THROW(dro::certified_radius(linalg::zeros(d.dim()), d, *loss,
+                                       dro::AmbiguityKind::kNone, 1.0),
+                 std::invalid_argument);
+}
+
+// ----------------------------------------------------------- lossy channel
+
+dp::MixturePrior channel_prior() {
+    std::vector<stats::MultivariateNormal> atoms;
+    atoms.push_back(stats::MultivariateNormal::isotropic({1.0, -1.0, 0.5}, 0.4));
+    atoms.push_back(stats::MultivariateNormal::isotropic({-1.0, 1.0, 0.0}, 0.6));
+    return dp::MixturePrior({0.5, 0.5}, std::move(atoms));
+}
+
+TEST(LossyChannel, PerfectChannelDeliversFirstTry) {
+    stats::Rng rng(7);
+    const auto payload = edgesim::encode_prior(channel_prior());
+    const edgesim::TransmissionReport report =
+        edgesim::transmit_prior(payload, {}, rng);
+    EXPECT_TRUE(report.delivered);
+    EXPECT_EQ(report.attempts, 1);
+    EXPECT_EQ(report.transmitted_bytes, payload.size());
+    EXPECT_EQ(report.payload, payload);
+}
+
+TEST(LossyChannel, RetransmitsUntilDelivered) {
+    stats::Rng rng(8);
+    const auto payload = edgesim::encode_prior(channel_prior());
+    edgesim::ChannelConfig config;
+    config.packet_loss_prob = 0.7;
+    config.max_transmissions = 500;
+    const edgesim::TransmissionReport report =
+        edgesim::transmit_prior(payload, config, rng);
+    EXPECT_TRUE(report.delivered);
+    EXPECT_GT(report.attempts, 1);
+    EXPECT_EQ(report.transmitted_bytes, payload.size() * report.attempts);
+    // The delivered payload must decode to the same prior.
+    const dp::MixturePrior decoded = edgesim::decode_prior(report.payload);
+    EXPECT_EQ(decoded.num_components(), 2u);
+}
+
+TEST(LossyChannel, CorruptionIsDetectedNeverInstalled) {
+    // With heavy bit flips and few attempts, delivery usually fails — but a
+    // "delivered" payload must ALWAYS validate. Run many trials.
+    stats::Rng rng(9);
+    const auto payload = edgesim::encode_prior(channel_prior());
+    edgesim::ChannelConfig config;
+    config.bit_flip_prob = 0.02;
+    config.max_transmissions = 3;
+    int delivered = 0;
+    for (int t = 0; t < 50; ++t) {
+        const edgesim::TransmissionReport report =
+            edgesim::transmit_prior(payload, config, rng);
+        if (report.delivered) {
+            ++delivered;
+            EXPECT_NO_THROW(edgesim::decode_prior(report.payload));
+        } else {
+            EXPECT_GT(report.corrupted_attempts + report.dropped_packets, 0u);
+        }
+    }
+    // Some corruption must have been observed across 150 attempts.
+    EXPECT_LT(delivered, 50);
+}
+
+TEST(LossyChannel, HopelessChannelGivesUp) {
+    stats::Rng rng(10);
+    const auto payload = edgesim::encode_prior(channel_prior());
+    edgesim::ChannelConfig config;
+    config.packet_loss_prob = 1.0;
+    config.max_transmissions = 4;
+    const edgesim::TransmissionReport report =
+        edgesim::transmit_prior(payload, config, rng);
+    EXPECT_FALSE(report.delivered);
+    EXPECT_EQ(report.attempts, 4);
+}
+
+TEST(LossyChannel, Validation) {
+    stats::Rng rng(11);
+    const auto payload = edgesim::encode_prior(channel_prior());
+    edgesim::ChannelConfig bad;
+    bad.packet_bytes = 0;
+    EXPECT_THROW(edgesim::transmit_prior(payload, bad, rng), std::invalid_argument);
+    edgesim::ChannelConfig no_attempts;
+    no_attempts.max_transmissions = 0;
+    EXPECT_THROW(edgesim::transmit_prior(payload, no_attempts, rng), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace drel

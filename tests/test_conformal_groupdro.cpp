@@ -1,0 +1,189 @@
+// Tests for conformal prediction sets and group DRO.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/conformal.hpp"
+#include "data/task_generator.hpp"
+#include "dro/group_dro.hpp"
+#include "models/erm_objective.hpp"
+#include "models/metrics.hpp"
+#include "optim/lbfgs.hpp"
+#include "stats/rng.hpp"
+
+namespace drel {
+namespace {
+
+struct Fixture {
+    models::Dataset train;
+    models::Dataset calibration;
+    models::Dataset test;
+    models::LinearModel model;
+};
+
+Fixture make_fixture(std::uint64_t seed, double margin_scale = 2.0) {
+    stats::Rng rng(seed);
+    const data::TaskPopulation pop = data::TaskPopulation::make_synthetic(5, 2, 2.5, 0.05, rng);
+    const data::TaskSpec task = pop.sample_task(rng);
+    data::DataOptions options;
+    options.margin_scale = margin_scale;
+    Fixture f{pop.generate(task, 120, rng, options), pop.generate(task, 200, rng, options),
+              pop.generate(task, 3000, rng, options), models::LinearModel{}};
+    const auto loss = models::make_logistic_loss();
+    const models::ErmObjective erm(f.train, *loss, 0.01);
+    f.model = models::LinearModel(optim::minimize_lbfgs(erm, linalg::zeros(f.train.dim())).x);
+    return f;
+}
+
+// ---------------------------------------------------------------- conformal
+
+TEST(Conformal, CoverageMeetsGuarantee) {
+    // Coverage >= 1 - alpha up to binomial fluctuation, across seeds.
+    for (const double alpha : {0.1, 0.2}) {
+        double total_coverage = 0.0;
+        const int trials = 5;
+        for (int t = 0; t < trials; ++t) {
+            const Fixture f = make_fixture(100 + t);
+            const core::ConformalClassifier conformal(f.model, f.calibration, alpha);
+            total_coverage += conformal.empirical_coverage(f.test);
+        }
+        EXPECT_GE(total_coverage / trials, 1.0 - alpha - 0.03) << "alpha=" << alpha;
+    }
+}
+
+TEST(Conformal, SmallerAlphaMeansBiggerSets) {
+    const Fixture f = make_fixture(1);
+    const core::ConformalClassifier strict(f.model, f.calibration, 0.01);
+    const core::ConformalClassifier loose(f.model, f.calibration, 0.4);
+    EXPECT_GE(strict.mean_set_size(f.test), loose.mean_set_size(f.test));
+    EXPECT_GE(strict.threshold(), loose.threshold());
+}
+
+TEST(Conformal, ConfidentModelYieldsMostlyDecisiveSets) {
+    // Crisp labels -> an accurate, confident model -> average set size near 1.
+    const Fixture f = make_fixture(2, /*margin_scale=*/6.0);
+    const core::ConformalClassifier conformal(f.model, f.calibration, 0.1);
+    const double size = conformal.mean_set_size(f.test);
+    EXPECT_GT(size, 0.8);
+    EXPECT_LT(size, 1.4);
+}
+
+TEST(Conformal, NoisyDataHedgesWithLargerSets) {
+    const Fixture crisp = make_fixture(3, 6.0);
+    const Fixture noisy = make_fixture(3, 0.5);
+    const core::ConformalClassifier crisp_sets(crisp.model, crisp.calibration, 0.1);
+    const core::ConformalClassifier noisy_sets(noisy.model, noisy.calibration, 0.1);
+    EXPECT_GT(noisy_sets.mean_set_size(noisy.test), crisp_sets.mean_set_size(crisp.test));
+}
+
+TEST(Conformal, TinyCalibrationFallsBackToFullSet) {
+    const Fixture f = make_fixture(4);
+    const models::Dataset tiny = f.calibration.subset({0, 1, 2});
+    // n=3, alpha=0.1: ceil(4*0.9)=4 > 3 -> trivial threshold, everything in.
+    const core::ConformalClassifier conformal(f.model, tiny, 0.1);
+    EXPECT_DOUBLE_EQ(conformal.empirical_coverage(f.test), 1.0);
+    EXPECT_DOUBLE_EQ(conformal.mean_set_size(f.test), 2.0);
+}
+
+TEST(Conformal, Validation) {
+    const Fixture f = make_fixture(5);
+    EXPECT_THROW(core::ConformalClassifier(f.model, f.calibration, 0.0),
+                 std::invalid_argument);
+    EXPECT_THROW(core::ConformalClassifier(f.model, f.calibration, 1.0),
+                 std::invalid_argument);
+}
+
+// ---------------------------------------------------------------- group DRO
+
+/// Two groups: group 1 is a shifted minority the average risk can ignore.
+struct GroupFixture {
+    models::Dataset data;
+    std::vector<std::size_t> groups;
+};
+
+GroupFixture make_group_fixture(std::uint64_t seed) {
+    stats::Rng rng(seed);
+    const data::TaskPopulation pop = data::TaskPopulation::make_synthetic(4, 1, 2.5, 0.02, rng);
+    const data::TaskSpec task = pop.sample_task(rng);
+    data::DataOptions majority;
+    majority.margin_scale = 3.0;
+    data::DataOptions minority = majority;
+    minority.feature_shift = {2.0, -2.0, 0.0, 0.0};
+    models::Dataset big = pop.generate(task, 90, rng, majority);
+    const models::Dataset small = pop.generate(task, 10, rng, minority);
+    GroupFixture f{models::Dataset::concatenate(big, small), {}};
+    f.groups.assign(90, 0);
+    f.groups.insert(f.groups.end(), 10, 1);
+    return f;
+}
+
+TEST(GroupDro, GradientMatchesNumericalSmoothedAndHard) {
+    const GroupFixture f = make_group_fixture(10);
+    const auto loss = models::make_logistic_loss();
+    stats::Rng rng(11);
+    for (const double smoothing : {0.0, 0.1}) {
+        const dro::GroupDroObjective objective(f.data, *loss, f.groups, smoothing, 0.01);
+        // Hard max is only subdifferentiable at ties; random thetas avoid
+        // ties almost surely.
+        const linalg::Vector theta = rng.standard_normal_vector(f.data.dim());
+        EXPECT_LT(linalg::distance2(objective.gradient(theta),
+                                    objective.numerical_gradient(theta)),
+                  2e-4)
+            << "smoothing=" << smoothing;
+    }
+}
+
+TEST(GroupDro, ValueIsWorstGroupLoss) {
+    const GroupFixture f = make_group_fixture(12);
+    const auto loss = models::make_logistic_loss();
+    const dro::GroupDroObjective objective(f.data, *loss, f.groups);
+    stats::Rng rng(13);
+    const linalg::Vector theta = rng.standard_normal_vector(f.data.dim());
+    const linalg::Vector losses = objective.group_losses(theta);
+    EXPECT_DOUBLE_EQ(objective.value(theta), losses[objective.worst_group(theta)]);
+}
+
+TEST(GroupDro, SmoothedUpperBoundsHardMax) {
+    const GroupFixture f = make_group_fixture(14);
+    const auto loss = models::make_logistic_loss();
+    const dro::GroupDroObjective hard(f.data, *loss, f.groups, 0.0);
+    const dro::GroupDroObjective smooth(f.data, *loss, f.groups, 0.05);
+    stats::Rng rng(15);
+    for (int t = 0; t < 5; ++t) {
+        const linalg::Vector theta = rng.standard_normal_vector(f.data.dim());
+        EXPECT_GE(smooth.value(theta), hard.value(theta) - 1e-12);
+        EXPECT_LE(smooth.value(theta), hard.value(theta) + 0.05 * std::log(2.0) + 1e-12);
+    }
+}
+
+TEST(GroupDro, TrainingShrinksTheGroupGap) {
+    // Average over seeds: group-DRO training reduces the worst-group loss
+    // relative to average-risk ERM.
+    double erm_worst = 0.0;
+    double dro_worst = 0.0;
+    const auto loss = models::make_logistic_loss();
+    const int trials = 4;
+    for (int t = 0; t < trials; ++t) {
+        const GroupFixture f = make_group_fixture(20 + t);
+        const models::ErmObjective erm(f.data, *loss, 0.01);
+        const dro::GroupDroObjective group(f.data, *loss, f.groups, 0.02, 0.01);
+        const auto erm_fit = optim::minimize_lbfgs(erm, linalg::zeros(f.data.dim()));
+        const auto dro_fit = optim::minimize_lbfgs(group, linalg::zeros(f.data.dim()));
+        const dro::GroupDroObjective gauge(f.data, *loss, f.groups);
+        erm_worst += gauge.value(erm_fit.x);
+        dro_worst += gauge.value(dro_fit.x);
+    }
+    EXPECT_LT(dro_worst / trials, erm_worst / trials + 1e-9);
+}
+
+TEST(GroupDro, Validation) {
+    const GroupFixture f = make_group_fixture(30);
+    const auto loss = models::make_logistic_loss();
+    EXPECT_THROW(dro::GroupDroObjective(f.data, *loss, {0, 1}), std::invalid_argument);
+    std::vector<std::size_t> with_gap = f.groups;
+    with_gap[0] = 5;  // groups 2..4 empty
+    EXPECT_THROW(dro::GroupDroObjective(f.data, *loss, with_gap), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace drel

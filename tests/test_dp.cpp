@@ -1,0 +1,454 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+#include "dp/crp.hpp"
+#include "dp/dpmm_gibbs.hpp"
+#include "dp/dpmm_variational.hpp"
+#include "dp/mixture_prior.hpp"
+#include "dp/stick_breaking.hpp"
+#include "stats/descriptive.hpp"
+#include "stats/rng.hpp"
+
+namespace drel::dp {
+namespace {
+
+// ---------------------------------------------------------- stick breaking
+
+TEST(StickBreaking, WeightsSumToOne) {
+    stats::Rng rng(1);
+    for (int i = 0; i < 50; ++i) {
+        const linalg::Vector w = sample_stick_breaking_weights(1.5, 10, rng);
+        EXPECT_EQ(w.size(), 10u);
+        EXPECT_NEAR(linalg::sum(w), 1.0, 1e-12);
+        for (const double v : w) EXPECT_GE(v, 0.0);
+    }
+}
+
+TEST(StickBreaking, ExpectedWeightsGeometricDecay) {
+    const double alpha = 2.0;
+    const linalg::Vector w = expected_stick_weights(alpha, 8);
+    EXPECT_NEAR(linalg::sum(w), 1.0, 1e-12);
+    // E[pi_1] = 1/(1+alpha); ratio of consecutive weights = alpha/(1+alpha).
+    EXPECT_NEAR(w[0], 1.0 / 3.0, 1e-12);
+    for (std::size_t k = 1; k + 1 < 8; ++k) {
+        EXPECT_NEAR(w[k] / w[k - 1], 2.0 / 3.0, 1e-12);
+    }
+}
+
+TEST(StickBreaking, MonteCarloMatchesExpectedWeights) {
+    stats::Rng rng(2);
+    const double alpha = 1.0;
+    linalg::Vector acc(6, 0.0);
+    const int trials = 20000;
+    for (int t = 0; t < trials; ++t) {
+        linalg::axpy(1.0, sample_stick_breaking_weights(alpha, 6, rng), acc);
+    }
+    linalg::scale(acc, 1.0 / trials);
+    const linalg::Vector expected = expected_stick_weights(alpha, 6);
+    for (std::size_t k = 0; k < 6; ++k) EXPECT_NEAR(acc[k], expected[k], 0.01);
+}
+
+TEST(StickBreaking, SmallAlphaConcentratesOnFirstStick) {
+    stats::Rng rng(3);
+    const linalg::Vector w = expected_stick_weights(0.05, 5);
+    EXPECT_GT(w[0], 0.9);
+}
+
+TEST(StickBreaking, TruncationForMassShrinksLeftover) {
+    const double alpha = 3.0;
+    const std::size_t k = truncation_for_mass(alpha, 1e-3);
+    const linalg::Vector w = expected_stick_weights(alpha, k);
+    EXPECT_LT(w.back(), 1e-3 + 1e-12);
+    EXPECT_THROW(truncation_for_mass(alpha, 2.0), std::invalid_argument);
+}
+
+TEST(StickBreaking, FractionValidation) {
+    EXPECT_THROW(stick_fractions_to_weights({0.5, 1.5}), std::invalid_argument);
+    stats::Rng rng(0);
+    EXPECT_THROW(sample_stick_breaking_weights(-1.0, 5, rng), std::invalid_argument);
+    EXPECT_THROW(sample_stick_breaking_weights(1.0, 0, rng), std::invalid_argument);
+}
+
+// --------------------------------------------------------------------- CRP
+
+TEST(Crp, PartitionCoversAllCustomers) {
+    stats::Rng rng(4);
+    const auto z = sample_crp_partition(1.0, 100, rng);
+    EXPECT_EQ(z.size(), 100u);
+    const std::size_t k = count_clusters(z);
+    EXPECT_GE(k, 1u);
+    // Cluster labels must be contiguous 0..k-1.
+    std::set<std::size_t> labels(z.begin(), z.end());
+    EXPECT_EQ(labels.size(), k);
+    EXPECT_EQ(*labels.rbegin(), k - 1);
+}
+
+TEST(Crp, ExpectedTableCountFormula) {
+    // alpha=1, n=3: 1 + 1/2 + 1/3
+    EXPECT_NEAR(expected_table_count(1.0, 3), 1.0 + 0.5 + 1.0 / 3.0, 1e-12);
+}
+
+TEST(Crp, MonteCarloTableCountMatchesExpectation) {
+    stats::Rng rng(5);
+    const double alpha = 2.0;
+    const std::size_t n = 60;
+    stats::RunningStats tables;
+    for (int t = 0; t < 3000; ++t) {
+        tables.push(static_cast<double>(count_clusters(sample_crp_partition(alpha, n, rng))));
+    }
+    EXPECT_NEAR(tables.mean(), expected_table_count(alpha, n), 0.15);
+}
+
+TEST(Crp, LargerAlphaMakesMoreTables) {
+    stats::Rng rng(6);
+    stats::RunningStats small_alpha;
+    stats::RunningStats large_alpha;
+    for (int t = 0; t < 500; ++t) {
+        small_alpha.push(
+            static_cast<double>(count_clusters(sample_crp_partition(0.2, 80, rng))));
+        large_alpha.push(
+            static_cast<double>(count_clusters(sample_crp_partition(5.0, 80, rng))));
+    }
+    EXPECT_GT(large_alpha.mean(), small_alpha.mean() + 2.0);
+}
+
+TEST(Crp, PredictiveProbabilitiesNormalized) {
+    const auto p = crp_predictive(1.5, {3, 5, 2});
+    EXPECT_EQ(p.size(), 4u);
+    double total = 0.0;
+    for (const double v : p) total += v;
+    EXPECT_NEAR(total, 1.0, 1e-12);
+    EXPECT_NEAR(p[1], 5.0 / 11.5, 1e-12);
+    EXPECT_NEAR(p[3], 1.5 / 11.5, 1e-12);
+}
+
+// ------------------------------------------------------------ mixture prior
+
+MixturePrior two_atom_prior() {
+    std::vector<stats::MultivariateNormal> atoms;
+    atoms.push_back(stats::MultivariateNormal::isotropic({2.0, 0.0}, 0.5));
+    atoms.push_back(stats::MultivariateNormal::isotropic({-2.0, 0.0}, 0.5));
+    return MixturePrior({0.7, 0.3}, std::move(atoms));
+}
+
+TEST(MixturePrior, WeightsNormalized) {
+    std::vector<stats::MultivariateNormal> atoms;
+    atoms.push_back(stats::MultivariateNormal::isotropic({0.0}, 1.0));
+    atoms.push_back(stats::MultivariateNormal::isotropic({1.0}, 1.0));
+    const MixturePrior prior({2.0, 6.0}, std::move(atoms));
+    EXPECT_NEAR(prior.weights()[0], 0.25, 1e-12);
+    EXPECT_NEAR(prior.weights()[1], 0.75, 1e-12);
+}
+
+TEST(MixturePrior, LogPdfMatchesManualMixture) {
+    const MixturePrior prior = two_atom_prior();
+    const linalg::Vector x{0.5, 0.1};
+    const double manual = std::log(0.7 * std::exp(prior.atom(0).log_pdf(x)) +
+                                   0.3 * std::exp(prior.atom(1).log_pdf(x)));
+    EXPECT_NEAR(prior.log_pdf(x), manual, 1e-10);
+}
+
+TEST(MixturePrior, ResponsibilitiesSumToOneAndTrackProximity) {
+    const MixturePrior prior = two_atom_prior();
+    const linalg::Vector near_first = prior.responsibilities({2.0, 0.0});
+    EXPECT_NEAR(linalg::sum(near_first), 1.0, 1e-12);
+    EXPECT_GT(near_first[0], 0.95);
+    const linalg::Vector near_second = prior.responsibilities({-2.0, 0.0});
+    EXPECT_GT(near_second[1], 0.9);
+    EXPECT_EQ(prior.map_component({-2.0, 0.0}), 1u);
+}
+
+TEST(MixturePrior, GradientMatchesFiniteDifference) {
+    const MixturePrior prior = two_atom_prior();
+    const linalg::Vector x{0.3, -0.4};
+    const linalg::Vector g = prior.log_pdf_gradient(x);
+    const double h = 1e-6;
+    for (std::size_t i = 0; i < 2; ++i) {
+        linalg::Vector xp = x;
+        linalg::Vector xm = x;
+        xp[i] += h;
+        xm[i] -= h;
+        EXPECT_NEAR(g[i], (prior.log_pdf(xp) - prior.log_pdf(xm)) / (2.0 * h), 1e-5);
+    }
+}
+
+TEST(MixturePrior, EmSurrogateIsTightMajorizer) {
+    // Jensen: log p(theta) >= Q(theta; r) + H(r) for any r, equality at
+    // r = responsibilities(theta).
+    const MixturePrior prior = two_atom_prior();
+    const linalg::Vector theta{0.7, 0.2};
+    const linalg::Vector r_star = prior.responsibilities(theta);
+    auto entropy = [](const linalg::Vector& p) {
+        double h = 0.0;
+        for (const double v : p) {
+            if (v > 0.0) h -= v * std::log(v);
+        }
+        return h;
+    };
+    EXPECT_NEAR(prior.em_surrogate(theta, r_star) + entropy(r_star), prior.log_pdf(theta),
+                1e-10);
+    // Any other responsibility vector gives a strict lower bound.
+    const linalg::Vector r_other{0.5, 0.5};
+    EXPECT_LE(prior.em_surrogate(theta, r_other) + entropy(r_other),
+              prior.log_pdf(theta) + 1e-12);
+}
+
+TEST(MixturePrior, SurrogateGradientMatchesFiniteDifference) {
+    const MixturePrior prior = two_atom_prior();
+    const linalg::Vector theta{0.7, 0.2};
+    const linalg::Vector r{0.6, 0.4};
+    const linalg::Vector g = prior.em_surrogate_gradient(theta, r);
+    const double h = 1e-6;
+    for (std::size_t i = 0; i < 2; ++i) {
+        linalg::Vector tp = theta;
+        linalg::Vector tm = theta;
+        tp[i] += h;
+        tm[i] -= h;
+        EXPECT_NEAR(g[i],
+                    (prior.em_surrogate(tp, r) - prior.em_surrogate(tm, r)) / (2.0 * h), 1e-5);
+    }
+}
+
+TEST(MixturePrior, MeanAndMomentMatch) {
+    const MixturePrior prior = two_atom_prior();
+    const linalg::Vector m = prior.mean();
+    EXPECT_NEAR(m[0], 0.7 * 2.0 + 0.3 * (-2.0), 1e-12);
+    const stats::MultivariateNormal g = prior.moment_matched_gaussian();
+    EXPECT_NEAR(g.mean()[0], m[0], 1e-12);
+    // Between-component spread must inflate the matched variance above the
+    // within-component 0.5.
+    EXPECT_GT(g.covariance()(0, 0), 2.0);
+}
+
+TEST(MixturePrior, SampleMomentsMatchMixture) {
+    stats::Rng rng(7);
+    const MixturePrior prior = two_atom_prior();
+    stats::RunningStats first;
+    for (int i = 0; i < 20000; ++i) first.push(prior.sample(rng)[0]);
+    EXPECT_NEAR(first.mean(), prior.mean()[0], 0.05);
+}
+
+TEST(MixturePrior, Validation) {
+    std::vector<stats::MultivariateNormal> atoms;
+    atoms.push_back(stats::MultivariateNormal::isotropic({0.0}, 1.0));
+    EXPECT_THROW(MixturePrior({1.0, 1.0}, std::move(atoms)), std::invalid_argument);
+    std::vector<stats::MultivariateNormal> atoms2;
+    atoms2.push_back(stats::MultivariateNormal::isotropic({0.0}, 1.0));
+    EXPECT_THROW(MixturePrior({-1.0}, std::move(atoms2)), std::invalid_argument);
+}
+
+// ------------------------------------------------------------- DPMM fixture
+
+/// Three well-separated 2-D clusters of "device parameters".
+std::vector<linalg::Vector> clustered_observations(stats::Rng& rng, std::size_t per_cluster) {
+    const std::vector<linalg::Vector> centers = {{6.0, 0.0}, {-6.0, 0.0}, {0.0, 6.0}};
+    std::vector<linalg::Vector> obs;
+    for (const auto& c : centers) {
+        for (std::size_t i = 0; i < per_cluster; ++i) {
+            linalg::Vector x = c;
+            x[0] += 0.3 * rng.normal();
+            x[1] += 0.3 * rng.normal();
+            obs.push_back(std::move(x));
+        }
+    }
+    return obs;
+}
+
+DpmmConfig dpmm_config() {
+    DpmmConfig config;
+    config.alpha = 1.0;
+    config.base_mean = {0.0, 0.0};
+    config.base_covariance = linalg::Matrix::identity(2) * 25.0;
+    config.within_covariance = linalg::Matrix::identity(2) * 0.25;
+    config.num_sweeps = 60;
+    return config;
+}
+
+// -------------------------------------------------------------- DPMM Gibbs
+
+TEST(DpmmGibbs, RecoversThreeClusters) {
+    stats::Rng rng(8);
+    DpmmGibbs sampler(clustered_observations(rng, 15), dpmm_config());
+    sampler.run(rng);
+    EXPECT_EQ(sampler.num_clusters(), 3u);
+    // Members of the same planted cluster must share an assignment.
+    const auto& z = sampler.assignments();
+    for (std::size_t c = 0; c < 3; ++c) {
+        for (std::size_t i = 1; i < 15; ++i) {
+            EXPECT_EQ(z[c * 15 + i], z[c * 15]) << "cluster " << c;
+        }
+    }
+}
+
+TEST(DpmmGibbs, ClusterPosteriorsNearPlantedCenters) {
+    stats::Rng rng(9);
+    DpmmGibbs sampler(clustered_observations(rng, 20), dpmm_config());
+    sampler.run(rng);
+    ASSERT_EQ(sampler.num_clusters(), 3u);
+    for (const auto& cp : sampler.cluster_posteriors()) {
+        const double r = linalg::norm2(cp.mean);
+        EXPECT_NEAR(r, 6.0, 0.5);  // all centers are at radius 6
+        EXPECT_EQ(cp.count, 20u);
+    }
+}
+
+TEST(DpmmGibbs, LogJointImprovesFromColdStart) {
+    stats::Rng rng(10);
+    DpmmGibbs sampler(clustered_observations(rng, 12), dpmm_config());
+    const double before = sampler.log_joint();
+    sampler.run(rng);
+    EXPECT_GT(sampler.log_joint(), before + 10.0);
+}
+
+TEST(DpmmGibbs, ExtractPriorWeightsAndEscapeAtom) {
+    stats::Rng rng(11);
+    DpmmGibbs sampler(clustered_observations(rng, 10), dpmm_config());
+    sampler.run(rng);
+    const MixturePrior with_base = sampler.extract_prior(true);
+    const MixturePrior without_base = sampler.extract_prior(false);
+    EXPECT_EQ(with_base.num_components(), without_base.num_components() + 1);
+    EXPECT_NEAR(linalg::sum(with_base.weights()), 1.0, 1e-12);
+    // The escape atom carries the alpha/(N+alpha) share before renorm, so it
+    // must be the lightest component.
+    double min_weight = 1e9;
+    for (const double w : with_base.weights()) min_weight = std::min(min_weight, w);
+    EXPECT_NEAR(min_weight, 1.0 / 31.0, 0.02);
+}
+
+TEST(DpmmGibbs, AlphaResamplingStaysPositive) {
+    stats::Rng rng(12);
+    DpmmConfig config = dpmm_config();
+    config.resample_alpha = true;
+    config.num_sweeps = 40;
+    DpmmGibbs sampler(clustered_observations(rng, 10), config);
+    sampler.run(rng);
+    EXPECT_GT(sampler.alpha(), 0.0);
+    EXPECT_LT(sampler.alpha(), 50.0);
+}
+
+TEST(DpmmGibbs, SingleClusterDataCollapses) {
+    stats::Rng rng(13);
+    std::vector<linalg::Vector> obs;
+    for (int i = 0; i < 30; ++i) {
+        obs.push_back({0.1 * rng.normal(), 0.1 * rng.normal()});
+    }
+    DpmmGibbs sampler(std::move(obs), dpmm_config());
+    sampler.run(rng);
+    EXPECT_EQ(sampler.num_clusters(), 1u);
+}
+
+TEST(DpmmGibbs, Validation) {
+    stats::Rng rng(14);
+    EXPECT_THROW(DpmmGibbs({}, dpmm_config()), std::invalid_argument);
+    DpmmConfig bad = dpmm_config();
+    bad.alpha = 0.0;
+    EXPECT_THROW(DpmmGibbs({{1.0, 2.0}}, bad), std::invalid_argument);
+    DpmmConfig mismatched = dpmm_config();
+    EXPECT_THROW(DpmmGibbs({{1.0, 2.0, 3.0}}, mismatched), std::invalid_argument);
+}
+
+// -------------------------------------------------------- DPMM variational
+
+VariationalConfig cavi_config() {
+    VariationalConfig config;
+    config.alpha = 1.0;
+    config.base_mean = {0.0, 0.0};
+    config.base_covariance = linalg::Matrix::identity(2) * 25.0;
+    config.within_covariance = linalg::Matrix::identity(2) * 0.25;
+    config.truncation = 8;
+    return config;
+}
+
+TEST(DpmmVariational, ElboMonotone) {
+    stats::Rng rng(15);
+    DpmmVariational cavi(clustered_observations(rng, 12), cavi_config());
+    // Manual run with explicit monotonicity check at every step.
+    (void)cavi.run(rng);
+    double previous = cavi.elbo();
+    for (int i = 0; i < 10; ++i) {
+        const double current = cavi.iterate();
+        EXPECT_GE(current, previous - 1e-7);
+        previous = current;
+    }
+}
+
+TEST(DpmmVariational, ExpectedWeightsOnSimplex) {
+    stats::Rng rng(16);
+    DpmmVariational cavi(clustered_observations(rng, 10), cavi_config());
+    cavi.run(rng);
+    const linalg::Vector w = cavi.expected_weights();
+    EXPECT_NEAR(linalg::sum(w), 1.0, 1e-9);
+    for (const double v : w) EXPECT_GE(v, 0.0);
+}
+
+TEST(DpmmVariational, FindsThreeHeavyComponents) {
+    stats::Rng rng(17);
+    DpmmVariational cavi(clustered_observations(rng, 20), cavi_config());
+    cavi.run(rng);
+    const linalg::Vector w = cavi.expected_weights();
+    std::size_t heavy = 0;
+    for (const double v : w) {
+        if (v > 0.1) ++heavy;
+    }
+    EXPECT_EQ(heavy, 3u);
+}
+
+TEST(DpmmVariational, ExtractedPriorDropsEmptyComponents) {
+    stats::Rng rng(18);
+    DpmmVariational cavi(clustered_observations(rng, 20), cavi_config());
+    cavi.run(rng);
+    const MixturePrior prior = cavi.extract_prior(0.05);
+    EXPECT_LE(prior.num_components(), 4u);
+    EXPECT_GE(prior.num_components(), 3u);
+    EXPECT_NEAR(linalg::sum(prior.weights()), 1.0, 1e-12);
+}
+
+TEST(DpmmVariational, PriorMeansNearPlantedCenters) {
+    stats::Rng rng(19);
+    DpmmVariational cavi(clustered_observations(rng, 25), cavi_config());
+    cavi.run(rng);
+    const MixturePrior prior = cavi.extract_prior(0.05);
+    std::size_t matched = 0;
+    for (const linalg::Vector& center :
+         std::vector<linalg::Vector>{{6.0, 0.0}, {-6.0, 0.0}, {0.0, 6.0}}) {
+        for (std::size_t k = 0; k < prior.num_components(); ++k) {
+            if (linalg::distance2(prior.atom(k).mean(), center) < 0.5) {
+                ++matched;
+                break;
+            }
+        }
+    }
+    EXPECT_EQ(matched, 3u);
+}
+
+TEST(DpmmVariational, Validation) {
+    VariationalConfig bad = cavi_config();
+    bad.truncation = 1;
+    EXPECT_THROW(DpmmVariational({{1.0, 2.0}}, bad), std::invalid_argument);
+    EXPECT_THROW(DpmmVariational({}, cavi_config()), std::invalid_argument);
+}
+
+// ----------------------------------------- Gibbs vs variational agreement
+
+TEST(DpmmAgreement, BothInferencesShipSimilarPriors) {
+    stats::Rng rng(20);
+    const auto obs = clustered_observations(rng, 20);
+    stats::Rng gibbs_rng(21);
+    DpmmGibbs gibbs(obs, dpmm_config());
+    gibbs.run(gibbs_rng);
+    stats::Rng cavi_rng(22);
+    DpmmVariational cavi(obs, cavi_config());
+    cavi.run(cavi_rng);
+    const MixturePrior pg = gibbs.extract_prior(false);
+    const MixturePrior pv = cavi.extract_prior(0.05);
+    // Same density (up to Monte Carlo noise) at a probe set of points.
+    for (const linalg::Vector& probe :
+         std::vector<linalg::Vector>{{6.0, 0.0}, {-6.0, 0.0}, {0.0, 6.0}}) {
+        EXPECT_NEAR(pg.log_pdf(probe), pv.log_pdf(probe), 1.0) << probe[0] << "," << probe[1];
+    }
+}
+
+}  // namespace
+}  // namespace drel::dp

@@ -1,0 +1,305 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "data/task_generator.hpp"
+#include "edgesim/cloud.hpp"
+#include "edgesim/device.hpp"
+#include "edgesim/simulation.hpp"
+#include "edgesim/transfer.hpp"
+#include "stats/rng.hpp"
+
+namespace drel::edgesim {
+namespace {
+
+dp::MixturePrior sample_prior() {
+    std::vector<stats::MultivariateNormal> atoms;
+    linalg::Matrix cov(3, 3,
+                       {0.5, 0.1, 0.0,   //
+                        0.1, 0.7, 0.2,   //
+                        0.0, 0.2, 0.9});
+    atoms.emplace_back(linalg::Vector{1.0, -2.0, 0.5}, cov);
+    atoms.push_back(stats::MultivariateNormal::isotropic({-1.0, 1.0, 0.0}, 0.3));
+    return dp::MixturePrior({0.6, 0.4}, std::move(atoms));
+}
+
+// ---------------------------------------------------------------- transfer
+
+TEST(Transfer, RoundTripFullPrecision) {
+    const dp::MixturePrior prior = sample_prior();
+    const auto encoded = encode_prior(prior);
+    EXPECT_EQ(encoded.size(), encoded_size(2, 3, {}));
+    const dp::MixturePrior decoded = decode_prior(encoded);
+    ASSERT_EQ(decoded.num_components(), 2u);
+    ASSERT_EQ(decoded.dim(), 3u);
+    for (std::size_t k = 0; k < 2; ++k) {
+        EXPECT_NEAR(decoded.weights()[k], prior.weights()[k], 1e-15);
+        EXPECT_NEAR(linalg::distance2(decoded.atom(k).mean(), prior.atom(k).mean()), 0.0,
+                    1e-15);
+        EXPECT_LT(linalg::Matrix::max_abs_diff(decoded.atom(k).covariance(),
+                                               prior.atom(k).covariance()),
+                  1e-15);
+    }
+}
+
+TEST(Transfer, Float32HalvesPayloadWithSmallError) {
+    const dp::MixturePrior prior = sample_prior();
+    EncodingOptions f32;
+    f32.use_float32 = true;
+    const auto small = encode_prior(prior, f32);
+    const auto full = encode_prior(prior);
+    EXPECT_LT(small.size(), full.size());
+    const dp::MixturePrior decoded = decode_prior(small);
+    // Densities must survive quantization within float32 precision.
+    const linalg::Vector probe{0.5, -0.5, 0.2};
+    EXPECT_NEAR(decoded.log_pdf(probe), prior.log_pdf(probe), 1e-4);
+}
+
+TEST(Transfer, DiagonalOnlyShrinksFurther) {
+    const dp::MixturePrior prior = sample_prior();
+    EncodingOptions diag;
+    diag.diagonal_only = true;
+    const auto encoded = encode_prior(prior, diag);
+    EXPECT_LT(encoded.size(), encode_prior(prior).size());
+    const dp::MixturePrior decoded = decode_prior(encoded);
+    // Off-diagonals dropped; diagonals preserved.
+    EXPECT_DOUBLE_EQ(decoded.atom(0).covariance()(0, 1), 0.0);
+    EXPECT_DOUBLE_EQ(decoded.atom(0).covariance()(0, 0), 0.5);
+}
+
+TEST(Transfer, EncodedSizeFormulaMatchesAllFlagCombos) {
+    const dp::MixturePrior prior = sample_prior();
+    for (const bool f32 : {false, true}) {
+        for (const bool diag : {false, true}) {
+            EncodingOptions options;
+            options.use_float32 = f32;
+            options.diagonal_only = diag;
+            EXPECT_EQ(encode_prior(prior, options).size(), encoded_size(2, 3, options))
+                << "f32=" << f32 << " diag=" << diag;
+        }
+    }
+}
+
+TEST(Transfer, RejectsCorruptedBuffers) {
+    const auto encoded = encode_prior(sample_prior());
+    // Truncated.
+    std::vector<std::uint8_t> truncated(encoded.begin(), encoded.begin() + 20);
+    EXPECT_THROW(decode_prior(truncated), std::invalid_argument);
+    // Bad magic.
+    auto bad_magic = encoded;
+    bad_magic[0] = 'X';
+    EXPECT_THROW(decode_prior(bad_magic), std::invalid_argument);
+    // Bad version.
+    auto bad_version = encoded;
+    bad_version[8] = 99;
+    EXPECT_THROW(decode_prior(bad_version), std::invalid_argument);
+    // Trailing garbage.
+    auto trailing = encoded;
+    trailing.push_back(0);
+    EXPECT_THROW(decode_prior(trailing), std::invalid_argument);
+    // Empty.
+    EXPECT_THROW(decode_prior({}), std::invalid_argument);
+}
+
+TEST(Transfer, RejectsImplausibleHeaderCounts) {
+    auto encoded = encode_prior(sample_prior());
+    // Zero the component count (offset: 8 magic + 4 version + 4 flags).
+    encoded[16] = 0;
+    encoded[17] = 0;
+    encoded[18] = 0;
+    encoded[19] = 0;
+    EXPECT_THROW(decode_prior(encoded), std::invalid_argument);
+}
+
+// ------------------------------------------------------------------- cloud
+
+TEST(Cloud, FitsContributorModelsAndPrior) {
+    stats::Rng rng(1);
+    const data::TaskPopulation pop = data::TaskPopulation::make_synthetic(4, 2, 3.0, 0.02, rng);
+    CloudConfig config;
+    config.gibbs_sweeps = 40;
+    CloudNode cloud(config);
+    for (int j = 0; j < 12; ++j) {
+        const data::TaskSpec task = pop.sample_task(rng);
+        data::DataOptions options;
+        options.margin_scale = 2.0;
+        cloud.add_contributor_data(pop.generate(task, 300, rng, options));
+    }
+    EXPECT_EQ(cloud.num_contributors(), 12u);
+    stats::Rng prior_rng(2);
+    const dp::MixturePrior prior = cloud.fit_prior(prior_rng);
+    EXPECT_EQ(prior.dim(), 5u);
+    EXPECT_GE(prior.num_components(), 2u);  // >= the planted modes (plus escape atom)
+}
+
+TEST(Cloud, VariationalPathWorks) {
+    stats::Rng rng(3);
+    const data::TaskPopulation pop = data::TaskPopulation::make_synthetic(3, 2, 3.0, 0.02, rng);
+    CloudConfig config;
+    config.inference = PriorInference::kVariational;
+    config.variational_truncation = 6;
+    CloudNode cloud(config);
+    for (int j = 0; j < 10; ++j) {
+        const data::TaskSpec task = pop.sample_task(rng);
+        cloud.add_contributor_data(pop.generate(task, 250, rng));
+    }
+    stats::Rng prior_rng(4);
+    const dp::MixturePrior prior = cloud.fit_prior(prior_rng);
+    EXPECT_EQ(prior.dim(), 4u);
+    EXPECT_GE(prior.num_components(), 1u);
+}
+
+TEST(Cloud, NigGibbsPathWorks) {
+    stats::Rng rng(30);
+    const data::TaskPopulation pop = data::TaskPopulation::make_synthetic(3, 2, 3.0, 0.02, rng);
+    CloudConfig config;
+    config.inference = PriorInference::kNigGibbs;
+    config.gibbs_sweeps = 40;
+    CloudNode cloud(config);
+    for (int j = 0; j < 10; ++j) {
+        const data::TaskSpec task = pop.sample_task(rng);
+        cloud.add_contributor_data(pop.generate(task, 250, rng));
+    }
+    stats::Rng prior_rng(31);
+    const dp::MixturePrior prior = cloud.fit_prior(prior_rng);
+    EXPECT_EQ(prior.dim(), 4u);
+    EXPECT_GE(prior.num_components(), 2u);
+    // NIG atoms carry diagonal covariances by construction.
+    EXPECT_DOUBLE_EQ(prior.atom(0).covariance()(0, 1), 0.0);
+}
+
+TEST(Cloud, RequiresTwoContributors) {
+    CloudNode cloud{CloudConfig{}};
+    stats::Rng rng(5);
+    EXPECT_THROW(cloud.fit_prior(rng), std::invalid_argument);
+    const models::Dataset d(linalg::Matrix(2, 2, {1.0, 1.0, -1.0, 1.0}), {1.0, -1.0});
+    cloud.add_contributor_data(d);
+    EXPECT_THROW(cloud.fit_prior(rng), std::invalid_argument);
+}
+
+TEST(Cloud, RejectsDimensionMismatchAcrossContributors) {
+    CloudNode cloud{CloudConfig{}};
+    cloud.add_contributor_data(
+        models::Dataset(linalg::Matrix(2, 2, {1.0, 1.0, -1.0, 1.0}), {1.0, -1.0}));
+    EXPECT_THROW(cloud.add_contributor_data(models::Dataset(
+                     linalg::Matrix(2, 3, {1.0, 1.0, 1.0, -1.0, 1.0, 1.0}), {1.0, -1.0})),
+                 std::invalid_argument);
+}
+
+// ------------------------------------------------------------------ device
+
+TEST(Device, LifecycleEnforced) {
+    stats::Rng rng(6);
+    const data::TaskPopulation pop = data::TaskPopulation::make_synthetic(3, 2, 2.0, 0.05, rng);
+    const data::TaskSpec task = pop.sample_task(rng);
+    EdgeDevice device("dev-0", pop.generate(task, 20, rng), {});
+    EXPECT_FALSE(device.has_prior());
+    EXPECT_THROW(device.train(), std::logic_error);
+    EXPECT_THROW(device.model(), std::logic_error);
+
+    // Build a matching prior and transfer it.
+    std::vector<stats::MultivariateNormal> atoms;
+    atoms.push_back(stats::MultivariateNormal::isotropic(task.theta_star, 0.2));
+    const dp::MixturePrior prior(linalg::Vector{1.0}, std::move(atoms));
+    const auto encoded = encode_prior(prior);
+    EXPECT_EQ(device.receive_prior(encoded), encoded.size());
+    EXPECT_TRUE(device.has_prior());
+    EXPECT_EQ(device.bytes_received(), encoded.size());
+
+    device.train();
+    const models::Dataset test = pop.generate(task, 1000, rng);
+    EXPECT_GT(device.evaluate_accuracy(test), 0.6);
+}
+
+TEST(Device, RejectsMismatchedPrior) {
+    stats::Rng rng(7);
+    const data::TaskPopulation pop = data::TaskPopulation::make_synthetic(3, 2, 2.0, 0.05, rng);
+    const data::TaskSpec task = pop.sample_task(rng);
+    EdgeDevice device("dev-1", pop.generate(task, 20, rng), {});
+    const dp::MixturePrior wrong =
+        dp::MixturePrior::single(stats::MultivariateNormal::isotropic({0.0, 0.0}, 1.0));
+    EXPECT_THROW(device.receive_prior(encode_prior(wrong)), std::invalid_argument);
+}
+
+// -------------------------------------------------------------- simulation
+
+TEST(Simulation, EndToEndFleetRunsAndHelps) {
+    SimulationConfig config;
+    config.feature_dim = 5;
+    config.num_modes = 3;
+    config.num_contributors = 12;
+    config.contributor_samples = 200;
+    config.num_edge_devices = 6;
+    config.edge_samples = 12;
+    config.test_samples = 800;
+    config.cloud.gibbs_sweeps = 40;
+    config.learner.em.max_outer_iterations = 15;
+    stats::Rng rng(8);
+    const FleetReport report = run_fleet_simulation(config, rng);
+    ASSERT_EQ(report.devices.size(), 6u);
+    EXPECT_GT(report.prior_components, 0u);
+    EXPECT_EQ(report.total_broadcast_bytes, report.prior_bytes * 6);
+    // Headline shape: transfer + robustness helps the average device.
+    EXPECT_GT(report.mean_em_dro_accuracy(), report.mean_local_erm_accuracy());
+    for (const auto& outcome : report.devices) {
+        EXPECT_GE(outcome.bayes_accuracy, outcome.em_dro_accuracy - 0.06);
+        EXPECT_GT(outcome.train_seconds, 0.0);
+    }
+}
+
+TEST(Simulation, DeterministicGivenSeed) {
+    SimulationConfig config;
+    config.num_contributors = 8;
+    config.contributor_samples = 120;
+    config.num_edge_devices = 3;
+    config.edge_samples = 10;
+    config.test_samples = 300;
+    config.cloud.gibbs_sweeps = 20;
+    config.learner.em.max_outer_iterations = 8;
+    stats::Rng rng_a(9);
+    stats::Rng rng_b(9);
+    const FleetReport a = run_fleet_simulation(config, rng_a);
+    const FleetReport b = run_fleet_simulation(config, rng_b);
+    ASSERT_EQ(a.devices.size(), b.devices.size());
+    for (std::size_t i = 0; i < a.devices.size(); ++i) {
+        EXPECT_DOUBLE_EQ(a.devices[i].em_dro_accuracy, b.devices[i].em_dro_accuracy);
+    }
+    EXPECT_EQ(a.prior_bytes, b.prior_bytes);
+}
+
+TEST(Simulation, ParallelRunIsBitIdenticalToSerial) {
+    SimulationConfig config;
+    config.num_contributors = 8;
+    config.contributor_samples = 120;
+    config.num_edge_devices = 6;
+    config.edge_samples = 10;
+    config.test_samples = 300;
+    config.cloud.gibbs_sweeps = 20;
+    config.learner.em.max_outer_iterations = 8;
+    stats::Rng serial_rng(77);
+    const FleetReport serial = run_fleet_simulation(config, serial_rng);
+    config.num_threads = 4;
+    stats::Rng parallel_rng(77);
+    const FleetReport parallel = run_fleet_simulation(config, parallel_rng);
+    ASSERT_EQ(serial.devices.size(), parallel.devices.size());
+    for (std::size_t i = 0; i < serial.devices.size(); ++i) {
+        EXPECT_DOUBLE_EQ(serial.devices[i].em_dro_accuracy,
+                         parallel.devices[i].em_dro_accuracy);
+        EXPECT_DOUBLE_EQ(serial.devices[i].local_erm_accuracy,
+                         parallel.devices[i].local_erm_accuracy);
+        EXPECT_EQ(serial.devices[i].mode_index, parallel.devices[i].mode_index);
+    }
+}
+
+TEST(Simulation, ConfigValidation) {
+    SimulationConfig config;
+    config.num_contributors = 1;
+    stats::Rng rng(10);
+    EXPECT_THROW(run_fleet_simulation(config, rng), std::invalid_argument);
+    config.num_contributors = 4;
+    config.num_edge_devices = 0;
+    EXPECT_THROW(run_fleet_simulation(config, rng), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace drel::edgesim

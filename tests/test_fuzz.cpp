@@ -1,0 +1,95 @@
+// Randomized robustness ("fuzz-ish") tests: hostile bytes and malformed
+// text must produce exceptions, never crashes, hangs, or silent garbage.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "data/csv_io.hpp"
+#include "edgesim/transfer.hpp"
+#include "stats/rng.hpp"
+
+namespace drel {
+namespace {
+
+dp::MixturePrior fuzz_prior() {
+    std::vector<stats::MultivariateNormal> atoms;
+    atoms.push_back(stats::MultivariateNormal::isotropic({1.0, 2.0, 3.0}, 0.5));
+    atoms.push_back(stats::MultivariateNormal::isotropic({-1.0, 0.0, 1.0}, 1.5));
+    return dp::MixturePrior({0.4, 0.6}, std::move(atoms));
+}
+
+TEST(FuzzDecode, RandomBuffersNeverCrash) {
+    stats::Rng rng(1);
+    for (int trial = 0; trial < 2000; ++trial) {
+        std::vector<std::uint8_t> buffer(rng.uniform_index(200));
+        for (auto& b : buffer) b = static_cast<std::uint8_t>(rng.uniform_index(256));
+        try {
+            const dp::MixturePrior decoded = edgesim::decode_prior(buffer);
+            // Decoding random bytes successfully is (essentially) impossible;
+            // if it ever happens the result must still be a valid prior.
+            EXPECT_GT(decoded.num_components(), 0u);
+        } catch (const std::invalid_argument&) {
+            // expected path
+        }
+    }
+}
+
+TEST(FuzzDecode, SingleByteCorruptionsEitherThrowOrStayValid) {
+    const auto payload = edgesim::encode_prior(fuzz_prior());
+    stats::Rng rng(2);
+    for (int trial = 0; trial < 500; ++trial) {
+        auto corrupted = payload;
+        const std::size_t at = rng.uniform_index(corrupted.size());
+        corrupted[at] ^= static_cast<std::uint8_t>(1u << rng.uniform_index(8));
+        try {
+            const dp::MixturePrior decoded = edgesim::decode_prior(corrupted);
+            // A flipped mantissa bit can decode fine — the result must still
+            // satisfy the MixturePrior invariants (normalized weights, PD
+            // covariances), which its constructor enforces.
+            double total = 0.0;
+            for (const double w : decoded.weights()) total += w;
+            EXPECT_NEAR(total, 1.0, 1e-9);
+        } catch (const std::invalid_argument&) {
+            // rejected — fine
+        }
+    }
+}
+
+TEST(FuzzDecode, TruncationAtEveryLengthThrows) {
+    const auto payload = edgesim::encode_prior(fuzz_prior());
+    for (std::size_t length = 0; length < payload.size(); ++length) {
+        std::vector<std::uint8_t> truncated(payload.begin(),
+                                            payload.begin() + static_cast<long>(length));
+        EXPECT_THROW(edgesim::decode_prior(truncated), std::invalid_argument)
+            << "length " << length;
+    }
+}
+
+TEST(FuzzCsv, RandomTextNeverCrashes) {
+    stats::Rng rng(3);
+    const std::string alphabet = "0123456789.,-+eE na\n\r\t;|";
+    for (int trial = 0; trial < 1000; ++trial) {
+        std::string text;
+        const std::size_t length = rng.uniform_index(120);
+        for (std::size_t i = 0; i < length; ++i) {
+            text += alphabet[rng.uniform_index(alphabet.size())];
+        }
+        std::istringstream is(text);
+        try {
+            const models::Dataset d = data::load_csv(is, false);
+            EXPECT_GT(d.size(), 0u);   // successful parses must be non-empty
+            EXPECT_GE(d.dim(), 1u);
+        } catch (const std::invalid_argument&) {
+            // expected for almost all random strings
+        }
+    }
+}
+
+TEST(FuzzCsv, MixedValidInvalidRowsRejectedAtomically) {
+    // Parsing must not return a half-dataset when a later row is bad.
+    std::istringstream is("1.0,2.0,1\n3.0,4.0,-1\nbad,row,1\n");
+    EXPECT_THROW(data::load_csv(is, false), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace drel

@@ -1,0 +1,336 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "linalg/matrix.hpp"
+#include "optim/admm.hpp"
+#include "optim/fista.hpp"
+#include "optim/gradient_descent.hpp"
+#include "optim/lbfgs.hpp"
+#include "optim/line_search.hpp"
+#include "optim/objective.hpp"
+#include "optim/scalar.hpp"
+#include "stats/rng.hpp"
+
+namespace drel::optim {
+namespace {
+
+/// f(x) = 0.5 x^T A x - b^T x with SPD A; optimum at A x = b.
+class QuadraticObjective final : public Objective {
+ public:
+    QuadraticObjective(linalg::Matrix a, linalg::Vector b) : a_(std::move(a)), b_(std::move(b)) {}
+
+    std::size_t dim() const override { return b_.size(); }
+
+    double eval(const linalg::Vector& x, linalg::Vector* grad) const override {
+        const linalg::Vector ax = a_.matvec(x);
+        if (grad) {
+            *grad = ax;
+            linalg::axpy(-1.0, b_, *grad);
+        }
+        return 0.5 * linalg::dot(x, ax) - linalg::dot(b_, x);
+    }
+
+ private:
+    linalg::Matrix a_;
+    linalg::Vector b_;
+};
+
+QuadraticObjective random_quadratic(std::size_t n, stats::Rng& rng) {
+    linalg::Matrix m(n, n);
+    for (std::size_t r = 0; r < n; ++r) {
+        for (std::size_t c = 0; c < n; ++c) m(r, c) = rng.normal();
+    }
+    linalg::Matrix a = m.matmul(m.transposed());
+    a.add_diagonal(1.0);
+    return QuadraticObjective(std::move(a), rng.standard_normal_vector(n));
+}
+
+/// Rosenbrock in 2-D — the classic nonconvex line-search stress test.
+class RosenbrockObjective final : public Objective {
+ public:
+    std::size_t dim() const override { return 2; }
+
+    double eval(const linalg::Vector& x, linalg::Vector* grad) const override {
+        const double a = 1.0 - x[0];
+        const double b = x[1] - x[0] * x[0];
+        if (grad) {
+            *grad = {-2.0 * a - 400.0 * x[0] * b, 200.0 * b};
+        }
+        return a * a + 100.0 * b * b;
+    }
+};
+
+// ----------------------------------------------------------- finite checks
+
+TEST(Objective, NumericalGradientMatchesAnalytic) {
+    stats::Rng rng(21);
+    const QuadraticObjective q = random_quadratic(5, rng);
+    const linalg::Vector x = rng.standard_normal_vector(5);
+    const linalg::Vector analytic = q.gradient(x);
+    const linalg::Vector numeric = q.numerical_gradient(x);
+    EXPECT_LT(linalg::distance2(analytic, numeric), 1e-5);
+}
+
+// ------------------------------------------------------------- line search
+
+TEST(LineSearch, ArmijoAcceptsDescentDirection) {
+    stats::Rng rng(22);
+    const QuadraticObjective q = random_quadratic(4, rng);
+    const linalg::Vector x = rng.standard_normal_vector(4);
+    linalg::Vector grad;
+    const double fx = q.eval(x, &grad);
+    const LineSearchResult r =
+        backtracking_armijo(q, x, fx, grad, linalg::scaled(grad, -1.0));
+    ASSERT_TRUE(r.success);
+    EXPECT_LT(r.value, fx);
+}
+
+TEST(LineSearch, ArmijoRejectsAscentDirection) {
+    stats::Rng rng(23);
+    const QuadraticObjective q = random_quadratic(4, rng);
+    const linalg::Vector x = rng.standard_normal_vector(4);
+    linalg::Vector grad;
+    const double fx = q.eval(x, &grad);
+    const LineSearchResult r = backtracking_armijo(q, x, fx, grad, grad);
+    EXPECT_FALSE(r.success);
+}
+
+TEST(LineSearch, StrongWolfeSatisfiesBothConditions) {
+    stats::Rng rng(24);
+    const QuadraticObjective q = random_quadratic(6, rng);
+    const linalg::Vector x = rng.standard_normal_vector(6);
+    linalg::Vector grad;
+    const double fx = q.eval(x, &grad);
+    const linalg::Vector d = linalg::scaled(grad, -1.0);
+    const double c1 = 1e-4;
+    const double c2 = 0.9;
+    const LineSearchResult r = strong_wolfe(q, x, fx, grad, d, 1.0, c1, c2);
+    ASSERT_TRUE(r.success);
+    // Armijo:
+    EXPECT_LE(r.value, fx + c1 * r.step * linalg::dot(grad, d) + 1e-12);
+    // Curvature:
+    linalg::Vector x_new = x;
+    linalg::axpy(r.step, d, x_new);
+    linalg::Vector grad_new;
+    q.eval(x_new, &grad_new);
+    EXPECT_LE(std::fabs(linalg::dot(grad_new, d)), -c2 * linalg::dot(grad, d) + 1e-9);
+}
+
+// --------------------------------------------------------- gradient descent
+
+TEST(GradientDescent, SolvesQuadraticToTolerance) {
+    stats::Rng rng(25);
+    const QuadraticObjective q = random_quadratic(6, rng);
+    GradientDescentOptions options;
+    options.stopping.max_iterations = 5000;
+    options.stopping.grad_tolerance = 1e-8;
+    options.stopping.value_tolerance = 0.0;  // force the gradient criterion
+    const OptimResult r = minimize_gradient_descent(q, linalg::zeros(6), options);
+    EXPECT_TRUE(r.converged);
+    EXPECT_LT(r.grad_norm, 1e-6);
+}
+
+TEST(GradientDescent, RejectsDimensionMismatch) {
+    stats::Rng rng(26);
+    const QuadraticObjective q = random_quadratic(3, rng);
+    EXPECT_THROW(minimize_gradient_descent(q, linalg::zeros(4)), std::invalid_argument);
+}
+
+TEST(ProjectedGradient, StaysInSimplexAndImproves) {
+    stats::Rng rng(27);
+    const QuadraticObjective q = random_quadratic(5, rng);
+    const Projection project = [](const linalg::Vector& v) {
+        return linalg::project_to_simplex(v);
+    };
+    ProjectedGradientOptions options;
+    options.stopping.max_iterations = 2000;
+    options.stopping.grad_tolerance = 1e-10;
+    const OptimResult r = minimize_projected_gradient(q, linalg::zeros(5), project, options);
+    EXPECT_NEAR(linalg::sum(r.x), 1.0, 1e-9);
+    for (const double v : r.x) EXPECT_GE(v, -1e-12);
+    // Must be at least as good as every vertex (optimality over the simplex).
+    for (std::size_t i = 0; i < 5; ++i) {
+        EXPECT_LE(r.value, q.value(linalg::unit(5, i)) + 1e-6);
+    }
+}
+
+// ------------------------------------------------------------------- L-BFGS
+
+TEST(Lbfgs, MatchesClosedFormQuadraticSolution) {
+    stats::Rng rng(28);
+    linalg::Matrix m(8, 8);
+    for (std::size_t r = 0; r < 8; ++r) {
+        for (std::size_t c = 0; c < 8; ++c) m(r, c) = rng.normal();
+    }
+    linalg::Matrix a = m.matmul(m.transposed());
+    a.add_diagonal(1.0);
+    const linalg::Vector b = rng.standard_normal_vector(8);
+    const QuadraticObjective q(a, b);
+    const OptimResult r = minimize_lbfgs(q, linalg::zeros(8));
+    ASSERT_TRUE(r.converged);
+    // Optimum solves A x = b.
+    EXPECT_LT(linalg::distance2(a.matvec(r.x), b), 1e-5);
+}
+
+TEST(Lbfgs, SolvesRosenbrock) {
+    const RosenbrockObjective f;
+    LbfgsOptions options;
+    options.stopping.max_iterations = 2000;
+    const OptimResult r = minimize_lbfgs(f, {-1.2, 1.0}, options);
+    EXPECT_NEAR(r.x[0], 1.0, 1e-4);
+    EXPECT_NEAR(r.x[1], 1.0, 1e-4);
+}
+
+TEST(Lbfgs, FasterThanGradientDescentOnIllConditioned) {
+    // Diagonal quadratic with condition number 1e4.
+    linalg::Vector diag(10);
+    for (std::size_t i = 0; i < 10; ++i) diag[i] = std::pow(10.0, static_cast<double>(i) / 2.25);
+    const QuadraticObjective q(linalg::Matrix::diagonal(diag), linalg::constant(10, 1.0));
+    const OptimResult lbfgs = minimize_lbfgs(q, linalg::zeros(10));
+    GradientDescentOptions gd_options;
+    gd_options.stopping.max_iterations = lbfgs.iterations + 5;
+    const OptimResult gd = minimize_gradient_descent(q, linalg::zeros(10), gd_options);
+    EXPECT_LT(lbfgs.value, gd.value - 1e-8);  // same budget, L-BFGS strictly better
+}
+
+TEST(Lbfgs, RespectsHistoryValidation) {
+    stats::Rng rng(29);
+    const QuadraticObjective q = random_quadratic(3, rng);
+    LbfgsOptions options;
+    options.history = 0;
+    EXPECT_THROW(minimize_lbfgs(q, linalg::zeros(3), options), std::invalid_argument);
+}
+
+// -------------------------------------------------------------------- FISTA
+
+TEST(Fista, LassoShrinksExactlyLikeSoftThreshold) {
+    // min 0.5 ||x - v||^2 + lambda ||x||_1 has the closed-form solution
+    // soft_threshold(v, lambda).
+    const linalg::Vector v{3.0, -0.5, 0.1, -2.0};
+    const double lambda = 1.0;
+    const FunctionObjective smooth(4, [&](const linalg::Vector& x, linalg::Vector* grad) {
+        const linalg::Vector d = linalg::sub(x, v);
+        if (grad) *grad = d;
+        return 0.5 * linalg::dot(d, d);
+    });
+    const ProxOperator prox = [&](const linalg::Vector& p, double t) {
+        return prox_l1(p, t, lambda);
+    };
+    const NonSmoothValue g = [&](const linalg::Vector& x) { return lambda * linalg::norm1(x); };
+    const OptimResult r = minimize_fista(smooth, prox, g, linalg::zeros(4));
+    const linalg::Vector expected = prox_l1(v, 1.0, lambda);
+    EXPECT_LT(linalg::distance2(r.x, expected), 1e-6);
+}
+
+TEST(Fista, ProxL1KnownValues) {
+    const linalg::Vector r = prox_l1({2.0, -0.3, 0.0}, 1.0, 0.5);
+    EXPECT_DOUBLE_EQ(r[0], 1.5);
+    EXPECT_DOUBLE_EQ(r[1], 0.0);
+    EXPECT_DOUBLE_EQ(r[2], 0.0);
+}
+
+TEST(Fista, ProxL2NormShrinksRadially) {
+    const linalg::Vector v{3.0, 4.0};  // norm 5
+    const linalg::Vector r = prox_l2_norm(v, 1.0, 2.0);
+    EXPECT_NEAR(linalg::norm2(r), 3.0, 1e-12);
+    // Direction preserved.
+    EXPECT_NEAR(r[0] / r[1], 3.0 / 4.0, 1e-12);
+    // Inside the threshold everything collapses to zero.
+    const linalg::Vector z = prox_l2_norm({0.1, 0.1}, 1.0, 2.0);
+    EXPECT_DOUBLE_EQ(linalg::norm2(z), 0.0);
+}
+
+TEST(Fista, AcceleratedNotWorseThanIsta) {
+    stats::Rng rng(30);
+    const QuadraticObjective q = random_quadratic(10, rng);
+    const ProxOperator prox = [](const linalg::Vector& p, double t) {
+        return prox_l1(p, t, 0.1);
+    };
+    const NonSmoothValue g = [](const linalg::Vector& x) { return 0.1 * linalg::norm1(x); };
+    FistaOptions fista_options;
+    fista_options.stopping.max_iterations = 60;
+    fista_options.stopping.grad_tolerance = 0.0;
+    fista_options.stopping.value_tolerance = 0.0;
+    FistaOptions ista_options = fista_options;
+    ista_options.accelerate = false;
+    const OptimResult fast = minimize_fista(q, prox, g, linalg::zeros(10), fista_options);
+    const OptimResult slow = minimize_fista(q, prox, g, linalg::zeros(10), ista_options);
+    EXPECT_LE(fast.value, slow.value + 1e-9);
+}
+
+// ------------------------------------------------------------------ scalar
+
+TEST(Scalar, GoldenSectionFindsParabolaMinimum) {
+    const auto r = golden_section_minimize([](double x) { return (x - 2.5) * (x - 2.5); },
+                                           -10.0, 10.0);
+    EXPECT_NEAR(r.x, 2.5, 1e-7);
+    EXPECT_TRUE(r.converged);
+}
+
+TEST(Scalar, BisectRootFindsSqrt2) {
+    const auto r = bisect_root([](double x) { return x * x - 2.0; }, 0.0, 2.0);
+    EXPECT_NEAR(r.x, std::sqrt(2.0), 1e-9);
+}
+
+TEST(Scalar, BisectRootRejectsNonBracketing) {
+    EXPECT_THROW(bisect_root([](double x) { return x * x + 1.0; }, -1.0, 1.0),
+                 std::invalid_argument);
+}
+
+TEST(Scalar, ConvexRayExpandsBracket) {
+    // Minimum far beyond the initial width.
+    const auto r = minimize_convex_on_ray(
+        [](double x) { return (x - 300.0) * (x - 300.0); }, 0.0, 1.0);
+    EXPECT_NEAR(r.x, 300.0, 1e-4);
+}
+
+TEST(Scalar, ConvexRayHandlesBoundaryMinimum) {
+    // Increasing function: minimum at the ray origin.
+    const auto r = minimize_convex_on_ray([](double x) { return x; }, 2.0, 1.0);
+    EXPECT_NEAR(r.x, 2.0, 1e-6);
+}
+
+// -------------------------------------------------------------------- ADMM
+
+TEST(Admm, ConsensusOfQuadraticsMatchesPooledSolution) {
+    // Two quadratics 0.5(x-a)^2 and 0.5(x-b)^2: consensus optimum (a+b)/2.
+    const FunctionObjective f1(1, [](const linalg::Vector& x, linalg::Vector* g) {
+        if (g) *g = {x[0] - 1.0};
+        return 0.5 * (x[0] - 1.0) * (x[0] - 1.0);
+    });
+    const FunctionObjective f2(1, [](const linalg::Vector& x, linalg::Vector* g) {
+        if (g) *g = {x[0] - 5.0};
+        return 0.5 * (x[0] - 5.0) * (x[0] - 5.0);
+    });
+    const AdmmResult r = minimize_consensus_admm({&f1, &f2}, {0.0});
+    EXPECT_TRUE(r.converged);
+    EXPECT_NEAR(r.z[0], 3.0, 1e-4);
+}
+
+TEST(Admm, MultiDimensionalConsensus) {
+    stats::Rng rng(31);
+    const QuadraticObjective q1 = random_quadratic(4, rng);
+    const QuadraticObjective q2 = random_quadratic(4, rng);
+    const QuadraticObjective q3 = random_quadratic(4, rng);
+    const AdmmResult r = minimize_consensus_admm({&q1, &q2, &q3}, linalg::zeros(4));
+    EXPECT_TRUE(r.converged);
+    // The consensus optimum zeroes the summed gradient.
+    linalg::Vector total = linalg::zeros(4);
+    const std::vector<const Objective*> terms = {&q1, &q2, &q3};
+    for (const Objective* f : terms) {
+        linalg::axpy(1.0, f->gradient(r.z), total);
+    }
+    EXPECT_LT(linalg::norm_inf(total), 1e-3);
+}
+
+TEST(Admm, RejectsEmptyAndMismatched) {
+    EXPECT_THROW(minimize_consensus_admm({}, {0.0}), std::invalid_argument);
+    stats::Rng rng(32);
+    const QuadraticObjective a = random_quadratic(2, rng);
+    const QuadraticObjective b = random_quadratic(3, rng);
+    EXPECT_THROW(minimize_consensus_admm({&a, &b}, linalg::zeros(2)), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace drel::optim
