@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig10_multiclass.dir/bench_fig10_multiclass.cpp.o"
+  "CMakeFiles/bench_fig10_multiclass.dir/bench_fig10_multiclass.cpp.o.d"
+  "bench_fig10_multiclass"
+  "bench_fig10_multiclass.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig10_multiclass.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

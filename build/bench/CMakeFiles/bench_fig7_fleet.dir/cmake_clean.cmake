@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig7_fleet.dir/bench_fig7_fleet.cpp.o"
+  "CMakeFiles/bench_fig7_fleet.dir/bench_fig7_fleet.cpp.o.d"
+  "bench_fig7_fleet"
+  "bench_fig7_fleet.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig7_fleet.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig8_duality.dir/bench_fig8_duality.cpp.o"
+  "CMakeFiles/bench_fig8_duality.dir/bench_fig8_duality.cpp.o.d"
+  "bench_fig8_duality"
+  "bench_fig8_duality.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig8_duality.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

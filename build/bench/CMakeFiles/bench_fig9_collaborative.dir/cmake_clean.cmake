@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig9_collaborative.dir/bench_fig9_collaborative.cpp.o"
+  "CMakeFiles/bench_fig9_collaborative.dir/bench_fig9_collaborative.cpp.o.d"
+  "bench_fig9_collaborative"
+  "bench_fig9_collaborative.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig9_collaborative.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

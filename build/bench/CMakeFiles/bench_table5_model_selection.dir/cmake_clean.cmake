@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table5_model_selection.dir/bench_table5_model_selection.cpp.o"
+  "CMakeFiles/bench_table5_model_selection.dir/bench_table5_model_selection.cpp.o.d"
+  "bench_table5_model_selection"
+  "bench_table5_model_selection.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table5_model_selection.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

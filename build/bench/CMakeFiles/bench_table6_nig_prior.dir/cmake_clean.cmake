@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table6_nig_prior.dir/bench_table6_nig_prior.cpp.o"
+  "CMakeFiles/bench_table6_nig_prior.dir/bench_table6_nig_prior.cpp.o.d"
+  "bench_table6_nig_prior"
+  "bench_table6_nig_prior.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table6_nig_prior.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/device_fleet.dir/device_fleet.cpp.o"
+  "CMakeFiles/device_fleet.dir/device_fleet.cpp.o.d"
+  "device_fleet"
+  "device_fleet.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/device_fleet.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/drel_cli.dir/drel_cli.cpp.o"
+  "CMakeFiles/drel_cli.dir/drel_cli.cpp.o.d"
+  "drel_cli"
+  "drel_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/drel_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

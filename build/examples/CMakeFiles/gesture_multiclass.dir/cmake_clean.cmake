@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gesture_multiclass.dir/gesture_multiclass.cpp.o"
+  "CMakeFiles/gesture_multiclass.dir/gesture_multiclass.cpp.o.d"
+  "gesture_multiclass"
+  "gesture_multiclass.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gesture_multiclass.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

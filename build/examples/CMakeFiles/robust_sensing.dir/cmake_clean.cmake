@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/robust_sensing.dir/robust_sensing.cpp.o"
+  "CMakeFiles/robust_sensing.dir/robust_sensing.cpp.o.d"
+  "robust_sensing"
+  "robust_sensing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/robust_sensing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,20 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/examples
+# Build directory: /root/repo/build/examples
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(example_quickstart "/root/repo/build/examples/quickstart" "3")
+set_tests_properties(example_quickstart PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;15;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_iot_anomaly "/root/repo/build/examples/iot_anomaly" "3")
+set_tests_properties(example_iot_anomaly PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;16;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_device_fleet "/root/repo/build/examples/device_fleet" "3" "4")
+set_tests_properties(example_device_fleet PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;17;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_robust_sensing "/root/repo/build/examples/robust_sensing" "3")
+set_tests_properties(example_robust_sensing PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;18;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_gesture_multiclass "/root/repo/build/examples/gesture_multiclass" "3")
+set_tests_properties(example_gesture_multiclass PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;19;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_streaming_monitor "/root/repo/build/examples/streaming_monitor" "3")
+set_tests_properties(example_streaming_monitor PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;20;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_cli_pipeline "bash" "-c" "set -e; dir=\$(mktemp -d); trap 'rm -rf \$dir' EXIT;         /root/repo/build/examples/drel_cli demo-data --dir \$dir --contributors 6 --contributor-samples 120 &&         /root/repo/build/examples/drel_cli fit-prior --out \$dir/prior.bin \$dir/contributor_*.csv &&         /root/repo/build/examples/drel_cli inspect-prior --prior \$dir/prior.bin &&         /root/repo/build/examples/drel_cli train --prior \$dir/prior.bin --data \$dir/edge_train.csv --out \$dir/model.txt &&         /root/repo/build/examples/drel_cli eval --model \$dir/model.txt --data \$dir/edge_test.csv --epsilon 0.3")
+set_tests_properties(example_cli_pipeline PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;21;add_test;/root/repo/examples/CMakeLists.txt;0;")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/drel_baselines.dir/trainers.cpp.o"
+  "CMakeFiles/drel_baselines.dir/trainers.cpp.o.d"
+  "libdrel_baselines.a"
+  "libdrel_baselines.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/drel_baselines.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/conformal.cpp" "src/core/CMakeFiles/drel_core.dir/conformal.cpp.o" "gcc" "src/core/CMakeFiles/drel_core.dir/conformal.cpp.o.d"
+  "/root/repo/src/core/edge_learner.cpp" "src/core/CMakeFiles/drel_core.dir/edge_learner.cpp.o" "gcc" "src/core/CMakeFiles/drel_core.dir/edge_learner.cpp.o.d"
+  "/root/repo/src/core/em_dro.cpp" "src/core/CMakeFiles/drel_core.dir/em_dro.cpp.o" "gcc" "src/core/CMakeFiles/drel_core.dir/em_dro.cpp.o.d"
+  "/root/repo/src/core/ensemble.cpp" "src/core/CMakeFiles/drel_core.dir/ensemble.cpp.o" "gcc" "src/core/CMakeFiles/drel_core.dir/ensemble.cpp.o.d"
+  "/root/repo/src/core/model_selection.cpp" "src/core/CMakeFiles/drel_core.dir/model_selection.cpp.o" "gcc" "src/core/CMakeFiles/drel_core.dir/model_selection.cpp.o.d"
+  "/root/repo/src/core/softmax_edge_learner.cpp" "src/core/CMakeFiles/drel_core.dir/softmax_edge_learner.cpp.o" "gcc" "src/core/CMakeFiles/drel_core.dir/softmax_edge_learner.cpp.o.d"
+  "/root/repo/src/core/streaming.cpp" "src/core/CMakeFiles/drel_core.dir/streaming.cpp.o" "gcc" "src/core/CMakeFiles/drel_core.dir/streaming.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/dro/CMakeFiles/drel_dro.dir/DependInfo.cmake"
+  "/root/repo/build/src/dp/CMakeFiles/drel_dp.dir/DependInfo.cmake"
+  "/root/repo/build/src/models/CMakeFiles/drel_models.dir/DependInfo.cmake"
+  "/root/repo/build/src/optim/CMakeFiles/drel_optim.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/drel_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/linalg/CMakeFiles/drel_linalg.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/drel_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/drel_core.dir/conformal.cpp.o"
+  "CMakeFiles/drel_core.dir/conformal.cpp.o.d"
+  "CMakeFiles/drel_core.dir/edge_learner.cpp.o"
+  "CMakeFiles/drel_core.dir/edge_learner.cpp.o.d"
+  "CMakeFiles/drel_core.dir/em_dro.cpp.o"
+  "CMakeFiles/drel_core.dir/em_dro.cpp.o.d"
+  "CMakeFiles/drel_core.dir/ensemble.cpp.o"
+  "CMakeFiles/drel_core.dir/ensemble.cpp.o.d"
+  "CMakeFiles/drel_core.dir/model_selection.cpp.o"
+  "CMakeFiles/drel_core.dir/model_selection.cpp.o.d"
+  "CMakeFiles/drel_core.dir/softmax_edge_learner.cpp.o"
+  "CMakeFiles/drel_core.dir/softmax_edge_learner.cpp.o.d"
+  "CMakeFiles/drel_core.dir/streaming.cpp.o"
+  "CMakeFiles/drel_core.dir/streaming.cpp.o.d"
+  "libdrel_core.a"
+  "libdrel_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/drel_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

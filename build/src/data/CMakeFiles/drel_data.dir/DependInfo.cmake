@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/data/csv_io.cpp" "src/data/CMakeFiles/drel_data.dir/csv_io.cpp.o" "gcc" "src/data/CMakeFiles/drel_data.dir/csv_io.cpp.o.d"
+  "/root/repo/src/data/multiclass_generator.cpp" "src/data/CMakeFiles/drel_data.dir/multiclass_generator.cpp.o" "gcc" "src/data/CMakeFiles/drel_data.dir/multiclass_generator.cpp.o.d"
+  "/root/repo/src/data/scenarios.cpp" "src/data/CMakeFiles/drel_data.dir/scenarios.cpp.o" "gcc" "src/data/CMakeFiles/drel_data.dir/scenarios.cpp.o.d"
+  "/root/repo/src/data/shifts.cpp" "src/data/CMakeFiles/drel_data.dir/shifts.cpp.o" "gcc" "src/data/CMakeFiles/drel_data.dir/shifts.cpp.o.d"
+  "/root/repo/src/data/task_generator.cpp" "src/data/CMakeFiles/drel_data.dir/task_generator.cpp.o" "gcc" "src/data/CMakeFiles/drel_data.dir/task_generator.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/models/CMakeFiles/drel_models.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/drel_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/linalg/CMakeFiles/drel_linalg.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/drel_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/optim/CMakeFiles/drel_optim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/drel_data.dir/csv_io.cpp.o"
+  "CMakeFiles/drel_data.dir/csv_io.cpp.o.d"
+  "CMakeFiles/drel_data.dir/multiclass_generator.cpp.o"
+  "CMakeFiles/drel_data.dir/multiclass_generator.cpp.o.d"
+  "CMakeFiles/drel_data.dir/scenarios.cpp.o"
+  "CMakeFiles/drel_data.dir/scenarios.cpp.o.d"
+  "CMakeFiles/drel_data.dir/shifts.cpp.o"
+  "CMakeFiles/drel_data.dir/shifts.cpp.o.d"
+  "CMakeFiles/drel_data.dir/task_generator.cpp.o"
+  "CMakeFiles/drel_data.dir/task_generator.cpp.o.d"
+  "libdrel_data.a"
+  "libdrel_data.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/drel_data.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libdrel_data.a"
+)

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/dp/crp.cpp" "src/dp/CMakeFiles/drel_dp.dir/crp.cpp.o" "gcc" "src/dp/CMakeFiles/drel_dp.dir/crp.cpp.o.d"
+  "/root/repo/src/dp/dpmm_gibbs.cpp" "src/dp/CMakeFiles/drel_dp.dir/dpmm_gibbs.cpp.o" "gcc" "src/dp/CMakeFiles/drel_dp.dir/dpmm_gibbs.cpp.o.d"
+  "/root/repo/src/dp/dpmm_nig.cpp" "src/dp/CMakeFiles/drel_dp.dir/dpmm_nig.cpp.o" "gcc" "src/dp/CMakeFiles/drel_dp.dir/dpmm_nig.cpp.o.d"
+  "/root/repo/src/dp/dpmm_variational.cpp" "src/dp/CMakeFiles/drel_dp.dir/dpmm_variational.cpp.o" "gcc" "src/dp/CMakeFiles/drel_dp.dir/dpmm_variational.cpp.o.d"
+  "/root/repo/src/dp/mixture_prior.cpp" "src/dp/CMakeFiles/drel_dp.dir/mixture_prior.cpp.o" "gcc" "src/dp/CMakeFiles/drel_dp.dir/mixture_prior.cpp.o.d"
+  "/root/repo/src/dp/prior_diagnostics.cpp" "src/dp/CMakeFiles/drel_dp.dir/prior_diagnostics.cpp.o" "gcc" "src/dp/CMakeFiles/drel_dp.dir/prior_diagnostics.cpp.o.d"
+  "/root/repo/src/dp/stick_breaking.cpp" "src/dp/CMakeFiles/drel_dp.dir/stick_breaking.cpp.o" "gcc" "src/dp/CMakeFiles/drel_dp.dir/stick_breaking.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/stats/CMakeFiles/drel_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/linalg/CMakeFiles/drel_linalg.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/drel_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/drel_dp.dir/crp.cpp.o"
+  "CMakeFiles/drel_dp.dir/crp.cpp.o.d"
+  "CMakeFiles/drel_dp.dir/dpmm_gibbs.cpp.o"
+  "CMakeFiles/drel_dp.dir/dpmm_gibbs.cpp.o.d"
+  "CMakeFiles/drel_dp.dir/dpmm_nig.cpp.o"
+  "CMakeFiles/drel_dp.dir/dpmm_nig.cpp.o.d"
+  "CMakeFiles/drel_dp.dir/dpmm_variational.cpp.o"
+  "CMakeFiles/drel_dp.dir/dpmm_variational.cpp.o.d"
+  "CMakeFiles/drel_dp.dir/mixture_prior.cpp.o"
+  "CMakeFiles/drel_dp.dir/mixture_prior.cpp.o.d"
+  "CMakeFiles/drel_dp.dir/prior_diagnostics.cpp.o"
+  "CMakeFiles/drel_dp.dir/prior_diagnostics.cpp.o.d"
+  "CMakeFiles/drel_dp.dir/stick_breaking.cpp.o"
+  "CMakeFiles/drel_dp.dir/stick_breaking.cpp.o.d"
+  "libdrel_dp.a"
+  "libdrel_dp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/drel_dp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,34 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/dro/ambiguity.cpp" "src/dro/CMakeFiles/drel_dro.dir/ambiguity.cpp.o" "gcc" "src/dro/CMakeFiles/drel_dro.dir/ambiguity.cpp.o.d"
+  "/root/repo/src/dro/certificates.cpp" "src/dro/CMakeFiles/drel_dro.dir/certificates.cpp.o" "gcc" "src/dro/CMakeFiles/drel_dro.dir/certificates.cpp.o.d"
+  "/root/repo/src/dro/chi_square.cpp" "src/dro/CMakeFiles/drel_dro.dir/chi_square.cpp.o" "gcc" "src/dro/CMakeFiles/drel_dro.dir/chi_square.cpp.o.d"
+  "/root/repo/src/dro/group_dro.cpp" "src/dro/CMakeFiles/drel_dro.dir/group_dro.cpp.o" "gcc" "src/dro/CMakeFiles/drel_dro.dir/group_dro.cpp.o.d"
+  "/root/repo/src/dro/kl.cpp" "src/dro/CMakeFiles/drel_dro.dir/kl.cpp.o" "gcc" "src/dro/CMakeFiles/drel_dro.dir/kl.cpp.o.d"
+  "/root/repo/src/dro/label_shift.cpp" "src/dro/CMakeFiles/drel_dro.dir/label_shift.cpp.o" "gcc" "src/dro/CMakeFiles/drel_dro.dir/label_shift.cpp.o.d"
+  "/root/repo/src/dro/robust_objective.cpp" "src/dro/CMakeFiles/drel_dro.dir/robust_objective.cpp.o" "gcc" "src/dro/CMakeFiles/drel_dro.dir/robust_objective.cpp.o.d"
+  "/root/repo/src/dro/softmax_dro.cpp" "src/dro/CMakeFiles/drel_dro.dir/softmax_dro.cpp.o" "gcc" "src/dro/CMakeFiles/drel_dro.dir/softmax_dro.cpp.o.d"
+  "/root/repo/src/dro/wasserstein.cpp" "src/dro/CMakeFiles/drel_dro.dir/wasserstein.cpp.o" "gcc" "src/dro/CMakeFiles/drel_dro.dir/wasserstein.cpp.o.d"
+  "/root/repo/src/dro/wasserstein_regression.cpp" "src/dro/CMakeFiles/drel_dro.dir/wasserstein_regression.cpp.o" "gcc" "src/dro/CMakeFiles/drel_dro.dir/wasserstein_regression.cpp.o.d"
+  "/root/repo/src/dro/worst_case.cpp" "src/dro/CMakeFiles/drel_dro.dir/worst_case.cpp.o" "gcc" "src/dro/CMakeFiles/drel_dro.dir/worst_case.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/models/CMakeFiles/drel_models.dir/DependInfo.cmake"
+  "/root/repo/build/src/optim/CMakeFiles/drel_optim.dir/DependInfo.cmake"
+  "/root/repo/build/src/linalg/CMakeFiles/drel_linalg.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/drel_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/drel_stats.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,31 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/drel_dro.dir/ambiguity.cpp.o"
+  "CMakeFiles/drel_dro.dir/ambiguity.cpp.o.d"
+  "CMakeFiles/drel_dro.dir/certificates.cpp.o"
+  "CMakeFiles/drel_dro.dir/certificates.cpp.o.d"
+  "CMakeFiles/drel_dro.dir/chi_square.cpp.o"
+  "CMakeFiles/drel_dro.dir/chi_square.cpp.o.d"
+  "CMakeFiles/drel_dro.dir/group_dro.cpp.o"
+  "CMakeFiles/drel_dro.dir/group_dro.cpp.o.d"
+  "CMakeFiles/drel_dro.dir/kl.cpp.o"
+  "CMakeFiles/drel_dro.dir/kl.cpp.o.d"
+  "CMakeFiles/drel_dro.dir/label_shift.cpp.o"
+  "CMakeFiles/drel_dro.dir/label_shift.cpp.o.d"
+  "CMakeFiles/drel_dro.dir/robust_objective.cpp.o"
+  "CMakeFiles/drel_dro.dir/robust_objective.cpp.o.d"
+  "CMakeFiles/drel_dro.dir/softmax_dro.cpp.o"
+  "CMakeFiles/drel_dro.dir/softmax_dro.cpp.o.d"
+  "CMakeFiles/drel_dro.dir/wasserstein.cpp.o"
+  "CMakeFiles/drel_dro.dir/wasserstein.cpp.o.d"
+  "CMakeFiles/drel_dro.dir/wasserstein_regression.cpp.o"
+  "CMakeFiles/drel_dro.dir/wasserstein_regression.cpp.o.d"
+  "CMakeFiles/drel_dro.dir/worst_case.cpp.o"
+  "CMakeFiles/drel_dro.dir/worst_case.cpp.o.d"
+  "libdrel_dro.a"
+  "libdrel_dro.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/drel_dro.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

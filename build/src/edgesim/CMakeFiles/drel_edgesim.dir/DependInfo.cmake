@@ -1,0 +1,35 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/edgesim/cloud.cpp" "src/edgesim/CMakeFiles/drel_edgesim.dir/cloud.cpp.o" "gcc" "src/edgesim/CMakeFiles/drel_edgesim.dir/cloud.cpp.o.d"
+  "/root/repo/src/edgesim/collaborative.cpp" "src/edgesim/CMakeFiles/drel_edgesim.dir/collaborative.cpp.o" "gcc" "src/edgesim/CMakeFiles/drel_edgesim.dir/collaborative.cpp.o.d"
+  "/root/repo/src/edgesim/device.cpp" "src/edgesim/CMakeFiles/drel_edgesim.dir/device.cpp.o" "gcc" "src/edgesim/CMakeFiles/drel_edgesim.dir/device.cpp.o.d"
+  "/root/repo/src/edgesim/lifecycle.cpp" "src/edgesim/CMakeFiles/drel_edgesim.dir/lifecycle.cpp.o" "gcc" "src/edgesim/CMakeFiles/drel_edgesim.dir/lifecycle.cpp.o.d"
+  "/root/repo/src/edgesim/network.cpp" "src/edgesim/CMakeFiles/drel_edgesim.dir/network.cpp.o" "gcc" "src/edgesim/CMakeFiles/drel_edgesim.dir/network.cpp.o.d"
+  "/root/repo/src/edgesim/simulation.cpp" "src/edgesim/CMakeFiles/drel_edgesim.dir/simulation.cpp.o" "gcc" "src/edgesim/CMakeFiles/drel_edgesim.dir/simulation.cpp.o.d"
+  "/root/repo/src/edgesim/transfer.cpp" "src/edgesim/CMakeFiles/drel_edgesim.dir/transfer.cpp.o" "gcc" "src/edgesim/CMakeFiles/drel_edgesim.dir/transfer.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/drel_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/baselines/CMakeFiles/drel_baselines.dir/DependInfo.cmake"
+  "/root/repo/build/src/dp/CMakeFiles/drel_dp.dir/DependInfo.cmake"
+  "/root/repo/build/src/data/CMakeFiles/drel_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/models/CMakeFiles/drel_models.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/drel_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/linalg/CMakeFiles/drel_linalg.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/drel_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/dro/CMakeFiles/drel_dro.dir/DependInfo.cmake"
+  "/root/repo/build/src/optim/CMakeFiles/drel_optim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/drel_edgesim.dir/cloud.cpp.o"
+  "CMakeFiles/drel_edgesim.dir/cloud.cpp.o.d"
+  "CMakeFiles/drel_edgesim.dir/collaborative.cpp.o"
+  "CMakeFiles/drel_edgesim.dir/collaborative.cpp.o.d"
+  "CMakeFiles/drel_edgesim.dir/device.cpp.o"
+  "CMakeFiles/drel_edgesim.dir/device.cpp.o.d"
+  "CMakeFiles/drel_edgesim.dir/lifecycle.cpp.o"
+  "CMakeFiles/drel_edgesim.dir/lifecycle.cpp.o.d"
+  "CMakeFiles/drel_edgesim.dir/network.cpp.o"
+  "CMakeFiles/drel_edgesim.dir/network.cpp.o.d"
+  "CMakeFiles/drel_edgesim.dir/simulation.cpp.o"
+  "CMakeFiles/drel_edgesim.dir/simulation.cpp.o.d"
+  "CMakeFiles/drel_edgesim.dir/transfer.cpp.o"
+  "CMakeFiles/drel_edgesim.dir/transfer.cpp.o.d"
+  "libdrel_edgesim.a"
+  "libdrel_edgesim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/drel_edgesim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

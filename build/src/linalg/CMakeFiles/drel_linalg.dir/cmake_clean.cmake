@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/drel_linalg.dir/cholesky.cpp.o"
+  "CMakeFiles/drel_linalg.dir/cholesky.cpp.o.d"
+  "CMakeFiles/drel_linalg.dir/eigen_sym.cpp.o"
+  "CMakeFiles/drel_linalg.dir/eigen_sym.cpp.o.d"
+  "CMakeFiles/drel_linalg.dir/matrix.cpp.o"
+  "CMakeFiles/drel_linalg.dir/matrix.cpp.o.d"
+  "CMakeFiles/drel_linalg.dir/qr.cpp.o"
+  "CMakeFiles/drel_linalg.dir/qr.cpp.o.d"
+  "CMakeFiles/drel_linalg.dir/vector_ops.cpp.o"
+  "CMakeFiles/drel_linalg.dir/vector_ops.cpp.o.d"
+  "libdrel_linalg.a"
+  "libdrel_linalg.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/drel_linalg.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/models/dataset.cpp" "src/models/CMakeFiles/drel_models.dir/dataset.cpp.o" "gcc" "src/models/CMakeFiles/drel_models.dir/dataset.cpp.o.d"
+  "/root/repo/src/models/erm_objective.cpp" "src/models/CMakeFiles/drel_models.dir/erm_objective.cpp.o" "gcc" "src/models/CMakeFiles/drel_models.dir/erm_objective.cpp.o.d"
+  "/root/repo/src/models/linear_model.cpp" "src/models/CMakeFiles/drel_models.dir/linear_model.cpp.o" "gcc" "src/models/CMakeFiles/drel_models.dir/linear_model.cpp.o.d"
+  "/root/repo/src/models/loss.cpp" "src/models/CMakeFiles/drel_models.dir/loss.cpp.o" "gcc" "src/models/CMakeFiles/drel_models.dir/loss.cpp.o.d"
+  "/root/repo/src/models/metrics.cpp" "src/models/CMakeFiles/drel_models.dir/metrics.cpp.o" "gcc" "src/models/CMakeFiles/drel_models.dir/metrics.cpp.o.d"
+  "/root/repo/src/models/softmax.cpp" "src/models/CMakeFiles/drel_models.dir/softmax.cpp.o" "gcc" "src/models/CMakeFiles/drel_models.dir/softmax.cpp.o.d"
+  "/root/repo/src/models/stochastic_erm.cpp" "src/models/CMakeFiles/drel_models.dir/stochastic_erm.cpp.o" "gcc" "src/models/CMakeFiles/drel_models.dir/stochastic_erm.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/linalg/CMakeFiles/drel_linalg.dir/DependInfo.cmake"
+  "/root/repo/build/src/optim/CMakeFiles/drel_optim.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/drel_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/drel_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/drel_models.dir/dataset.cpp.o"
+  "CMakeFiles/drel_models.dir/dataset.cpp.o.d"
+  "CMakeFiles/drel_models.dir/erm_objective.cpp.o"
+  "CMakeFiles/drel_models.dir/erm_objective.cpp.o.d"
+  "CMakeFiles/drel_models.dir/linear_model.cpp.o"
+  "CMakeFiles/drel_models.dir/linear_model.cpp.o.d"
+  "CMakeFiles/drel_models.dir/loss.cpp.o"
+  "CMakeFiles/drel_models.dir/loss.cpp.o.d"
+  "CMakeFiles/drel_models.dir/metrics.cpp.o"
+  "CMakeFiles/drel_models.dir/metrics.cpp.o.d"
+  "CMakeFiles/drel_models.dir/softmax.cpp.o"
+  "CMakeFiles/drel_models.dir/softmax.cpp.o.d"
+  "CMakeFiles/drel_models.dir/stochastic_erm.cpp.o"
+  "CMakeFiles/drel_models.dir/stochastic_erm.cpp.o.d"
+  "libdrel_models.a"
+  "libdrel_models.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/drel_models.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/optim/admm.cpp" "src/optim/CMakeFiles/drel_optim.dir/admm.cpp.o" "gcc" "src/optim/CMakeFiles/drel_optim.dir/admm.cpp.o.d"
+  "/root/repo/src/optim/fista.cpp" "src/optim/CMakeFiles/drel_optim.dir/fista.cpp.o" "gcc" "src/optim/CMakeFiles/drel_optim.dir/fista.cpp.o.d"
+  "/root/repo/src/optim/gradient_descent.cpp" "src/optim/CMakeFiles/drel_optim.dir/gradient_descent.cpp.o" "gcc" "src/optim/CMakeFiles/drel_optim.dir/gradient_descent.cpp.o.d"
+  "/root/repo/src/optim/lbfgs.cpp" "src/optim/CMakeFiles/drel_optim.dir/lbfgs.cpp.o" "gcc" "src/optim/CMakeFiles/drel_optim.dir/lbfgs.cpp.o.d"
+  "/root/repo/src/optim/line_search.cpp" "src/optim/CMakeFiles/drel_optim.dir/line_search.cpp.o" "gcc" "src/optim/CMakeFiles/drel_optim.dir/line_search.cpp.o.d"
+  "/root/repo/src/optim/objective.cpp" "src/optim/CMakeFiles/drel_optim.dir/objective.cpp.o" "gcc" "src/optim/CMakeFiles/drel_optim.dir/objective.cpp.o.d"
+  "/root/repo/src/optim/scalar.cpp" "src/optim/CMakeFiles/drel_optim.dir/scalar.cpp.o" "gcc" "src/optim/CMakeFiles/drel_optim.dir/scalar.cpp.o.d"
+  "/root/repo/src/optim/sgd.cpp" "src/optim/CMakeFiles/drel_optim.dir/sgd.cpp.o" "gcc" "src/optim/CMakeFiles/drel_optim.dir/sgd.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/linalg/CMakeFiles/drel_linalg.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/drel_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/drel_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

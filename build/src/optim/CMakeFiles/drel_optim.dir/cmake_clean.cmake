@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/drel_optim.dir/admm.cpp.o"
+  "CMakeFiles/drel_optim.dir/admm.cpp.o.d"
+  "CMakeFiles/drel_optim.dir/fista.cpp.o"
+  "CMakeFiles/drel_optim.dir/fista.cpp.o.d"
+  "CMakeFiles/drel_optim.dir/gradient_descent.cpp.o"
+  "CMakeFiles/drel_optim.dir/gradient_descent.cpp.o.d"
+  "CMakeFiles/drel_optim.dir/lbfgs.cpp.o"
+  "CMakeFiles/drel_optim.dir/lbfgs.cpp.o.d"
+  "CMakeFiles/drel_optim.dir/line_search.cpp.o"
+  "CMakeFiles/drel_optim.dir/line_search.cpp.o.d"
+  "CMakeFiles/drel_optim.dir/objective.cpp.o"
+  "CMakeFiles/drel_optim.dir/objective.cpp.o.d"
+  "CMakeFiles/drel_optim.dir/scalar.cpp.o"
+  "CMakeFiles/drel_optim.dir/scalar.cpp.o.d"
+  "CMakeFiles/drel_optim.dir/sgd.cpp.o"
+  "CMakeFiles/drel_optim.dir/sgd.cpp.o.d"
+  "libdrel_optim.a"
+  "libdrel_optim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/drel_optim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/drel_stats.dir/descriptive.cpp.o"
+  "CMakeFiles/drel_stats.dir/descriptive.cpp.o.d"
+  "CMakeFiles/drel_stats.dir/distributions.cpp.o"
+  "CMakeFiles/drel_stats.dir/distributions.cpp.o.d"
+  "CMakeFiles/drel_stats.dir/multivariate_normal.cpp.o"
+  "CMakeFiles/drel_stats.dir/multivariate_normal.cpp.o.d"
+  "CMakeFiles/drel_stats.dir/rng.cpp.o"
+  "CMakeFiles/drel_stats.dir/rng.cpp.o.d"
+  "libdrel_stats.a"
+  "libdrel_stats.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/drel_stats.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

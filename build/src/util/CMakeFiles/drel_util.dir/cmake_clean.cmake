@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/drel_util.dir/logging.cpp.o"
+  "CMakeFiles/drel_util.dir/logging.cpp.o.d"
+  "CMakeFiles/drel_util.dir/stopwatch.cpp.o"
+  "CMakeFiles/drel_util.dir/stopwatch.cpp.o.d"
+  "CMakeFiles/drel_util.dir/strings.cpp.o"
+  "CMakeFiles/drel_util.dir/strings.cpp.o.d"
+  "CMakeFiles/drel_util.dir/table.cpp.o"
+  "CMakeFiles/drel_util.dir/table.cpp.o.d"
+  "CMakeFiles/drel_util.dir/thread_pool.cpp.o"
+  "CMakeFiles/drel_util.dir/thread_pool.cpp.o.d"
+  "libdrel_util.a"
+  "libdrel_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/drel_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

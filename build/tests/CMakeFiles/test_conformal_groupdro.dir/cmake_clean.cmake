@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_conformal_groupdro.dir/test_conformal_groupdro.cpp.o"
+  "CMakeFiles/test_conformal_groupdro.dir/test_conformal_groupdro.cpp.o.d"
+  "test_conformal_groupdro"
+  "test_conformal_groupdro.pdb"
+  "test_conformal_groupdro[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_conformal_groupdro.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

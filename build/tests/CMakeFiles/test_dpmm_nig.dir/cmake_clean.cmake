@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_dpmm_nig.dir/test_dpmm_nig.cpp.o"
+  "CMakeFiles/test_dpmm_nig.dir/test_dpmm_nig.cpp.o.d"
+  "test_dpmm_nig"
+  "test_dpmm_nig.pdb"
+  "test_dpmm_nig[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_dpmm_nig.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_dro.dir/test_dro.cpp.o"
+  "CMakeFiles/test_dro.dir/test_dro.cpp.o.d"
+  "test_dro"
+  "test_dro.pdb"
+  "test_dro[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_dro.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_edgesim.dir/test_edgesim.cpp.o"
+  "CMakeFiles/test_edgesim.dir/test_edgesim.cpp.o.d"
+  "test_edgesim"
+  "test_edgesim.pdb"
+  "test_edgesim[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_edgesim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

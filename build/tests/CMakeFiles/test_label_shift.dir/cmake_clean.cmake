@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_label_shift.dir/test_label_shift.cpp.o"
+  "CMakeFiles/test_label_shift.dir/test_label_shift.cpp.o.d"
+  "test_label_shift"
+  "test_label_shift.pdb"
+  "test_label_shift[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_label_shift.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

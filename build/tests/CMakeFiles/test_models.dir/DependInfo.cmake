@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_models.cpp" "tests/CMakeFiles/test_models.dir/test_models.cpp.o" "gcc" "tests/CMakeFiles/test_models.dir/test_models.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/edgesim/CMakeFiles/drel_edgesim.dir/DependInfo.cmake"
+  "/root/repo/build/src/data/CMakeFiles/drel_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/baselines/CMakeFiles/drel_baselines.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/drel_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/dp/CMakeFiles/drel_dp.dir/DependInfo.cmake"
+  "/root/repo/build/src/dro/CMakeFiles/drel_dro.dir/DependInfo.cmake"
+  "/root/repo/build/src/models/CMakeFiles/drel_models.dir/DependInfo.cmake"
+  "/root/repo/build/src/optim/CMakeFiles/drel_optim.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/drel_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/linalg/CMakeFiles/drel_linalg.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/drel_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

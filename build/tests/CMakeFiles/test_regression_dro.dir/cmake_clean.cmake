@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_regression_dro.dir/test_regression_dro.cpp.o"
+  "CMakeFiles/test_regression_dro.dir/test_regression_dro.cpp.o.d"
+  "test_regression_dro"
+  "test_regression_dro.pdb"
+  "test_regression_dro[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_regression_dro.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

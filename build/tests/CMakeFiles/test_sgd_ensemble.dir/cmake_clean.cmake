@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_sgd_ensemble.dir/test_sgd_ensemble.cpp.o"
+  "CMakeFiles/test_sgd_ensemble.dir/test_sgd_ensemble.cpp.o.d"
+  "test_sgd_ensemble"
+  "test_sgd_ensemble.pdb"
+  "test_sgd_ensemble[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_sgd_ensemble.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_softmax.dir/test_softmax.cpp.o"
+  "CMakeFiles/test_softmax.dir/test_softmax.cpp.o.d"
+  "test_softmax"
+  "test_softmax.pdb"
+  "test_softmax[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_softmax.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

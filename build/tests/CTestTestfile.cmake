@@ -1,0 +1,32 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/test_util[1]_include.cmake")
+include("/root/repo/build/tests/test_linalg[1]_include.cmake")
+include("/root/repo/build/tests/test_stats[1]_include.cmake")
+include("/root/repo/build/tests/test_optim[1]_include.cmake")
+include("/root/repo/build/tests/test_models[1]_include.cmake")
+include("/root/repo/build/tests/test_softmax[1]_include.cmake")
+include("/root/repo/build/tests/test_data[1]_include.cmake")
+include("/root/repo/build/tests/test_dp[1]_include.cmake")
+include("/root/repo/build/tests/test_dpmm_nig[1]_include.cmake")
+include("/root/repo/build/tests/test_diagnostics[1]_include.cmake")
+include("/root/repo/build/tests/test_dro[1]_include.cmake")
+include("/root/repo/build/tests/test_certificates[1]_include.cmake")
+include("/root/repo/build/tests/test_regression_dro[1]_include.cmake")
+include("/root/repo/build/tests/test_fuzz[1]_include.cmake")
+include("/root/repo/build/tests/test_label_shift[1]_include.cmake")
+include("/root/repo/build/tests/test_sgd_ensemble[1]_include.cmake")
+include("/root/repo/build/tests/test_conformal_groupdro[1]_include.cmake")
+include("/root/repo/build/tests/test_core[1]_include.cmake")
+include("/root/repo/build/tests/test_edgesim[1]_include.cmake")
+include("/root/repo/build/tests/test_collaborative[1]_include.cmake")
+include("/root/repo/build/tests/test_lifecycle[1]_include.cmake")
+include("/root/repo/build/tests/test_extensions[1]_include.cmake")
+include("/root/repo/build/tests/test_baselines[1]_include.cmake")
+include("/root/repo/build/tests/test_integration[1]_include.cmake")
+include("/root/repo/build/tests/test_properties[1]_include.cmake")
+include("/root/repo/build/tests/test_edge_cases[1]_include.cmake")
