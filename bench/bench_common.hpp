@@ -9,6 +9,7 @@
 #include <cstdint>
 #include <iostream>
 #include <string>
+#include <type_traits>
 #include <vector>
 
 #include "baselines/trainers.hpp"
@@ -19,6 +20,7 @@
 #include "models/metrics.hpp"
 #include "stats/descriptive.hpp"
 #include "stats/rng.hpp"
+#include "util/executor.hpp"
 #include "util/table.hpp"
 
 namespace drel::bench {
@@ -88,6 +90,23 @@ inline EdgeTask make_edge_task(const data::TaskPopulation& population, std::size
     models::Dataset train = population.generate(task, n_train, rng, options);
     models::Dataset test = population.generate(task, n_test, rng, options);
     return EdgeTask{task, std::move(train), std::move(test)};
+}
+
+/// Runs `trials` independent repetitions concurrently on the shared
+/// executor and returns the per-trial results in trial order.
+///
+/// `fn(t)` must derive all randomness from the trial index (fresh Rng seeded
+/// or forked per trial) and write nothing shared — each result lands in an
+/// indexed slot, so downstream statistics accumulated by scanning the
+/// returned vector in order are bit-identical at any thread count. This is
+/// the bench-side analogue of the fleet simulation's per-device contract.
+template <typename Fn>
+auto parallel_trials(std::size_t trials, Fn&& fn)
+    -> std::vector<std::invoke_result_t<Fn&, std::size_t>> {
+    std::vector<std::invoke_result_t<Fn&, std::size_t>> results(trials);
+    util::parallel_for(trials, util::Executor::global().max_threads(),
+                       [&](std::size_t t) { results[t] = fn(t); });
+    return results;
 }
 
 /// mean +- std formatting for table cells.

@@ -7,11 +7,20 @@
 // largest gains in the lower tail (devices whose few samples mislead ERM),
 // and a per-device payload of a few KB vs the hundreds of KB that shipping
 // raw contributor data would take.
+//
+// DREL_THREADS overrides the worker count (default: hardware concurrency);
+// all metrics go to stdout and are bit-identical at any thread count, while
+// timing (wall clock, per-device train time) goes to stderr so
+//   DREL_THREADS=1 ./bench_fig7_fleet > serial.txt
+//   DREL_THREADS=8 ./bench_fig7_fleet > par8.txt && diff serial.txt par8.txt
+// verifies determinism and the stderr lines show the speedup.
+#include <cstdlib>
 #include <thread>
 
 #include "edgesim/simulation.hpp"
 
 #include "bench_common.hpp"
+#include "util/stopwatch.hpp"
 
 int main() {
     using namespace drel;
@@ -30,10 +39,16 @@ int main() {
     config.cloud.gibbs_sweeps = 60;
     config.learner.transfer_weight = 2.0;
     config.num_threads = std::max(1u, std::thread::hardware_concurrency());
+    if (const char* env = std::getenv("DREL_THREADS")) {
+        const long parsed = std::strtol(env, nullptr, 10);
+        if (parsed >= 1) config.num_threads = static_cast<std::size_t>(parsed);
+    }
     config.run_ensemble = true;
 
     stats::Rng rng(42);
+    util::Stopwatch total_watch;
     const edgesim::FleetReport report = edgesim::run_fleet_simulation(config, rng);
+    const double total_seconds = total_watch.elapsed_seconds();
 
     linalg::Vector em_dro;
     linalg::Vector ensemble;
@@ -74,10 +89,16 @@ int main() {
               << "  per-device payload      : " << report.prior_bytes << " bytes\n"
               << "  total broadcast         : " << report.total_broadcast_bytes << " bytes\n"
               << "  (raw contributor data would be " << raw_upload_bytes
-              << " bytes per device)\n"
+              << " bytes per device)\n";
+
+    // Timing is nondeterministic by nature — keep it off stdout so metric
+    // output diffs clean across thread counts.
+    std::cerr << "timing (threads=" << config.num_threads << ")\n"
               << "  median device train time: " << util::Table::fmt(stats::median(train_ms), 1)
               << " ms\n"
               << "  cloud inference time    : " << util::Table::fmt(report.cloud_seconds, 2)
+              << " s\n"
+              << "  fleet wall clock        : " << util::Table::fmt(total_seconds, 2)
               << " s\n";
     return 0;
 }

@@ -19,36 +19,56 @@ int main() {
         data::ScenarioKind::kIid,        data::ScenarioKind::kCovariateShift,
         data::ScenarioKind::kLabelShift, data::ScenarioKind::kOutliers,
         data::ScenarioKind::kLabelNoise, data::ScenarioKind::kRotation};
-    const int num_seeds = 5;
+    const std::size_t num_seeds = 5;
 
-    std::vector<std::string> method_names;
-    std::vector<std::vector<stats::RunningStats>> accuracy;  // [method][scenario]
+    // One trial per seed, run concurrently on the shared executor. Every
+    // trial is self-contained (seeds derive from the trial index), and the
+    // RunningStats accumulation below scans trials in seed order, so the
+    // printed table is bit-identical at any thread count.
+    struct SeedOutcome {
+        std::vector<std::string> method_names;
+        std::vector<std::vector<double>> accuracy;  // [method][scenario]
+        std::vector<double> bayes;                  // [scenario]
+    };
+    const std::vector<SeedOutcome> outcomes =
+        bench::parallel_trials(num_seeds, [&](std::size_t s) {
+            SeedOutcome out;
+            const bench::PipelineFixture fixture = bench::make_pipeline_fixture(900 + s);
+            data::ScenarioConfig scenario_config;
+            scenario_config.n_train = 24;
+            scenario_config.n_test = 3000;
+            scenario_config.margin_scale = 2.0;
+
+            const auto suite =
+                baselines::make_standard_suite(fixture.prior, models::LossKind::kLogistic);
+            for (const auto& t : suite) out.method_names.push_back(t->name());
+            out.accuracy.assign(suite.size(), std::vector<double>(kinds.size(), 0.0));
+            out.bayes.assign(kinds.size(), 0.0);
+
+            stats::Rng task_rng(1000 + s);
+            const data::TaskSpec task = fixture.population.sample_task(task_rng);
+            for (std::size_t ki = 0; ki < kinds.size(); ++ki) {
+                stats::Rng rng(2000 + 100 * s + static_cast<std::uint64_t>(ki));
+                const data::Scenario scenario = data::make_scenario_for_task(
+                    kinds[ki], scenario_config, fixture.population, task, rng);
+                out.bayes[ki] = scenario.bayes_accuracy;
+                for (std::size_t m = 0; m < suite.size(); ++m) {
+                    out.accuracy[m][ki] = models::accuracy(
+                        suite[m]->fit(scenario.edge_train), scenario.edge_test);
+                }
+            }
+            return out;
+        });
+
+    const std::vector<std::string>& method_names = outcomes.front().method_names;
+    std::vector<std::vector<stats::RunningStats>> accuracy(
+        method_names.size(), std::vector<stats::RunningStats>(kinds.size()));
     std::vector<stats::RunningStats> bayes(kinds.size());
-
-    for (int s = 0; s < num_seeds; ++s) {
-        const bench::PipelineFixture fixture = bench::make_pipeline_fixture(900 + s);
-        data::ScenarioConfig scenario_config;
-        scenario_config.n_train = 24;
-        scenario_config.n_test = 3000;
-        scenario_config.margin_scale = 2.0;
-
-        const auto suite =
-            baselines::make_standard_suite(fixture.prior, models::LossKind::kLogistic);
-        if (method_names.empty()) {
-            for (const auto& t : suite) method_names.push_back(t->name());
-            accuracy.assign(suite.size(), std::vector<stats::RunningStats>(kinds.size()));
-        }
-
-        stats::Rng task_rng(1000 + s);
-        const data::TaskSpec task = fixture.population.sample_task(task_rng);
+    for (const SeedOutcome& out : outcomes) {
         for (std::size_t ki = 0; ki < kinds.size(); ++ki) {
-            stats::Rng rng(2000 + 100 * s + static_cast<std::uint64_t>(ki));
-            const data::Scenario scenario = data::make_scenario_for_task(
-                kinds[ki], scenario_config, fixture.population, task, rng);
-            bayes[ki].push(scenario.bayes_accuracy);
-            for (std::size_t m = 0; m < suite.size(); ++m) {
-                accuracy[m][ki].push(
-                    models::accuracy(suite[m]->fit(scenario.edge_train), scenario.edge_test));
+            bayes[ki].push(out.bayes[ki]);
+            for (std::size_t m = 0; m < method_names.size(); ++m) {
+                accuracy[m][ki].push(out.accuracy[m][ki]);
             }
         }
     }

@@ -1,0 +1,23 @@
+#!/usr/bin/env bash
+# Builds and runs the concurrency tests under ThreadSanitizer and
+# AddressSanitizer (the DREL_SANITIZE CMake option). Part of the verify
+# flow for any change to util/thread_pool, util/executor, or code running
+# on the shared executor (fleet simulation, EM multi-start, collaborative).
+#
+# Usage: scripts/check_sanitizers.sh [jobs]
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+jobs="${1:-$(nproc)}"
+
+for sanitizer in thread address; do
+    build_dir="build-${sanitizer}san"
+    echo "=== ${sanitizer} sanitizer ==="
+    cmake -B "${build_dir}" -S . -DDREL_SANITIZE="${sanitizer}" \
+        -DCMAKE_BUILD_TYPE=RelWithDebInfo > /dev/null
+    cmake --build "${build_dir}" -j "${jobs}" \
+        --target test_util test_concurrency > /dev/null
+    (cd "${build_dir}" && ctest --output-on-failure -j "${jobs}" \
+        -R 'ThreadPool|ParallelFor|ParallelReduce|Executor|Determinism')
+done
+echo "sanitizer checks passed"

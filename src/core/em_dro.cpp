@@ -5,6 +5,8 @@
 #include <numeric>
 #include <stdexcept>
 
+#include "util/executor.hpp"
+
 namespace drel::core {
 namespace {
 
@@ -140,11 +142,17 @@ EmDroResult EmDroSolver::solve() const {
                                     static_cast<int>(prior_->num_components()));
     for (int k = 0; k < atoms; ++k) starts.push_back(prior_->atom(order[k]).mean());
 
+    // Starts are independent EM runs into indexed slots; the winner is
+    // picked by a fixed-order scan below, so the result is bit-identical to
+    // the serial loop at any thread count.
+    std::vector<EmDroResult> candidates(starts.size());
+    util::parallel_for(starts.size(), options_.num_threads,
+                       [&](std::size_t s) { candidates[s] = solve_from(starts[s]); });
+
     EmDroResult best;
     bool have_best = false;
     int total_iterations = 0;
-    for (const linalg::Vector& start : starts) {
-        EmDroResult candidate = solve_from(start);
+    for (EmDroResult& candidate : candidates) {
         total_iterations += candidate.total_outer_iterations;
         if (!have_best || candidate.objective < best.objective) {
             best = std::move(candidate);

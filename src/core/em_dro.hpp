@@ -48,6 +48,11 @@ struct EmDroOptions {
     /// surrogate is tight only locally, so multi-start matters when the
     /// prior is strongly multi-modal.
     int multi_start_atoms = 3;
+    /// Runners for the multi-start loop in solve(). Starts are independent
+    /// EM runs writing to indexed slots and the winner is picked in fixed
+    /// start order, so any value yields bit-identical results; >1 runs the
+    /// starts concurrently on the shared executor (util/executor.hpp).
+    std::size_t num_threads = 1;
 };
 
 struct EmDroTrace {

@@ -7,6 +7,7 @@
 
 #include "dro/robust_objective.hpp"
 #include "linalg/vector_ops.hpp"
+#include "util/executor.hpp"
 
 namespace drel::edgesim {
 namespace {
@@ -149,10 +150,16 @@ CollaborativeResult collaborative_fit(const std::vector<const models::Dataset*>&
                                     static_cast<int>(prior.num_components()));
     for (int k = 0; k < atoms; ++k) starts.push_back(prior.atom(order[k]).mean());
 
+    // Starts solve independently into indexed slots; the fixed-order scan
+    // below keeps the winner bit-identical to the serial loop at any thread
+    // count (solve_from only reads the shared prior/objectives).
+    std::vector<CollaborativeResult> candidates(starts.size());
+    util::parallel_for(starts.size(), config.num_threads,
+                       [&](std::size_t s) { candidates[s] = solve_from(starts[s]); });
+
     CollaborativeResult best;
     bool have_best = false;
-    for (const linalg::Vector& start : starts) {
-        CollaborativeResult candidate = solve_from(start);
+    for (CollaborativeResult& candidate : candidates) {
         if (!have_best || candidate.objective < best.objective) {
             best = std::move(candidate);
             have_best = true;

@@ -6,8 +6,8 @@
 #include "core/ensemble.hpp"
 #include "edgesim/device.hpp"
 #include "models/metrics.hpp"
+#include "util/executor.hpp"
 #include "util/logging.hpp"
-#include "util/thread_pool.hpp"
 #include "util/stopwatch.hpp"
 
 namespace drel::edgesim {

@@ -1,0 +1,132 @@
+// Shared parallel executor: parallel_for / parallel_for_chunked /
+// parallel_reduce on a lazily-created, process-wide thread pool.
+//
+// Design (see DESIGN.md "Concurrency & determinism"):
+//
+//  * One shared pool. The pool is created on the first parallel call that
+//    asks for more than one runner and is reused for the rest of the
+//    process, so hot loops (fleet simulation, EM multi-start, bench trial
+//    repetitions) do not pay thread creation per call. This also removes a
+//    whole class of lifetime bugs the old per-call pool had: the pool
+//    outlives every loop, and each submitted task co-owns its loop state
+//    through a shared_ptr, so no worker can ever touch a dead stack frame.
+//  * Caller participation. A parallel loop submits (runners - 1) claim
+//    loops to the pool and runs one itself, then joins. The calling thread
+//    is never idle, and a request can exceed the pool size without
+//    deadlock — excess runners just queue.
+//  * Nested calls serialize. A parallel region entered from inside another
+//    parallel region runs the plain serial loop (thread_local flag). Pool
+//    threads therefore never block on the pool — the classic
+//    nested-parallelism deadlock cannot happen, and per-device work that
+//    itself calls parallel code (EM multi-start inside the fleet loop)
+//    stays deterministic.
+//  * Cooperative cancellation. The first exception a runner catches sets a
+//    shared `failed` flag; all runners stop claiming new iterations and the
+//    first error is rethrown to the caller after the join. A throwing
+//    iteration therefore returns promptly instead of running out the range.
+//  * Determinism. Iterations write to caller-indexed slots and derive any
+//    randomness from Rng::fork(index), so results are bit-identical at any
+//    thread count. parallel_reduce additionally fixes its chunk grid from
+//    `count` alone and combines partials in ascending chunk order, so the
+//    reduction is bit-identical for ANY num_threads, including the serial
+//    path (which executes the same chunked fold).
+#pragma once
+
+#include <algorithm>
+#include <atomic>
+#include <cstddef>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "util/thread_pool.hpp"
+
+namespace drel::util {
+
+class Executor {
+ public:
+    /// An executor targeting up to `max_threads` concurrent runners: the
+    /// calling thread plus a lazily-created pool of (max_threads - 1)
+    /// workers. `max_threads <= 1` builds a serial executor that never
+    /// spawns threads.
+    explicit Executor(std::size_t max_threads);
+
+    /// Joins the pool (drain policy: in-flight loops finish first).
+    ~Executor() = default;
+
+    Executor(const Executor&) = delete;
+    Executor& operator=(const Executor&) = delete;
+
+    /// The process-wide shared executor. Sized from DREL_NUM_THREADS if set,
+    /// else hardware_concurrency, with a floor of 2 so parallel code paths
+    /// are exercised even on single-core machines.
+    static Executor& global();
+
+    std::size_t max_threads() const noexcept { return max_threads_; }
+
+    /// Runs body(i) for i in [0, count) on up to `num_threads` runners
+    /// (clamped to count; the caller is one of them). Iterations are claimed
+    /// dynamically from an atomic counter. Rethrows the first exception any
+    /// iteration produced; remaining iterations are cooperatively cancelled.
+    /// num_threads <= 1 — or a call from inside another parallel region —
+    /// degenerates to the plain serial loop.
+    void parallel_for(std::size_t count, std::size_t num_threads,
+                      const std::function<void(std::size_t)>& body);
+
+    /// Like parallel_for but hands each runner a half-open index range
+    /// body(begin, end) of at most `grain` iterations — use when per-index
+    /// dispatch is too fine. grain == 0 picks one chunk per runner wave
+    /// (count / (8 * num_threads), at least 1). Chunks are claimed
+    /// dynamically; the chunk grid does not affect which index does what,
+    /// so results are schedule-independent as long as the body is.
+    void parallel_for_chunked(std::size_t count, std::size_t num_threads, std::size_t grain,
+                              const std::function<void(std::size_t, std::size_t)>& body);
+
+ private:
+    ThreadPool& pool();
+
+    std::size_t max_threads_;
+    std::once_flag pool_once_;
+    std::unique_ptr<ThreadPool> pool_;
+};
+
+/// Runs body(i) for i in [0, count) across up to `num_threads` runners of
+/// the shared global executor. Semantics of Executor::parallel_for.
+void parallel_for(std::size_t count, std::size_t num_threads,
+                  const std::function<void(std::size_t)>& body);
+
+/// Chunked variant on the shared global executor.
+void parallel_for_chunked(std::size_t count, std::size_t num_threads, std::size_t grain,
+                          const std::function<void(std::size_t, std::size_t)>& body);
+
+/// Deterministic parallel reduction of combine(acc, map(i)) over [0, count).
+///
+/// The chunk grid is a pure function of `count` (never of num_threads): the
+/// range splits into at most kReduceChunks chunks, each runner left-folds
+/// its chunk in index order seeded with `identity`, and the partials are
+/// combined in ascending chunk order. The result is therefore bit-identical
+/// for every num_threads value — the serial path (num_threads <= 1) runs
+/// the exact same chunked fold. Note this is the chunked association, not
+/// the naive left fold: floating-point results may differ from a handwritten
+/// serial loop in the last ulp, but never across thread counts or runs.
+template <typename T, typename MapFn, typename CombineFn>
+T parallel_reduce(std::size_t count, T identity, MapFn&& map, CombineFn&& combine,
+                  std::size_t num_threads) {
+    constexpr std::size_t kReduceChunks = 256;
+    if (count == 0) return identity;
+    const std::size_t grain = (count + kReduceChunks - 1) / kReduceChunks;
+    const std::size_t num_chunks = (count + grain - 1) / grain;
+    std::vector<T> partials(num_chunks, identity);
+    Executor::global().parallel_for_chunked(
+        count, num_threads, grain, [&](std::size_t begin, std::size_t end) {
+            T acc = identity;
+            for (std::size_t i = begin; i < end; ++i) acc = combine(std::move(acc), map(i));
+            partials[begin / grain] = std::move(acc);
+        });
+    T total = std::move(identity);
+    for (T& partial : partials) total = combine(std::move(total), std::move(partial));
+    return total;
+}
+
+}  // namespace drel::util

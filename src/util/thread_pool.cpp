@@ -1,11 +1,11 @@
 #include "util/thread_pool.hpp"
 
-#include <atomic>
 #include <stdexcept>
+#include <utility>
 
 namespace drel::util {
 
-ThreadPool::ThreadPool(std::size_t num_threads) {
+ThreadPool::ThreadPool(std::size_t num_threads, ShutdownPolicy policy) : policy_(policy) {
     if (num_threads == 0) throw std::invalid_argument("ThreadPool: need >= 1 thread");
     workers_.reserve(num_threads);
     for (std::size_t t = 0; t < num_threads; ++t) {
@@ -13,13 +13,28 @@ ThreadPool::ThreadPool(std::size_t num_threads) {
     }
 }
 
-ThreadPool::~ThreadPool() {
+ThreadPool::~ThreadPool() { shutdown(); }
+
+void ThreadPool::shutdown() {
     {
         const std::lock_guard<std::mutex> lock(mutex_);
+        if (joined_) return;
         stopping_ = true;
     }
     condition_.notify_all();
     for (std::thread& worker : workers_) worker.join();
+    {
+        const std::lock_guard<std::mutex> lock(mutex_);
+        joined_ = true;
+        // Under kAbandon, workers returned without draining. Destroying the
+        // unexecuted packaged_tasks stores broken_promise in their futures.
+        queue_ = {};
+    }
+}
+
+bool ThreadPool::is_shutting_down() const {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    return stopping_;
 }
 
 std::future<void> ThreadPool::submit(std::function<void()> task) {
@@ -41,37 +56,12 @@ void ThreadPool::worker_loop() {
             std::unique_lock<std::mutex> lock(mutex_);
             condition_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
             if (queue_.empty()) return;  // stopping and drained
+            if (stopping_ && policy_ == ShutdownPolicy::kAbandon) return;
             task = std::move(queue_.front());
             queue_.pop();
         }
         task();  // exceptions are captured by the packaged_task
     }
-}
-
-void parallel_for(std::size_t count, std::size_t num_threads,
-                  const std::function<void(std::size_t)>& body) {
-    if (!body) throw std::invalid_argument("parallel_for: body must be callable");
-    if (count == 0) return;
-    if (num_threads <= 1 || count == 1) {
-        for (std::size_t i = 0; i < count; ++i) body(i);
-        return;
-    }
-    const std::size_t workers = std::min(num_threads, count);
-    ThreadPool pool(workers);
-    std::atomic<std::size_t> next{0};
-    std::vector<std::future<void>> futures;
-    futures.reserve(workers);
-    for (std::size_t w = 0; w < workers; ++w) {
-        futures.push_back(pool.submit([&] {
-            while (true) {
-                const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
-                if (i >= count) return;
-                body(i);
-            }
-        }));
-    }
-    // Join, rethrowing the first failure.
-    for (auto& future : futures) future.get();
 }
 
 }  // namespace drel::util

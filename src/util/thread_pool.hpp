@@ -1,10 +1,18 @@
-// Fixed-size thread pool and a deterministic parallel_for.
+// Fixed-size thread pool with explicit shutdown semantics.
 //
-// The fleet simulation trains dozens of independent edge devices; each
-// device derives its randomness from a forked RNG stream and writes to its
-// own result slot, so running them on a pool is bit-identical to the serial
-// loop. The pool is deliberately minimal: fixed worker count, FIFO queue,
-// futures for joining, no work stealing.
+// The pool is deliberately minimal: fixed worker count, FIFO queue, futures
+// for joining, no work stealing. Higher-level parallel loops (parallel_for,
+// parallel_for_chunked, parallel_reduce) live in util/executor.hpp and run
+// on a shared, lazily-created global instance of this pool so hot paths do
+// not pay thread creation per call.
+//
+// Shutdown semantics are explicit (ShutdownPolicy):
+//   * kDrain (default): the destructor (or shutdown()) lets workers finish
+//     every task already queued, then joins. No future is ever broken.
+//   * kAbandon: workers finish only the task they are currently running;
+//     everything still queued is destroyed unexecuted. Destroying an
+//     unexecuted packaged_task stores std::future_error{broken_promise} in
+//     its future, so waiters wake with an error instead of hanging forever.
 #pragma once
 
 #include <condition_variable>
@@ -17,12 +25,19 @@
 
 namespace drel::util {
 
+enum class ShutdownPolicy {
+    kDrain,    ///< run all queued tasks before joining
+    kAbandon,  ///< drop queued tasks; their futures get broken_promise
+};
+
 class ThreadPool {
  public:
-    /// Spawns `num_threads` workers (>= 1).
-    explicit ThreadPool(std::size_t num_threads);
+    /// Spawns `num_threads` workers (>= 1). `policy` controls what happens
+    /// to queued-but-unstarted tasks at shutdown (see ShutdownPolicy).
+    explicit ThreadPool(std::size_t num_threads,
+                        ShutdownPolicy policy = ShutdownPolicy::kDrain);
 
-    /// Drains the queue and joins all workers.
+    /// Equivalent to shutdown(): applies the construction-time policy.
     ~ThreadPool();
 
     ThreadPool(const ThreadPool&) = delete;
@@ -31,23 +46,29 @@ class ThreadPool {
     std::size_t num_threads() const noexcept { return workers_.size(); }
 
     /// Enqueues a task; the future resolves when it completes (exceptions
-    /// propagate through the future).
+    /// propagate through the future). Throws if the pool is shutting down.
     std::future<void> submit(std::function<void()> task);
+
+    /// Stops accepting work and joins all workers, applying the
+    /// construction-time ShutdownPolicy. Idempotent; called by ~ThreadPool.
+    /// With kAbandon, queued tasks are destroyed here and their futures
+    /// receive std::future_error{broken_promise}.
+    void shutdown();
+
+    /// True once shutdown has begun (visible to tests that need to sequence
+    /// against the stop signal).
+    bool is_shutting_down() const;
 
  private:
     void worker_loop();
 
     std::vector<std::thread> workers_;
     std::queue<std::packaged_task<void()>> queue_;
-    std::mutex mutex_;
+    mutable std::mutex mutex_;
     std::condition_variable condition_;
+    ShutdownPolicy policy_;
     bool stopping_ = false;
+    bool joined_ = false;
 };
-
-/// Runs body(i) for i in [0, count) across up to `num_threads` threads.
-/// With num_threads <= 1 it degenerates to the plain serial loop (no pool
-/// is created). Rethrows the first exception any iteration produced.
-void parallel_for(std::size_t count, std::size_t num_threads,
-                  const std::function<void(std::size_t)>& body);
 
 }  // namespace drel::util

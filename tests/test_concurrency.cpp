@@ -1,0 +1,181 @@
+// Cross-layer determinism tests for the shared executor: the fleet
+// simulation, EM multi-start, and collaborative multi-start must produce
+// bit-identical results at any thread count (per-index Rng::fork streams,
+// indexed result slots, fixed-order winner scans). These are the tests the
+// sanitizer flow (scripts/check_sanitizers.sh, DREL_SANITIZE=thread|address)
+// runs to shake out data races in the hot paths.
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <vector>
+
+#include "core/em_dro.hpp"
+#include "data/task_generator.hpp"
+#include "edgesim/collaborative.hpp"
+#include "edgesim/simulation.hpp"
+#include "models/metrics.hpp"
+#include "stats/rng.hpp"
+
+namespace drel {
+namespace {
+
+bool bits_equal(double a, double b) {
+    return std::memcmp(&a, &b, sizeof(double)) == 0;
+}
+
+// ------------------------------------------------------------------- fleet
+
+edgesim::SimulationConfig small_fleet_config() {
+    edgesim::SimulationConfig config;
+    config.feature_dim = 5;
+    config.num_modes = 3;
+    config.num_contributors = 8;
+    config.contributor_samples = 120;
+    config.num_edge_devices = 6;
+    config.edge_samples = 10;
+    config.test_samples = 300;
+    config.cloud.gibbs_sweeps = 20;
+    config.learner.em.max_outer_iterations = 8;
+    config.run_ensemble = true;
+    return config;
+}
+
+TEST(FleetDeterminism, BitIdenticalAcrossThreadCounts) {
+    edgesim::SimulationConfig config = small_fleet_config();
+    config.num_threads = 1;
+    stats::Rng serial_rng(4242);
+    const edgesim::FleetReport serial = edgesim::run_fleet_simulation(config, serial_rng);
+
+    for (const std::size_t threads : {2u, 4u, 8u}) {
+        config.num_threads = threads;
+        stats::Rng rng(4242);
+        const edgesim::FleetReport parallel = edgesim::run_fleet_simulation(config, rng);
+        ASSERT_EQ(serial.devices.size(), parallel.devices.size()) << "threads=" << threads;
+        EXPECT_EQ(serial.prior_bytes, parallel.prior_bytes);
+        EXPECT_EQ(serial.prior_components, parallel.prior_components);
+        for (std::size_t i = 0; i < serial.devices.size(); ++i) {
+            const auto& s = serial.devices[i];
+            const auto& p = parallel.devices[i];
+            EXPECT_EQ(s.device_id, p.device_id);
+            EXPECT_EQ(s.mode_index, p.mode_index);
+            EXPECT_TRUE(bits_equal(s.em_dro_accuracy, p.em_dro_accuracy))
+                << "threads=" << threads << " device=" << i;
+            EXPECT_TRUE(bits_equal(s.ensemble_accuracy, p.ensemble_accuracy))
+                << "threads=" << threads << " device=" << i;
+            EXPECT_TRUE(bits_equal(s.local_erm_accuracy, p.local_erm_accuracy))
+                << "threads=" << threads << " device=" << i;
+            EXPECT_TRUE(bits_equal(s.bayes_accuracy, p.bayes_accuracy))
+                << "threads=" << threads << " device=" << i;
+        }
+    }
+}
+
+// ------------------------------------------------- EM multi-start & collab
+
+struct Fixture {
+    data::TaskPopulation population;
+    data::TaskSpec task;
+    std::vector<models::Dataset> local;
+    dp::MixturePrior prior;
+};
+
+Fixture make_fixture(std::uint64_t seed, std::size_t devices, std::size_t samples_each) {
+    stats::Rng rng(seed);
+    data::TaskPopulation population =
+        data::TaskPopulation::make_synthetic(5, 3, 2.5, 0.05, rng);
+    data::TaskSpec task = population.sample_task(rng);
+    data::DataOptions options;
+    options.margin_scale = 2.0;
+    std::vector<models::Dataset> local;
+    for (std::size_t j = 0; j < devices; ++j) {
+        local.push_back(population.generate(task, samples_each, rng, options));
+    }
+    linalg::Vector weights;
+    std::vector<stats::MultivariateNormal> atoms;
+    for (const auto& mode : population.modes()) {
+        weights.push_back(mode.weight);
+        atoms.emplace_back(mode.mean, mode.covariance);
+    }
+    return Fixture{std::move(population), std::move(task), std::move(local),
+                   dp::MixturePrior(std::move(weights), std::move(atoms))};
+}
+
+TEST(EmDroDeterminism, ParallelMultiStartBitIdenticalToSerial) {
+    const Fixture f = make_fixture(7, 1, 20);
+    const auto loss = models::make_logistic_loss();
+
+    core::EmDroOptions serial_options;
+    serial_options.num_threads = 1;
+    const core::EmDroSolver serial_solver(f.local[0], *loss, f.prior,
+                                          dro::AmbiguitySet::wasserstein(0.1), 2.0,
+                                          serial_options);
+    const core::EmDroResult serial = serial_solver.solve();
+
+    for (const std::size_t threads : {2u, 4u, 8u}) {
+        core::EmDroOptions options;
+        options.num_threads = threads;
+        const core::EmDroSolver solver(f.local[0], *loss, f.prior,
+                                       dro::AmbiguitySet::wasserstein(0.1), 2.0, options);
+        const core::EmDroResult parallel = solver.solve();
+        EXPECT_TRUE(bits_equal(serial.objective, parallel.objective))
+            << "threads=" << threads;
+        EXPECT_EQ(serial.total_outer_iterations, parallel.total_outer_iterations);
+        ASSERT_EQ(serial.theta.size(), parallel.theta.size());
+        for (std::size_t d = 0; d < serial.theta.size(); ++d) {
+            EXPECT_TRUE(bits_equal(serial.theta[d], parallel.theta[d]))
+                << "threads=" << threads << " dim=" << d;
+        }
+    }
+}
+
+TEST(CollaborativeDeterminism, ParallelMultiStartBitIdenticalToSerial) {
+    const Fixture f = make_fixture(11, 3, 16);
+    std::vector<const models::Dataset*> devices;
+    for (const auto& d : f.local) devices.push_back(&d);
+
+    edgesim::CollaborativeConfig config;
+    config.max_outer_iterations = 6;
+    config.num_threads = 1;
+    const edgesim::CollaborativeResult serial =
+        edgesim::collaborative_fit(devices, f.prior, config);
+
+    for (const std::size_t threads : {2u, 4u, 8u}) {
+        config.num_threads = threads;
+        const edgesim::CollaborativeResult parallel =
+            edgesim::collaborative_fit(devices, f.prior, config);
+        EXPECT_TRUE(bits_equal(serial.objective, parallel.objective))
+            << "threads=" << threads;
+        EXPECT_EQ(serial.outer_iterations, parallel.outer_iterations);
+        const auto& sw = serial.model.weights();
+        const auto& pw = parallel.model.weights();
+        ASSERT_EQ(sw.size(), pw.size());
+        for (std::size_t d = 0; d < sw.size(); ++d) {
+            EXPECT_TRUE(bits_equal(sw[d], pw[d])) << "threads=" << threads << " dim=" << d;
+        }
+    }
+}
+
+// The fleet's per-device EM can itself request multi-start parallelism;
+// nesting must serialize transparently and stay deterministic.
+TEST(FleetDeterminism, NestedEmParallelismStaysBitIdentical) {
+    edgesim::SimulationConfig config = small_fleet_config();
+    config.run_ensemble = false;
+    config.num_threads = 1;
+    config.learner.em.num_threads = 1;
+    stats::Rng serial_rng(99);
+    const edgesim::FleetReport serial = edgesim::run_fleet_simulation(config, serial_rng);
+
+    config.num_threads = 4;
+    config.learner.em.num_threads = 4;  // nested: serialized by the executor
+    stats::Rng rng(99);
+    const edgesim::FleetReport nested = edgesim::run_fleet_simulation(config, rng);
+    ASSERT_EQ(serial.devices.size(), nested.devices.size());
+    for (std::size_t i = 0; i < serial.devices.size(); ++i) {
+        EXPECT_TRUE(bits_equal(serial.devices[i].em_dro_accuracy,
+                               nested.devices[i].em_dro_accuracy))
+            << "device=" << i;
+    }
+}
+
+}  // namespace
+}  // namespace drel

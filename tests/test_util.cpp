@@ -1,10 +1,14 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <cmath>
+#include <future>
 #include <numeric>
 #include <sstream>
+#include <thread>
 #include <vector>
 
+#include "util/executor.hpp"
 #include "util/logging.hpp"
 #include "util/stopwatch.hpp"
 #include "util/strings.hpp"
@@ -200,6 +204,181 @@ TEST(ParallelFor, HandlesEmptyAndSingleton) {
     EXPECT_EQ(calls, 0);
     util::parallel_for(1, 4, [&](std::size_t) { ++calls; });
     EXPECT_EQ(calls, 1);
+}
+
+// Regression for the old per-call-pool destruction-order race: a body that
+// throws used to let ~ThreadPool join workers AFTER the loop's atomic
+// counter and futures had been destroyed (stack-use-after-scope, visible
+// under ASan/TSan). Repeat under a high runner count to give every
+// interleaving a chance.
+TEST(ParallelFor, ThrowingBodyUnderHighThreadCountIsLifetimeSafe) {
+    for (int rep = 0; rep < 25; ++rep) {
+        EXPECT_THROW(util::parallel_for(10000, 16,
+                                        [](std::size_t i) {
+                                            if (i == 37) throw std::logic_error("bad");
+                                        }),
+                     std::logic_error);
+    }
+}
+
+TEST(ParallelFor, FirstExceptionCancelsRemainingIterations) {
+    constexpr std::size_t kCount = 1000000;
+    std::atomic<std::size_t> executed{0};
+    EXPECT_THROW(util::parallel_for(kCount, 8,
+                                    [&](std::size_t i) {
+                                        if (i == 0) throw std::runtime_error("stop");
+                                        executed.fetch_add(1, std::memory_order_relaxed);
+                                    }),
+                 std::runtime_error);
+    // Cooperative cancellation: runners stop claiming once the failure flag
+    // is up, so only a small prefix of the range can have executed.
+    EXPECT_LT(executed.load(), kCount / 2);
+}
+
+TEST(ParallelFor, NestedCallsRunSeriallyWithoutDeadlock) {
+    std::atomic<int> inner_calls{0};
+    util::parallel_for(8, 4, [&](std::size_t) {
+        util::parallel_for(100, 4, [&](std::size_t) {
+            inner_calls.fetch_add(1, std::memory_order_relaxed);
+        });
+    });
+    EXPECT_EQ(inner_calls.load(), 800);
+}
+
+TEST(ParallelFor, ConcurrentCallersShareTheGlobalExecutor) {
+    std::vector<std::thread> callers;
+    std::vector<std::atomic<int>> counts(4);
+    for (int c = 0; c < 4; ++c) {
+        callers.emplace_back([&, c] {
+            util::parallel_for(500, 4, [&](std::size_t) {
+                counts[static_cast<std::size_t>(c)].fetch_add(1, std::memory_order_relaxed);
+            });
+        });
+    }
+    for (auto& t : callers) t.join();
+    for (const auto& count : counts) EXPECT_EQ(count.load(), 500);
+}
+
+TEST(ParallelForChunked, CoversRangeExactlyOnceWithExplicitGrain) {
+    std::vector<std::atomic<int>> hits(1003);
+    util::parallel_for_chunked(1003, 4, 64, [&](std::size_t begin, std::size_t end) {
+        ASSERT_LE(end, 1003u);
+        ASSERT_LE(end - begin, 64u);
+        for (std::size_t i = begin; i < end; ++i) hits[i].fetch_add(1);
+    });
+    for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ParallelForChunked, AutoGrainCoversRangeExactlyOnce) {
+    std::vector<std::atomic<int>> hits(777);
+    util::parallel_for_chunked(777, 8, 0, [&](std::size_t begin, std::size_t end) {
+        for (std::size_t i = begin; i < end; ++i) hits[i].fetch_add(1);
+    });
+    for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ParallelReduce, BitIdenticalAcrossThreadCounts) {
+    // Rounding-sensitive terms: any change in association order would show.
+    const auto map = [](std::size_t i) {
+        return std::sin(static_cast<double>(i) * 0.73) * 1e-3 + 1.0 / (1.0 + static_cast<double>(i));
+    };
+    const auto combine = [](double a, double b) { return a + b; };
+    const double serial = util::parallel_reduce(12345, 0.0, map, combine, 1);
+    for (const std::size_t threads : {2u, 4u, 8u}) {
+        const double parallel = util::parallel_reduce(12345, 0.0, map, combine, threads);
+        EXPECT_EQ(serial, parallel) << "threads=" << threads;
+    }
+}
+
+TEST(ParallelReduce, EmptyRangeReturnsIdentity) {
+    EXPECT_EQ(util::parallel_reduce(
+                  0, 42.0, [](std::size_t) { return 1.0; },
+                  [](double a, double b) { return a + b; }, 4),
+              42.0);
+}
+
+TEST(Executor, LocalInstanceRunsIndependentOfGlobal) {
+    util::Executor executor(4);
+    EXPECT_EQ(executor.max_threads(), 4u);
+    std::atomic<int> counter{0};
+    executor.parallel_for(257, 4, [&](std::size_t) {
+        counter.fetch_add(1, std::memory_order_relaxed);
+    });
+    EXPECT_EQ(counter.load(), 257);
+}
+
+TEST(Executor, SerialInstanceNeverSpawnsThreads) {
+    util::Executor executor(1);
+    const auto main_id = std::this_thread::get_id();
+    executor.parallel_for(100, 8, [&](std::size_t) {
+        EXPECT_EQ(std::this_thread::get_id(), main_id);
+    });
+}
+
+// ----------------------------------------------------- thread pool shutdown
+
+TEST(ThreadPool, DrainPolicyRunsEverythingQueuedBeforeJoin) {
+    std::atomic<int> counter{0};
+    std::vector<std::future<void>> futures;
+    {
+        util::ThreadPool pool(2, util::ShutdownPolicy::kDrain);
+        for (int i = 0; i < 64; ++i) {
+            futures.push_back(pool.submit([&counter] { counter.fetch_add(1); }));
+        }
+    }  // destructor drains
+    for (auto& f : futures) EXPECT_NO_THROW(f.get());
+    EXPECT_EQ(counter.load(), 64);
+}
+
+TEST(ThreadPool, AbandonPolicyBreaksPromisesOfQueuedTasks) {
+    util::ThreadPool pool(1, util::ShutdownPolicy::kAbandon);
+    std::promise<void> gate;
+    std::shared_future<void> gate_future = gate.get_future().share();
+    std::promise<void> started;
+    auto running = pool.submit([&, gate_future] {
+        started.set_value();
+        gate_future.wait();
+    });
+    started.get_future().wait();  // the lone worker is now inside the task
+    std::vector<std::future<void>> queued;
+    for (int i = 0; i < 8; ++i) queued.push_back(pool.submit([] {}));
+
+    std::thread shutter([&pool] { pool.shutdown(); });
+    while (!pool.is_shutting_down()) std::this_thread::yield();
+    gate.set_value();  // release the in-flight task only after stop is signalled
+    shutter.join();
+
+    EXPECT_NO_THROW(running.get());  // in-flight task finished normally
+    for (auto& f : queued) {
+        // Abandoned tasks must fail fast with broken_promise, never hang.
+        EXPECT_THROW(f.get(), std::future_error);
+    }
+}
+
+TEST(ThreadPool, SubmitAfterShutdownThrows) {
+    util::ThreadPool pool(1);
+    pool.shutdown();
+    EXPECT_THROW(pool.submit([] {}), std::runtime_error);
+}
+
+TEST(ThreadPool, ManyProducersSubmitConcurrently) {
+    util::ThreadPool pool(4);
+    std::atomic<int> counter{0};
+    std::mutex futures_mutex;
+    std::vector<std::future<void>> futures;
+    std::vector<std::thread> producers;
+    for (int p = 0; p < 8; ++p) {
+        producers.emplace_back([&] {
+            for (int i = 0; i < 200; ++i) {
+                auto f = pool.submit([&counter] { counter.fetch_add(1); });
+                const std::lock_guard<std::mutex> lock(futures_mutex);
+                futures.push_back(std::move(f));
+            }
+        });
+    }
+    for (auto& t : producers) t.join();
+    for (auto& f : futures) f.get();
+    EXPECT_EQ(counter.load(), 1600);
 }
 
 }  // namespace
