@@ -7,6 +7,7 @@
 #pragma once
 
 #include <cstdint>
+#include <cstdlib>
 #include <iostream>
 #include <string>
 #include <type_traits>
@@ -18,6 +19,7 @@
 #include "dp/mixture_prior.hpp"
 #include "edgesim/cloud.hpp"
 #include "models/metrics.hpp"
+#include "obs/metrics.hpp"
 #include "stats/descriptive.hpp"
 #include "stats/rng.hpp"
 #include "util/executor.hpp"
@@ -108,6 +110,32 @@ auto parallel_trials(std::size_t trials, Fn&& fn)
                        [&](std::size_t t) { results[t] = fn(t); });
     return results;
 }
+
+/// RAII metrics sidecar: declare one at the top of a bench's main() and a
+/// schema-versioned JSON document (see obs::bench_sidecar_json) is written
+/// next to the bench's stdout when main() returns — `<name>.metrics.json`
+/// in the working directory, or under $DREL_METRICS_DIR when set. Disable
+/// with DREL_METRICS=0 (no file is written).
+class MetricsSidecar {
+ public:
+    explicit MetricsSidecar(std::string bench_name) : bench_name_(std::move(bench_name)) {}
+    MetricsSidecar(const MetricsSidecar&) = delete;
+    MetricsSidecar& operator=(const MetricsSidecar&) = delete;
+
+    ~MetricsSidecar() {
+        if (!obs::metrics_enabled()) return;
+        std::string dir;
+        if (const char* env = std::getenv("DREL_METRICS_DIR")) dir = env;
+        std::string path = dir.empty() ? bench_name_ + ".metrics.json"
+                                       : dir + "/" + bench_name_ + ".metrics.json";
+        if (obs::write_bench_sidecar(bench_name_, path)) {
+            std::cout << "\nmetrics sidecar: " << path << "\n";
+        }
+    }
+
+ private:
+    std::string bench_name_;
+};
 
 /// mean +- std formatting for table cells.
 inline std::string mean_std(const stats::RunningStats& s, int precision = 3) {

@@ -13,6 +13,7 @@
 
 int main() {
     using namespace drel;
+    bench::MetricsSidecar sidecar("bench_fig12_lossy_channel");
     bench::print_header("E16 (Fig. 12, extension)",
                         "Prior broadcast over a lossy link (256 B packets, ack/retransmit): "
                         "attempts and on-air bytes vs packet loss rate, 200 trials each.");

@@ -18,6 +18,7 @@
 
 int main() {
     using namespace drel;
+    bench::MetricsSidecar sidecar("bench_fig14_lifecycle");
     bench::print_header("E19 (Fig. 14, extension)",
                         "Lifecycle with a novel device type from round 3 (half of new "
                         "devices), mean+-std over 4 seeds. nov-acc = accuracy of "

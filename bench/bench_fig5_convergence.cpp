@@ -12,6 +12,7 @@
 
 int main() {
     using namespace drel;
+    bench::MetricsSidecar sidecar("bench_fig5_convergence");
     bench::print_header("E4 (Fig. 5)",
                         "EM-DRO trace on one task (n_train=24, Wasserstein rho auto). "
                         "objective must be non-increasing; entropy shows component lock-in.");

@@ -24,6 +24,7 @@
 
 int main() {
     using namespace drel;
+    bench::MetricsSidecar sidecar("bench_fig7_fleet");
     bench::print_header("E8 (Fig. 7)",
                         "Fleet of 60 devices (n=16 local samples each), prior from 30 "
                         "contributors. Per-device accuracy quantiles + communication.");

@@ -11,6 +11,7 @@
 
 int main() {
     using namespace drel;
+    bench::MetricsSidecar sidecar("bench_table2_methods");
     bench::print_header("E5 (Table II)",
                         "Test accuracy per scenario (n_train=24), mean+-std over 5 seeds. "
                         "Prior learned by DPMM-Gibbs from 30 contributors per seed.");

@@ -40,6 +40,7 @@ dp::MixturePrior prior_with_components(const data::TaskPopulation& population, s
 
 int main() {
     using namespace drel;
+    bench::MetricsSidecar sidecar("bench_table4_runtime");
     bench::print_header("E10 (Table IV)",
                         "EdgeLearner::fit wall-clock (ms, averaged over 3 runs; 15 EM outer "
                         "iterations, Wasserstein auto radius). One axis varies per block.");

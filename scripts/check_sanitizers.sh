@@ -4,12 +4,17 @@
 # flow for any change to util/thread_pool, util/executor, or code running
 # on the shared executor (fleet simulation, EM multi-start, collaborative).
 #
+# Both sanitizer suites always run: a ThreadSanitizer failure no longer
+# short-circuits the AddressSanitizer pass. The script exits non-zero if
+# EITHER suite failed.
+#
 # Usage: scripts/check_sanitizers.sh [jobs]
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
 jobs="${1:-$(nproc)}"
 
+failed=()
 for sanitizer in thread address; do
     build_dir="build-${sanitizer}san"
     echo "=== ${sanitizer} sanitizer ==="
@@ -17,7 +22,15 @@ for sanitizer in thread address; do
         -DCMAKE_BUILD_TYPE=RelWithDebInfo > /dev/null
     cmake --build "${build_dir}" -j "${jobs}" \
         --target test_util test_concurrency > /dev/null
-    (cd "${build_dir}" && ctest --output-on-failure -j "${jobs}" \
-        -R 'ThreadPool|ParallelFor|ParallelReduce|Executor|Determinism')
+    if ! (cd "${build_dir}" && ctest --output-on-failure -j "${jobs}" \
+        -R 'ThreadPool|ParallelFor|ParallelReduce|Executor|Determinism'); then
+        echo "!!! ${sanitizer} sanitizer suite FAILED"
+        failed+=("${sanitizer}")
+    fi
 done
+
+if [ "${#failed[@]}" -ne 0 ]; then
+    echo "sanitizer checks FAILED: ${failed[*]}"
+    exit 1
+fi
 echo "sanitizer checks passed"

@@ -5,10 +5,37 @@
 #include <numeric>
 #include <stdexcept>
 
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "util/executor.hpp"
 
 namespace drel::core {
 namespace {
+
+// Deterministic event counts (see DESIGN.md "Observability"): per-solve
+// E-step/outer-iteration totals are pure functions of the inputs, so these
+// aggregate bit-identically at any thread count.
+obs::Counter& solve_calls() {
+    static obs::Counter& c = obs::Registry::global().counter("em.solve_calls");
+    return c;
+}
+obs::Counter& multi_start_runs() {
+    static obs::Counter& c = obs::Registry::global().counter("em.multi_start_runs");
+    return c;
+}
+obs::Counter& outer_iteration_count() {
+    static obs::Counter& c = obs::Registry::global().counter("em.outer_iterations");
+    return c;
+}
+obs::Counter& e_step_count() {
+    static obs::Counter& c = obs::Registry::global().counter("em.e_steps");
+    return c;
+}
+obs::Histogram& outer_iterations_histogram() {
+    static obs::Histogram& h = obs::Registry::global().histogram(
+        "em.outer_iterations_per_solve", {1, 2, 4, 8, 16, 32, 64});
+    return h;
+}
 
 /// M-step objective: R(theta) - w * Q(theta; r), with r fixed.
 class MStepObjective final : public optim::Objective {
@@ -87,12 +114,14 @@ EmDroResult EmDroSolver::solve_from(const linalg::Vector& theta0) const {
     if (theta0.size() != prior_->dim()) {
         throw std::invalid_argument("EmDroSolver::solve_from: theta0 dimension mismatch");
     }
+    DREL_TRACE_SPAN("em.solve_from");
     EmDroResult result;
     result.theta = theta0;
     double current = objective(result.theta);
 
     for (int it = 0; it < options_.max_outer_iterations; ++it) {
         // E-step.
+        e_step_count().add(1);
         const linalg::Vector r = prior_->responsibilities(result.theta);
 
         result.trace.objective.push_back(current);
@@ -125,10 +154,15 @@ EmDroResult EmDroSolver::solve_from(const linalg::Vector& theta0) const {
     result.objective = current;
     result.final_responsibilities = prior_->responsibilities(result.theta);
     result.total_outer_iterations = result.trace.outer_iterations;
+    outer_iteration_count().add(static_cast<std::uint64_t>(result.trace.outer_iterations));
+    outer_iterations_histogram().observe(
+        static_cast<std::uint64_t>(result.trace.outer_iterations));
     return result;
 }
 
 EmDroResult EmDroSolver::solve() const {
+    DREL_TRACE_SPAN("em.solve");
+    solve_calls().add(1);
     // Candidate starts: prior mean plus the heaviest atoms. Multi-modality
     // of the DP prior is exactly why a single start is not enough.
     std::vector<linalg::Vector> starts;
@@ -145,6 +179,7 @@ EmDroResult EmDroSolver::solve() const {
     // Starts are independent EM runs into indexed slots; the winner is
     // picked by a fixed-order scan below, so the result is bit-identical to
     // the serial loop at any thread count.
+    multi_start_runs().add(starts.size());
     std::vector<EmDroResult> candidates(starts.size());
     util::parallel_for(starts.size(), options_.num_threads,
                        [&](std::size_t s) { candidates[s] = solve_from(starts[s]); });

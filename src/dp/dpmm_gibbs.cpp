@@ -5,6 +5,8 @@
 
 #include "dp/crp.hpp"
 #include "linalg/vector_ops.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "stats/distributions.hpp"
 #include "stats/multivariate_normal.hpp"
 
@@ -103,6 +105,8 @@ void DpmmGibbs::insert_observation(std::size_t j, std::size_t cluster) {
 }
 
 void DpmmGibbs::sweep(stats::Rng& rng) {
+    static obs::Counter& sweeps = obs::Registry::global().counter("dp.gibbs_sweeps");
+    sweeps.add(1);
     for (std::size_t j = 0; j < observations_.size(); ++j) {
         remove_observation(j);
         // Log-weights: existing clusters by size x predictive, new by alpha.
@@ -143,6 +147,7 @@ void DpmmGibbs::add_observation(linalg::Vector theta, stats::Rng& rng, int refre
 }
 
 void DpmmGibbs::run(stats::Rng& rng) {
+    DREL_TRACE_SPAN("dpmm.run");
     std::vector<std::size_t> best_assignments = assignments_;
     double best_log_joint = log_joint();
     double best_alpha = config_.alpha;

@@ -4,8 +4,27 @@
 #include <stdexcept>
 
 #include "linalg/vector_ops.hpp"
+#include "obs/metrics.hpp"
 
 namespace drel::dp {
+namespace {
+
+// The three prior evaluations the EM hot loop leans on; counts are
+// deterministic (one per call, calls derive from deterministic solves).
+obs::Counter& log_pdf_evals() {
+    static obs::Counter& c = obs::Registry::global().counter("dp.log_pdf_evals");
+    return c;
+}
+obs::Counter& responsibility_evals() {
+    static obs::Counter& c = obs::Registry::global().counter("dp.responsibility_evals");
+    return c;
+}
+obs::Counter& em_surrogate_evals() {
+    static obs::Counter& c = obs::Registry::global().counter("dp.em_surrogate_evals");
+    return c;
+}
+
+}  // namespace
 
 MixturePrior::MixturePrior(linalg::Vector weights, std::vector<stats::MultivariateNormal> atoms)
     : weights_(std::move(weights)), atoms_(std::move(atoms)) {
@@ -32,6 +51,7 @@ MixturePrior MixturePrior::single(stats::MultivariateNormal atom) {
 }
 
 double MixturePrior::log_pdf(const linalg::Vector& theta) const {
+    log_pdf_evals().add(1);
     linalg::Vector log_terms(num_components());
     for (std::size_t k = 0; k < num_components(); ++k) {
         log_terms[k] = std::log(weights_[k]) + atoms_[k].log_pdf(theta);
@@ -40,6 +60,7 @@ double MixturePrior::log_pdf(const linalg::Vector& theta) const {
 }
 
 linalg::Vector MixturePrior::responsibilities(const linalg::Vector& theta) const {
+    responsibility_evals().add(1);
     linalg::Vector log_terms(num_components());
     for (std::size_t k = 0; k < num_components(); ++k) {
         log_terms[k] = std::log(weights_[k]) + atoms_[k].log_pdf(theta);
@@ -54,6 +75,7 @@ linalg::Vector MixturePrior::log_pdf_gradient(const linalg::Vector& theta) const
 }
 
 double MixturePrior::em_surrogate(const linalg::Vector& theta, const linalg::Vector& r) const {
+    em_surrogate_evals().add(1);
     if (r.size() != num_components()) {
         throw std::invalid_argument("MixturePrior::em_surrogate: responsibility size mismatch");
     }

@@ -6,6 +6,8 @@
 #include "dro/robust_objective.hpp"
 #include "dro/wasserstein.hpp"
 #include "models/metrics.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "optim/scalar.hpp"
 
 namespace drel::dro {
@@ -13,6 +15,10 @@ namespace drel::dro {
 double certified_radius(const linalg::Vector& theta, const models::Dataset& data,
                         const models::Loss& loss, AmbiguityKind kind, double loss_budget,
                         double max_radius, double tolerance) {
+    DREL_TRACE_SPAN("dro.certified_radius");
+    static obs::Counter& calls =
+        obs::Registry::global().counter("dro.certified_radius_calls");
+    calls.add(1);
     if (kind == AmbiguityKind::kNone) {
         throw std::invalid_argument("certified_radius: pick a non-trivial ambiguity family");
     }
@@ -31,6 +37,8 @@ std::vector<CertificatePoint> certificate_profile(const linalg::Vector& theta,
                                                   const models::Dataset& data,
                                                   const models::Loss& loss, AmbiguityKind kind,
                                                   const std::vector<double>& radii) {
+    static obs::Counter& points = obs::Registry::global().counter("dro.certificate_points");
+    points.add(radii.size());
     std::vector<CertificatePoint> out;
     out.reserve(radii.size());
     for (const double rho : radii) {

@@ -5,6 +5,7 @@
 #include <stdexcept>
 
 #include "models/erm_objective.hpp"
+#include "obs/metrics.hpp"
 #include "optim/scalar.hpp"
 
 namespace drel::dro {
@@ -27,6 +28,9 @@ double dual_value(const linalg::Vector& losses, double rho, double lambda, doubl
 }  // namespace
 
 ChiSquareDualSolution solve_chi_square_dual(const linalg::Vector& losses, double rho) {
+    static obs::Counter& solves =
+        obs::Registry::global().counter("dro.chi_square_dual_solves");
+    solves.add(1);
     if (losses.empty()) throw std::invalid_argument("solve_chi_square_dual: empty losses");
     if (!(rho >= 0.0)) throw std::invalid_argument("solve_chi_square_dual: rho must be >= 0");
 

@@ -5,11 +5,14 @@
 #include <stdexcept>
 
 #include "models/erm_objective.hpp"
+#include "obs/metrics.hpp"
 #include "optim/scalar.hpp"
 
 namespace drel::dro {
 
 KlDualSolution solve_kl_dual(const linalg::Vector& losses, double rho) {
+    static obs::Counter& solves = obs::Registry::global().counter("dro.kl_dual_solves");
+    solves.add(1);
     if (losses.empty()) throw std::invalid_argument("solve_kl_dual: empty losses");
     if (!(rho >= 0.0)) throw std::invalid_argument("solve_kl_dual: rho must be >= 0");
 

@@ -6,6 +6,7 @@
 #include "dro/kl.hpp"
 #include "dro/wasserstein.hpp"
 #include "models/erm_objective.hpp"
+#include "obs/metrics.hpp"
 
 namespace drel::dro {
 
@@ -27,6 +28,8 @@ std::unique_ptr<optim::Objective> make_robust_objective(const models::Dataset& d
 
 double robust_loss(const linalg::Vector& theta, const models::Dataset& data,
                    const models::Loss& loss, const AmbiguitySet& set) {
+    static obs::Counter& evals = obs::Registry::global().counter("dro.robust_loss_evals");
+    evals.add(1);
     return make_robust_objective(data, loss, set, 0.0)->value(theta);
 }
 

@@ -5,6 +5,7 @@
 #include <stdexcept>
 
 #include "models/erm_objective.hpp"
+#include "obs/metrics.hpp"
 #include "optim/scalar.hpp"
 
 namespace drel::dro {
@@ -52,6 +53,8 @@ WassersteinDroObjective::WassersteinDroObjective(const models::Dataset& data,
 std::size_t WassersteinDroObjective::dim() const { return data_->dim(); }
 
 double WassersteinDroObjective::eval(const linalg::Vector& theta, linalg::Vector* grad) const {
+    static obs::Counter& evals = obs::Registry::global().counter("dro.wasserstein_evals");
+    evals.add(1);
     const models::ErmObjective erm(*data_, *loss_, l2_);
     double value = erm.eval(theta, grad);
     const double coeff = rho_ * loss_->lipschitz();

@@ -7,6 +7,7 @@
 #include "dro/kl.hpp"
 #include "dro/wasserstein.hpp"
 #include "models/erm_objective.hpp"
+#include "obs/metrics.hpp"
 
 namespace drel::dro {
 namespace {
@@ -89,6 +90,9 @@ WorstCase wasserstein_worst_case(const linalg::Vector& theta, const models::Data
 
 WorstCase worst_case_distribution(const linalg::Vector& theta, const models::Dataset& data,
                                   const models::Loss& loss, const AmbiguitySet& set) {
+    static obs::Counter& extractions =
+        obs::Registry::global().counter("dro.worst_case_extractions");
+    extractions.add(1);
     if (data.empty()) throw std::invalid_argument("worst_case_distribution: empty dataset");
     const std::size_t n = data.size();
     switch (set.kind) {

@@ -4,6 +4,8 @@
 #include <stdexcept>
 
 #include "models/erm_objective.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "optim/lbfgs.hpp"
 #include "stats/descriptive.hpp"
 
@@ -19,6 +21,8 @@ void CloudNode::add_contributor_data(models::Dataset data) {
 }
 
 void CloudNode::fit_contributor_models() {
+    static obs::Counter& fits = obs::Registry::global().counter("cloud.contributor_fits");
+    fits.add(contributor_data_.size());
     contributor_thetas_.clear();
     contributor_thetas_.reserve(contributor_data_.size());
     const auto loss = models::make_loss(config_.loss);
@@ -33,6 +37,9 @@ void CloudNode::fit_contributor_models() {
 }
 
 dp::MixturePrior CloudNode::fit_prior(stats::Rng& rng) {
+    DREL_TRACE_SPAN("cloud.fit_prior");
+    static obs::Counter& fits = obs::Registry::global().counter("cloud.prior_fits");
+    fits.add(1);
     if (contributor_data_.size() < 2) {
         throw std::invalid_argument("CloudNode::fit_prior: need at least 2 contributors");
     }

@@ -3,6 +3,8 @@
 #include <stdexcept>
 
 #include "edgesim/transfer.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 
 namespace drel::edgesim {
 
@@ -21,6 +23,11 @@ std::size_t EdgeDevice::receive_prior(const std::vector<std::uint8_t>& encoded) 
     }
     learner_.emplace(std::move(prior), config_);
     bytes_received_ += encoded.size();
+    static obs::Counter& received = obs::Registry::global().counter("device.priors_received");
+    static obs::Counter& bytes =
+        obs::Registry::global().counter("device.prior_bytes_received");
+    received.add(1);
+    bytes.add(encoded.size());
     return encoded.size();
 }
 
@@ -28,6 +35,9 @@ core::FitResult EdgeDevice::train() {
     if (!learner_) {
         throw std::logic_error("EdgeDevice::train: no prior received yet");
     }
+    DREL_TRACE_SPAN("device.train");
+    static obs::Counter& trainings = obs::Registry::global().counter("device.trainings");
+    trainings.add(1);
     fit_ = learner_->fit(local_data_);
     return *fit_;
 }

@@ -8,6 +8,8 @@
 #include "edgesim/transfer.hpp"
 #include "models/erm_objective.hpp"
 #include "models/metrics.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "optim/lbfgs.hpp"
 #include "stats/descriptive.hpp"
 
@@ -36,6 +38,15 @@ LifecycleReport run_lifecycle(const LifecycleConfig& config, stats::Rng& rng) {
     if (config.initial_contributors < 2) {
         throw std::invalid_argument("run_lifecycle: need >= 2 initial contributors");
     }
+    DREL_TRACE_SPAN("lifecycle.run");
+    static obs::Counter& rounds_count = obs::Registry::global().counter("lifecycle.rounds");
+    static obs::Counter& rebroadcasts =
+        obs::Registry::global().counter("lifecycle.rebroadcasts");
+    static obs::Counter& uploads_count = obs::Registry::global().counter("lifecycle.uploads");
+    static obs::Counter& broadcast_bytes =
+        obs::Registry::global().counter("lifecycle.broadcast_bytes");
+    static obs::Counter& upload_bytes =
+        obs::Registry::global().counter("lifecycle.upload_bytes");
 
     const auto loss = models::make_loss(config.learner.loss);
     data::DataOptions options;
@@ -83,6 +94,7 @@ LifecycleReport run_lifecycle(const LifecycleConfig& config, stats::Rng& rng) {
     dp::MixturePrior broadcast_prior = sampler.extract_prior();
     auto payload = encode_prior(broadcast_prior);
     report.total_broadcast_bytes += payload.size();
+    broadcast_bytes.add(payload.size());
 
     // --- Rounds. ---
     stats::Rng round_rng = rng.fork(4);
@@ -90,12 +102,14 @@ LifecycleReport run_lifecycle(const LifecycleConfig& config, stats::Rng& rng) {
         const bool novel_active = config.novel_mode_round >= 0 &&
                                   round >= static_cast<std::size_t>(config.novel_mode_round);
 
+        rounds_count.add(1);
         LifecycleRound summary;
         summary.round = round;
         summary.prior_components = broadcast_prior.num_components();
         if (round == 0) {
             summary.rebroadcast = true;   // initial push
             summary.broadcast_bytes = payload.size();
+            rebroadcasts.add(1);
         }
 
         stats::RunningStats round_accuracy;
@@ -127,6 +141,8 @@ LifecycleReport run_lifecycle(const LifecycleConfig& config, stats::Rng& rng) {
             if (config.feedback) {
                 uploads.push_back(fit_theta(train, *loss));
                 report.total_upload_bytes += d * sizeof(double);
+                uploads_count.add(1);
+                upload_bytes.add(d * sizeof(double));
             }
         }
         summary.mean_accuracy = round_accuracy.mean();
@@ -148,7 +164,9 @@ LifecycleReport run_lifecycle(const LifecycleConfig& config, stats::Rng& rng) {
                 payload = encode_prior(broadcast_prior);
                 report.total_broadcast_bytes +=
                     payload.size() * config.devices_per_round;  // push to next round's fleet
+                broadcast_bytes.add(payload.size() * config.devices_per_round);
                 summary.rebroadcast = true;
+                rebroadcasts.add(1);
                 summary.broadcast_bytes = payload.size();
             }
         }

@@ -3,6 +3,7 @@
 #include <stdexcept>
 
 #include "edgesim/transfer.hpp"
+#include "obs/metrics.hpp"
 
 namespace drel::edgesim {
 namespace {
@@ -34,9 +35,18 @@ TransmissionReport transmit_with_retries(const std::vector<std::uint8_t>& payloa
     TransmissionReport report;
     report.payload_bytes = payload.size();
 
+    static obs::Counter& transmissions = obs::Registry::global().counter("net.transmissions");
+    static obs::Counter& transmitted_bytes =
+        obs::Registry::global().counter("net.transmitted_bytes");
+    static obs::Counter& dropped = obs::Registry::global().counter("net.dropped_packets");
+    static obs::Counter& corrupted = obs::Registry::global().counter("net.corrupted_payloads");
+    static obs::Counter& deliveries = obs::Registry::global().counter("net.deliveries");
+    static obs::Counter& failures = obs::Registry::global().counter("net.failures");
     for (int attempt = 0; attempt < config.max_transmissions; ++attempt) {
         ++report.attempts;
         report.transmitted_bytes += payload.size();
+        transmissions.add(1);
+        transmitted_bytes.add(payload.size());
 
         std::vector<std::uint8_t> received;
         received.reserve(payload.size());
@@ -45,6 +55,7 @@ TransmissionReport transmit_with_retries(const std::vector<std::uint8_t>& payloa
             const std::size_t end = std::min(offset + config.packet_bytes, payload.size());
             if (config.packet_loss_prob > 0.0 && rng.uniform() < config.packet_loss_prob) {
                 ++report.dropped_packets;
+                dropped.add(1);
                 any_drop = true;
                 continue;  // packet vanishes; receiver sees a short payload
             }
@@ -59,13 +70,16 @@ TransmissionReport transmit_with_retries(const std::vector<std::uint8_t>& payloa
 
         if (!any_drop && received.size() == payload.size() && validate(received)) {
             report.delivered = true;
+            deliveries.add(1);
             report.payload = std::move(received);
             return report;
         }
         if (!any_drop && received.size() == payload.size()) {
             ++report.corrupted_attempts;  // intact length but failed validation
+            corrupted.add(1);
         }
     }
+    failures.add(1);
     return report;
 }
 

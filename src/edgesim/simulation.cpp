@@ -6,6 +6,8 @@
 #include "core/ensemble.hpp"
 #include "edgesim/device.hpp"
 #include "models/metrics.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "util/executor.hpp"
 #include "util/logging.hpp"
 #include "util/stopwatch.hpp"
@@ -42,6 +44,9 @@ FleetReport run_fleet_simulation(const SimulationConfig& config, stats::Rng& rng
     if (config.num_edge_devices == 0) {
         throw std::invalid_argument("run_fleet_simulation: need >= 1 edge device");
     }
+    DREL_TRACE_SPAN("fleet.run");
+    static obs::Counter& runs = obs::Registry::global().counter("fleet.runs");
+    runs.add(1);
 
     stats::Rng population_rng = rng.fork(1);
     const data::TaskPopulation population = data::TaskPopulation::make_synthetic(
@@ -70,6 +75,11 @@ FleetReport run_fleet_simulation(const SimulationConfig& config, stats::Rng& rng
     report.cloud_seconds = cloud_watch.elapsed_seconds();
     report.prior_components = prior.num_components();
     report.prior_bytes = encoded.size();
+    obs::Registry::global().timing("fleet.cloud_seconds").record_seconds(report.cloud_seconds);
+    obs::Registry::global().gauge("fleet.prior_components").set(
+        static_cast<double>(prior.num_components()));
+    obs::Registry::global().gauge("fleet.prior_bytes").set(
+        static_cast<double>(encoded.size()));
     DREL_LOG_INFO("edgesim") << "cloud prior: " << prior.num_components() << " components, "
                              << encoded.size() << " bytes";
 
@@ -80,7 +90,14 @@ FleetReport run_fleet_simulation(const SimulationConfig& config, stats::Rng& rng
     stats::Rng fleet_rng = rng.fork(4);
     report.devices.resize(config.num_edge_devices);
     report.total_broadcast_bytes = encoded.size() * config.num_edge_devices;
+    static obs::Counter& broadcast_bytes =
+        obs::Registry::global().counter("fleet.broadcast_bytes");
+    broadcast_bytes.add(report.total_broadcast_bytes);
     util::parallel_for(config.num_edge_devices, config.num_threads, [&](std::size_t j) {
+        DREL_TRACE_SPAN("fleet.device");
+        static obs::Counter& devices_trained =
+            obs::Registry::global().counter("fleet.devices_trained");
+        devices_trained.add(1);
         stats::Rng device_rng = fleet_rng.fork(j);
         const data::TaskSpec task = population.sample_task(device_rng);
         models::Dataset train =
@@ -95,6 +112,8 @@ FleetReport run_fleet_simulation(const SimulationConfig& config, stats::Rng& rng
         device.train();
         DeviceOutcome& outcome = report.devices[j];
         outcome.train_seconds = train_watch.elapsed_seconds();
+        obs::Registry::global().timing("fleet.device_train_seconds")
+            .record_seconds(outcome.train_seconds);
         outcome.device_id = device.id();
         outcome.mode_index = task.mode_index;
         outcome.em_dro_accuracy = device.evaluate_accuracy(test);

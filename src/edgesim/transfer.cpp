@@ -4,6 +4,7 @@
 #include <stdexcept>
 
 #include "linalg/matrix.hpp"
+#include "obs/metrics.hpp"
 
 namespace drel::edgesim {
 namespace {
@@ -103,6 +104,11 @@ std::vector<std::uint8_t> encode_prior(const dp::MixturePrior& prior,
             }
         }
     }
+    static obs::Counter& encodes = obs::Registry::global().counter("transfer.encodes");
+    static obs::Counter& encoded_bytes =
+        obs::Registry::global().counter("transfer.encoded_bytes");
+    encodes.add(1);
+    encoded_bytes.add(buffer.size());
     return buffer;
 }
 
@@ -156,6 +162,8 @@ dp::MixturePrior decode_prior(const std::vector<std::uint8_t>& buffer) {
     if (!r.exhausted()) {
         throw std::invalid_argument("decode_prior: trailing bytes");
     }
+    static obs::Counter& decodes = obs::Registry::global().counter("transfer.decodes");
+    decodes.add(1);
     return dp::MixturePrior(std::move(weights), std::move(atoms));
 }
 

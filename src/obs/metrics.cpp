@@ -1,0 +1,239 @@
+#include "obs/metrics.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <cstdlib>
+#include <fstream>
+#include <limits>
+#include <stdexcept>
+
+#include "util/logging.hpp"
+
+namespace drel::obs {
+
+bool metrics_enabled() noexcept {
+    static const bool enabled = [] {
+        const char* env = std::getenv("DREL_METRICS");
+        return !(env != nullptr && env[0] == '0' && env[1] == '\0');
+    }();
+    return enabled;
+}
+
+namespace detail {
+
+std::size_t thread_slot() noexcept {
+    static std::atomic<std::size_t> next{0};
+    thread_local const std::size_t slot = next.fetch_add(1, std::memory_order_relaxed);
+    return slot;
+}
+
+}  // namespace detail
+
+// ----------------------------------------------------------------- histogram
+
+Histogram::Histogram(std::vector<std::uint64_t> bounds) : bounds_(std::move(bounds)) {
+    if (!std::is_sorted(bounds_.begin(), bounds_.end()) ||
+        std::adjacent_find(bounds_.begin(), bounds_.end()) != bounds_.end()) {
+        throw std::invalid_argument("Histogram: bounds must be strictly ascending");
+    }
+    buckets_ = std::make_unique<std::atomic<std::uint64_t>[]>(bounds_.size() + 1);
+    for (std::size_t i = 0; i <= bounds_.size(); ++i) {
+        buckets_[i].store(0, std::memory_order_relaxed);
+    }
+}
+
+void Histogram::observe(std::uint64_t value) noexcept {
+    if (!metrics_enabled()) return;
+    const auto it = std::lower_bound(bounds_.begin(), bounds_.end(), value);
+    const std::size_t bucket = static_cast<std::size_t>(it - bounds_.begin());
+    buckets_[bucket].fetch_add(1, std::memory_order_relaxed);
+    count_.fetch_add(1, std::memory_order_relaxed);
+    sum_.fetch_add(value, std::memory_order_relaxed);
+}
+
+std::vector<std::uint64_t> Histogram::bucket_counts() const {
+    std::vector<std::uint64_t> out(bounds_.size() + 1);
+    for (std::size_t i = 0; i < out.size(); ++i) {
+        out[i] = buckets_[i].load(std::memory_order_relaxed);
+    }
+    return out;
+}
+
+void Histogram::reset() noexcept {
+    for (std::size_t i = 0; i <= bounds_.size(); ++i) {
+        buckets_[i].store(0, std::memory_order_relaxed);
+    }
+    count_.store(0, std::memory_order_relaxed);
+    sum_.store(0, std::memory_order_relaxed);
+}
+
+// -------------------------------------------------------------------- timing
+
+void TimingStat::record_seconds(double seconds) noexcept {
+    if (!metrics_enabled()) return;
+    const std::lock_guard<std::mutex> lock(mutex_);
+    if (state_.count == 0 || seconds < state_.min_seconds) state_.min_seconds = seconds;
+    if (state_.count == 0 || seconds > state_.max_seconds) state_.max_seconds = seconds;
+    state_.total_seconds += seconds;
+    ++state_.count;
+}
+
+TimingStat::Snapshot TimingStat::snapshot() const {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    return state_;
+}
+
+void TimingStat::reset() {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    state_ = Snapshot{};
+}
+
+namespace {
+
+std::uint64_t now_ns() noexcept {
+    return static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            std::chrono::steady_clock::now().time_since_epoch())
+            .count());
+}
+
+}  // namespace
+
+ScopedTimer::ScopedTimer(TimingStat& stat) noexcept : stat_(stat), start_ns_(now_ns()) {}
+
+ScopedTimer::~ScopedTimer() {
+    stat_.record_seconds(static_cast<double>(now_ns() - start_ns_) * 1e-9);
+}
+
+// ------------------------------------------------------------------ registry
+
+Registry& Registry::global() {
+    static Registry* instance = new Registry();  // leaked: outlive all users
+    return *instance;
+}
+
+Counter& Registry::counter(std::string_view name) {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    auto it = counters_.find(name);
+    if (it == counters_.end()) {
+        it = counters_.emplace(std::string(name), std::make_unique<Counter>()).first;
+    }
+    return *it->second;
+}
+
+Gauge& Registry::gauge(std::string_view name) {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    auto it = gauges_.find(name);
+    if (it == gauges_.end()) {
+        it = gauges_.emplace(std::string(name), std::make_unique<Gauge>()).first;
+    }
+    return *it->second;
+}
+
+Histogram& Registry::histogram(std::string_view name, std::vector<std::uint64_t> bounds) {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    auto it = histograms_.find(name);
+    if (it == histograms_.end()) {
+        it = histograms_.emplace(std::string(name), std::make_unique<Histogram>(std::move(bounds)))
+                 .first;
+    } else if (it->second->bounds() != bounds) {
+        throw std::invalid_argument("Registry::histogram: '" + std::string(name) +
+                                    "' re-registered with different bounds");
+    }
+    return *it->second;
+}
+
+TimingStat& Registry::timing(std::string_view name) {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    auto it = timings_.find(name);
+    if (it == timings_.end()) {
+        it = timings_.emplace(std::string(name), std::make_unique<TimingStat>()).first;
+    }
+    return *it->second;
+}
+
+void Registry::reset() {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    for (auto& [name, c] : counters_) c->reset();
+    for (auto& [name, g] : gauges_) g->reset();
+    for (auto& [name, h] : histograms_) h->reset();
+    for (auto& [name, t] : timings_) t->reset();
+}
+
+JsonValue Registry::deterministic_snapshot() const {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    JsonValue::Object counters;
+    for (const auto& [name, c] : counters_) {
+        if (const std::uint64_t total = c->total(); total > 0) counters.emplace(name, total);
+    }
+    JsonValue::Object gauges;
+    for (const auto& [name, g] : gauges_) {
+        if (g->touched()) gauges.emplace(name, g->value());
+    }
+    JsonValue::Object histograms;
+    for (const auto& [name, h] : histograms_) {
+        if (h->count() == 0) continue;
+        JsonValue::Array bounds;
+        for (const std::uint64_t b : h->bounds()) bounds.emplace_back(b);
+        JsonValue::Array buckets;
+        for (const std::uint64_t b : h->bucket_counts()) buckets.emplace_back(b);
+        JsonValue::Object entry;
+        entry.emplace("bounds", std::move(bounds));
+        entry.emplace("buckets", std::move(buckets));
+        entry.emplace("count", h->count());
+        entry.emplace("sum", h->sum());
+        histograms.emplace(name, std::move(entry));
+    }
+    JsonValue::Object out;
+    out.emplace("counters", std::move(counters));
+    out.emplace("gauges", std::move(gauges));
+    out.emplace("histograms", std::move(histograms));
+    return JsonValue(std::move(out));
+}
+
+JsonValue Registry::timing_snapshot() const {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    JsonValue::Object timings;
+    for (const auto& [name, t] : timings_) {
+        const TimingStat::Snapshot s = t->snapshot();
+        if (s.count == 0) continue;
+        JsonValue::Object entry;
+        entry.emplace("count", s.count);
+        entry.emplace("total_seconds", s.total_seconds);
+        entry.emplace("min_seconds", s.min_seconds);
+        entry.emplace("max_seconds", s.max_seconds);
+        timings.emplace(name, std::move(entry));
+    }
+    return JsonValue(std::move(timings));
+}
+
+std::string Registry::deterministic_json() const {
+    JsonValue::Object doc;
+    doc.emplace("schema_version", kMetricsSchemaVersion);
+    doc.emplace("metrics", deterministic_snapshot());
+    return JsonValue(std::move(doc)).dump();
+}
+
+// ------------------------------------------------------------------- sidecar
+
+JsonValue bench_sidecar_json(std::string_view bench_name) {
+    const Registry& registry = Registry::global();
+    JsonValue::Object doc;
+    doc.emplace("schema_version", kMetricsSchemaVersion);
+    doc.emplace("bench", std::string(bench_name));
+    doc.emplace("deterministic", registry.deterministic_snapshot());
+    doc.emplace("timing", registry.timing_snapshot());
+    return JsonValue(std::move(doc));
+}
+
+bool write_bench_sidecar(std::string_view bench_name, const std::string& path) {
+    std::ofstream out(path);
+    if (!out) {
+        DREL_LOG_WARN("obs") << "cannot write metrics sidecar " << path;
+        return false;
+    }
+    out << bench_sidecar_json(bench_name).dump() << "\n";
+    return static_cast<bool>(out);
+}
+
+}  // namespace drel::obs

@@ -1,0 +1,219 @@
+// Deterministic metrics registry for the EM/DRO/fleet hot paths.
+//
+// Design contract (see DESIGN.md "Observability"):
+//
+//  * Event COUNTS are deterministic. Counters and histograms record integer
+//    event counts/values only; every shard/bucket is an unsigned integer, so
+//    aggregation is a commutative sum and the aggregate is bit-identical at
+//    any thread count — provided the instrumented computation itself is
+//    deterministic, which the concurrency layer guarantees (per-index RNG
+//    forking, indexed slots, fixed-order scans). Gauges carry doubles but
+//    must only be set from deterministic code points (e.g. the encoded
+//    prior size on the simulation driver thread).
+//  * Wall-clock is segregated. Timings go to TimingStat, which never
+//    appears in the deterministic snapshot — golden files and cross-thread
+//    diffs can therefore assert byte equality of the deterministic JSON.
+//  * Hot-path cost is a few nanoseconds. Counter::add is one relaxed
+//    fetch_add on a cache-line-padded per-thread shard (no contention, no
+//    locks); instrumentation sites cache the Counter& in a function-local
+//    static so the name lookup happens once per process. DREL_METRICS=0
+//    turns every recording call into an early return.
+//  * Snapshots include only metrics touched since the last reset().
+//    Registration is lazy (first use), so the set of *registered* metrics
+//    depends on which code paths ran earlier in the process; filtering to
+//    touched metrics makes a snapshot a pure function of the instrumented
+//    run, not of process history — what the golden-file tests pin down.
+//
+// Registry::global() is the process-wide instance every instrumentation
+// site uses. Handles returned by counter()/gauge()/histogram()/timing()
+// are stable for the life of the process; reset() zeroes values without
+// invalidating handles.
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "obs/json.hpp"
+
+namespace drel::obs {
+
+/// Version stamp embedded in every exported snapshot/sidecar document.
+inline constexpr std::uint64_t kMetricsSchemaVersion = 1;
+
+/// False iff the environment sets DREL_METRICS=0 (checked once, cached).
+bool metrics_enabled() noexcept;
+
+namespace detail {
+/// Small dense id of the calling thread, assigned on first use.
+std::size_t thread_slot() noexcept;
+}  // namespace detail
+
+/// Monotone event counter, sharded across threads. add() is wait-free; the
+/// total is the sum over shards (exact — integer addition commutes).
+class Counter {
+ public:
+    void add(std::uint64_t n = 1) noexcept {
+        if (!metrics_enabled()) return;
+        shards_[detail::thread_slot() & (kShards - 1)].value.fetch_add(
+            n, std::memory_order_relaxed);
+    }
+
+    std::uint64_t total() const noexcept {
+        std::uint64_t sum = 0;
+        for (const Shard& s : shards_) sum += s.value.load(std::memory_order_relaxed);
+        return sum;
+    }
+
+    void reset() noexcept {
+        for (Shard& s : shards_) s.value.store(0, std::memory_order_relaxed);
+    }
+
+ private:
+    static constexpr std::size_t kShards = 32;  // power of two (mask-indexed)
+    struct alignas(64) Shard {
+        std::atomic<std::uint64_t> value{0};
+    };
+    std::array<Shard, kShards> shards_;
+};
+
+/// Last-written double value. Only set gauges from deterministic,
+/// schedule-independent code points — "last write wins" across racing
+/// threads would break the determinism contract.
+class Gauge {
+ public:
+    void set(double value) noexcept {
+        if (!metrics_enabled()) return;
+        value_.store(value, std::memory_order_relaxed);
+        touched_.store(true, std::memory_order_release);
+    }
+
+    double value() const noexcept { return value_.load(std::memory_order_relaxed); }
+    bool touched() const noexcept { return touched_.load(std::memory_order_acquire); }
+
+    void reset() noexcept {
+        value_.store(0.0, std::memory_order_relaxed);
+        touched_.store(false, std::memory_order_release);
+    }
+
+ private:
+    std::atomic<double> value_{0.0};
+    std::atomic<bool> touched_{false};
+};
+
+/// Fixed-bucket histogram of unsigned integer observations (iteration
+/// counts, payload bytes, ...). Bounds are upper-inclusive and fixed at
+/// registration; one overflow bucket is appended. All state is integer, so
+/// the aggregate is deterministic like Counter.
+class Histogram {
+ public:
+    explicit Histogram(std::vector<std::uint64_t> bounds);
+
+    void observe(std::uint64_t value) noexcept;
+
+    const std::vector<std::uint64_t>& bounds() const noexcept { return bounds_; }
+    std::vector<std::uint64_t> bucket_counts() const;
+    std::uint64_t count() const noexcept { return count_.load(std::memory_order_relaxed); }
+    std::uint64_t sum() const noexcept { return sum_.load(std::memory_order_relaxed); }
+
+    void reset() noexcept;
+
+ private:
+    std::vector<std::uint64_t> bounds_;                       ///< ascending, upper-inclusive
+    std::unique_ptr<std::atomic<std::uint64_t>[]> buckets_;   ///< bounds_.size() + 1
+    std::atomic<std::uint64_t> count_{0};
+    std::atomic<std::uint64_t> sum_{0};
+};
+
+/// Wall-clock accumulator: count / total / min / max seconds. Lives in the
+/// nondeterministic section of every export; never golden-diffed.
+class TimingStat {
+ public:
+    void record_seconds(double seconds) noexcept;
+
+    struct Snapshot {
+        std::uint64_t count = 0;
+        double total_seconds = 0.0;
+        double min_seconds = 0.0;
+        double max_seconds = 0.0;
+    };
+    Snapshot snapshot() const;
+
+    void reset();
+
+ private:
+    mutable std::mutex mutex_;
+    Snapshot state_;
+};
+
+/// RAII wall-clock scope feeding a TimingStat.
+class ScopedTimer {
+ public:
+    explicit ScopedTimer(TimingStat& stat) noexcept;
+    ScopedTimer(const ScopedTimer&) = delete;
+    ScopedTimer& operator=(const ScopedTimer&) = delete;
+    ~ScopedTimer();
+
+ private:
+    TimingStat& stat_;
+    std::uint64_t start_ns_;
+};
+
+class Registry {
+ public:
+    /// The process-wide registry all instrumentation sites use.
+    static Registry& global();
+
+    Registry() = default;
+    Registry(const Registry&) = delete;
+    Registry& operator=(const Registry&) = delete;
+
+    /// Lookup-or-create by name; returned references stay valid for the
+    /// registry's lifetime. histogram() with bounds different from the
+    /// first registration throws std::invalid_argument.
+    Counter& counter(std::string_view name);
+    Gauge& gauge(std::string_view name);
+    Histogram& histogram(std::string_view name, std::vector<std::uint64_t> bounds);
+    TimingStat& timing(std::string_view name);
+
+    /// Zeroes every metric (handles stay valid). Used by tests to scope a
+    /// snapshot to exactly one scenario.
+    void reset();
+
+    /// Deterministic section: {"counters": {...}, "gauges": {...},
+    /// "histograms": {...}}, sorted by name, only metrics touched since the
+    /// last reset. Byte-identical across thread counts for deterministic
+    /// workloads.
+    JsonValue deterministic_snapshot() const;
+
+    /// Nondeterministic wall-clock section, same touched-only filtering.
+    JsonValue timing_snapshot() const;
+
+    /// Golden-file document: {"schema_version": N, "metrics": <deterministic>}.
+    std::string deterministic_json() const;
+
+ private:
+    mutable std::mutex mutex_;
+    std::map<std::string, std::unique_ptr<Counter>, std::less<>> counters_;
+    std::map<std::string, std::unique_ptr<Gauge>, std::less<>> gauges_;
+    std::map<std::string, std::unique_ptr<Histogram>, std::less<>> histograms_;
+    std::map<std::string, std::unique_ptr<TimingStat>, std::less<>> timings_;
+};
+
+/// Bench sidecar document (schema v1, validated by tests/test_bench_schema):
+///   {"schema_version": N, "bench": name,
+///    "deterministic": {counters, gauges, histograms},
+///    "timing": {name: {count, total_seconds, min_seconds, max_seconds}}}
+JsonValue bench_sidecar_json(std::string_view bench_name);
+
+/// Writes bench_sidecar_json(bench_name).dump() + "\n" to `path`.
+/// Returns false (and logs a warning) if the file cannot be written.
+bool write_bench_sidecar(std::string_view bench_name, const std::string& path);
+
+}  // namespace drel::obs

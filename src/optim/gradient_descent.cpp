@@ -3,6 +3,7 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "obs/metrics.hpp"
 #include "optim/line_search.hpp"
 
 namespace drel::optim {
@@ -50,6 +51,10 @@ OptimResult minimize_gradient_descent(const Objective& objective, linalg::Vector
     result.value = fx;
     result.grad_norm = linalg::norm_inf(grad);
     if (result.message.empty()) result.message = "max iterations reached";
+    static obs::Counter& solves = obs::Registry::global().counter("optim.gd_solves");
+    static obs::Counter& iterations = obs::Registry::global().counter("optim.gd_iterations");
+    solves.add(1);
+    iterations.add(static_cast<std::uint64_t>(result.iterations));
     return result;
 }
 

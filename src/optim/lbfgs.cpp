@@ -4,6 +4,7 @@
 #include <deque>
 #include <stdexcept>
 
+#include "obs/metrics.hpp"
 #include "optim/line_search.hpp"
 
 namespace drel::optim {
@@ -104,6 +105,11 @@ OptimResult minimize_lbfgs(const Objective& objective, linalg::Vector x0,
     result.value = fx;
     result.grad_norm = linalg::norm_inf(grad);
     if (result.message.empty()) result.message = "max iterations reached";
+    static obs::Counter& solves = obs::Registry::global().counter("optim.lbfgs_solves");
+    static obs::Counter& iterations =
+        obs::Registry::global().counter("optim.lbfgs_iterations");
+    solves.add(1);
+    iterations.add(static_cast<std::uint64_t>(result.iterations));
     return result;
 }
 

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <stdexcept>
 
+#include "obs/metrics.hpp"
+
 namespace drel::optim {
 
 SgdResult minimize_sgd(const StochasticObjective& objective, linalg::Vector x0,
@@ -27,6 +29,9 @@ SgdResult minimize_sgd(const StochasticObjective& objective, linalg::Vector x0,
     const std::size_t n = objective.num_examples();
     double step = options.step;
 
+    static obs::Counter& runs = obs::Registry::global().counter("optim.sgd_runs");
+    static obs::Counter& steps = obs::Registry::global().counter("optim.sgd_steps");
+    runs.add(1);
     for (int epoch = 0; epoch < options.epochs; ++epoch) {
         const std::vector<std::size_t> order = rng.permutation(n);
         for (std::size_t start = 0; start < n; start += options.batch_size) {
@@ -35,6 +40,7 @@ SgdResult minimize_sgd(const StochasticObjective& objective, linalg::Vector x0,
                 order.begin() + static_cast<std::ptrdiff_t>(start),
                 order.begin() + static_cast<std::ptrdiff_t>(end));
             objective.batch_gradient(x, batch, grad);
+            steps.add(1);
             // Heavy-ball update.
             linalg::scale(velocity, options.momentum);
             linalg::axpy(-step, grad, velocity);

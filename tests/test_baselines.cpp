@@ -8,35 +8,15 @@
 #include "models/metrics.hpp"
 #include "optim/lbfgs.hpp"
 #include "stats/rng.hpp"
+#include "test_support.hpp"
 
 namespace drel::baselines {
 namespace {
 
-struct Fixture {
-    data::TaskPopulation population;
-    data::TaskSpec task;
-    models::Dataset train;
-    models::Dataset test;
-    dp::MixturePrior prior;
-};
+using Fixture = test_support::PopulationFixture;
 
 Fixture make_fixture(std::uint64_t seed, std::size_t n_train = 20) {
-    stats::Rng rng(seed);
-    data::TaskPopulation population =
-        data::TaskPopulation::make_synthetic(5, 3, 2.5, 0.05, rng);
-    data::TaskSpec task = population.sample_task(rng);
-    data::DataOptions options;
-    options.margin_scale = 2.0;
-    models::Dataset train = population.generate(task, n_train, rng, options);
-    models::Dataset test = population.generate(task, 2000, rng, options);
-    linalg::Vector weights;
-    std::vector<stats::MultivariateNormal> atoms;
-    for (const auto& mode : population.modes()) {
-        weights.push_back(mode.weight);
-        atoms.emplace_back(mode.mean, mode.covariance);
-    }
-    return Fixture{std::move(population), std::move(task), std::move(train), std::move(test),
-                   dp::MixturePrior(std::move(weights), std::move(atoms))};
+    return test_support::make_population_fixture(seed, n_train, /*n_test=*/2000);
 }
 
 TEST(Baselines, LocalErmMatchesDirectMinimization) {

@@ -1,0 +1,117 @@
+// Schema validation for the bench metrics sidecar (obs::bench_sidecar_json,
+// schema v1). The bench binaries themselves take minutes, so this test runs
+// a small representative workload through the same library code and
+// validates the exact document the benches write — for the sidecar names
+// the experiment flow consumes (bench_fig7_fleet, bench_table2_methods).
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "edgesim/simulation.hpp"
+#include "obs/json.hpp"
+#include "obs/metrics.hpp"
+#include "stats/rng.hpp"
+#include "test_support.hpp"
+
+namespace drel {
+namespace {
+
+/// Asserts the schema-v1 sidecar contract: required keys, value kinds, and
+/// internal consistency (bucket array length, min <= max).
+void validate_sidecar(const obs::JsonValue& doc, const std::string& bench_name) {
+    ASSERT_TRUE(doc.is_object());
+    EXPECT_EQ(doc.at("schema_version").as_uint(), obs::kMetricsSchemaVersion);
+    EXPECT_EQ(doc.at("bench").as_string(), bench_name);
+
+    const obs::JsonValue& deterministic = doc.at("deterministic");
+    for (const char* section : {"counters", "gauges", "histograms"}) {
+        ASSERT_TRUE(deterministic.contains(section)) << section;
+        ASSERT_TRUE(deterministic.at(section).is_object()) << section;
+    }
+    for (const auto& [name, value] : deterministic.at("counters").as_object()) {
+        EXPECT_TRUE(value.is_uint()) << "counter " << name;
+    }
+    for (const auto& [name, value] : deterministic.at("gauges").as_object()) {
+        EXPECT_TRUE(value.is_number()) << "gauge " << name;
+    }
+    for (const auto& [name, histogram] : deterministic.at("histograms").as_object()) {
+        const auto& bounds = histogram.at("bounds").as_array();
+        const auto& buckets = histogram.at("buckets").as_array();
+        EXPECT_EQ(buckets.size(), bounds.size() + 1) << "histogram " << name;
+        for (const auto& b : bounds) EXPECT_TRUE(b.is_uint()) << "histogram " << name;
+        for (const auto& c : buckets) EXPECT_TRUE(c.is_uint()) << "histogram " << name;
+        EXPECT_TRUE(histogram.at("count").is_uint()) << "histogram " << name;
+        EXPECT_TRUE(histogram.at("sum").is_uint()) << "histogram " << name;
+    }
+
+    ASSERT_TRUE(doc.at("timing").is_object());
+    for (const auto& [name, timing] : doc.at("timing").as_object()) {
+        EXPECT_TRUE(timing.at("count").is_uint()) << "timing " << name;
+        for (const char* key : {"total_seconds", "min_seconds", "max_seconds"}) {
+            EXPECT_TRUE(timing.at(key).is_number()) << "timing " << name << "." << key;
+        }
+        EXPECT_LE(timing.at("min_seconds").as_number(), timing.at("max_seconds").as_number())
+            << "timing " << name;
+    }
+}
+
+class BenchSchema : public ::testing::Test {
+ protected:
+    static void SetUpTestSuite() {
+        // One small end-to-end fleet run populates every metric family the
+        // real benches touch (counters, gauges, histograms, timings).
+        obs::Registry::global().reset();
+        edgesim::SimulationConfig config = test_support::small_fleet_config();
+        config.num_threads = 2;
+        stats::Rng rng(99);
+        (void)edgesim::run_fleet_simulation(config, rng);
+    }
+
+    void SetUp() override {
+        if (!obs::metrics_enabled()) GTEST_SKIP() << "metrics disabled (DREL_METRICS=0)";
+    }
+};
+
+TEST_F(BenchSchema, Fig7FleetSidecarMatchesSchema) {
+    const obs::JsonValue doc = obs::bench_sidecar_json("bench_fig7_fleet");
+    validate_sidecar(doc, "bench_fig7_fleet");
+    // A fleet workload must surface the headline counters and gauges the
+    // downstream tooling keys on.
+    const obs::JsonValue& deterministic = doc.at("deterministic");
+    EXPECT_TRUE(deterministic.at("counters").contains("fleet.devices_trained"));
+    EXPECT_TRUE(deterministic.at("counters").contains("em.solve_calls"));
+    EXPECT_TRUE(deterministic.at("gauges").contains("fleet.prior_components"));
+}
+
+TEST_F(BenchSchema, Table2MethodsSidecarMatchesSchema) {
+    const obs::JsonValue doc = obs::bench_sidecar_json("bench_table2_methods");
+    validate_sidecar(doc, "bench_table2_methods");
+}
+
+TEST_F(BenchSchema, SidecarSurvivesSerializeParseRoundTrip) {
+    const obs::JsonValue doc = obs::bench_sidecar_json("bench_fig7_fleet");
+    const obs::JsonValue reparsed = obs::JsonValue::parse(doc.dump(2));
+    EXPECT_EQ(reparsed.dump(0), doc.dump(0));
+    validate_sidecar(reparsed, "bench_fig7_fleet");
+}
+
+TEST_F(BenchSchema, WriteBenchSidecarProducesValidFile) {
+    const std::string path = ::testing::TempDir() + "bench_schema_sidecar.json";
+    ASSERT_TRUE(obs::write_bench_sidecar("bench_fig7_fleet", path));
+    std::ifstream in(path);
+    ASSERT_TRUE(in.good());
+    std::stringstream buffer;
+    buffer << in.rdbuf();
+    validate_sidecar(obs::JsonValue::parse(buffer.str()), "bench_fig7_fleet");
+    std::remove(path.c_str());
+    // Unwritable destinations fail soft (warn + false), never throw: a
+    // metrics problem must not kill a finished bench run.
+    EXPECT_FALSE(obs::write_bench_sidecar("bench_fig7_fleet",
+                                          "/nonexistent-dir/sidecar.json"));
+}
+
+}  // namespace
+}  // namespace drel

@@ -11,13 +11,13 @@
 #include "models/metrics.hpp"
 #include "optim/lbfgs.hpp"
 #include "stats/rng.hpp"
+#include "test_support.hpp"
 
 namespace drel {
 namespace {
 
 models::Dataset fixture(stats::Rng& rng, std::size_t n = 40) {
-    const data::TaskPopulation pop = data::TaskPopulation::make_synthetic(4, 2, 2.0, 0.05, rng);
-    return pop.generate(pop.sample_task(rng), n, rng);
+    return test_support::binary_task_dataset(rng, n);
 }
 
 // ------------------------------------------------------------ certificates

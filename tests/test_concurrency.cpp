@@ -14,31 +14,18 @@
 #include "edgesim/collaborative.hpp"
 #include "edgesim/simulation.hpp"
 #include "models/metrics.hpp"
+#include "obs/metrics.hpp"
 #include "stats/rng.hpp"
+#include "test_support.hpp"
 
 namespace drel {
 namespace {
 
-bool bits_equal(double a, double b) {
-    return std::memcmp(&a, &b, sizeof(double)) == 0;
-}
+using test_support::bits_equal;
 
 // ------------------------------------------------------------------- fleet
 
-edgesim::SimulationConfig small_fleet_config() {
-    edgesim::SimulationConfig config;
-    config.feature_dim = 5;
-    config.num_modes = 3;
-    config.num_contributors = 8;
-    config.contributor_samples = 120;
-    config.num_edge_devices = 6;
-    config.edge_samples = 10;
-    config.test_samples = 300;
-    config.cloud.gibbs_sweeps = 20;
-    config.learner.em.max_outer_iterations = 8;
-    config.run_ensemble = true;
-    return config;
-}
+using test_support::small_fleet_config;
 
 TEST(FleetDeterminism, BitIdenticalAcrossThreadCounts) {
     edgesim::SimulationConfig config = small_fleet_config();
@@ -174,6 +161,33 @@ TEST(FleetDeterminism, NestedEmParallelismStaysBitIdentical) {
         EXPECT_TRUE(bits_equal(serial.devices[i].em_dro_accuracy,
                                nested.devices[i].em_dro_accuracy))
             << "device=" << i;
+    }
+}
+
+// ----------------------------------------------------------------- metrics
+
+// The observability contract (DESIGN.md "Observability"): the registry's
+// deterministic snapshot — every counter, gauge, and histogram — must be
+// BYTE-identical at any thread count, outer (fleet) and nested (EM
+// multi-start) parallelism alike. Wall-clock timings are segregated out of
+// this snapshot, which is exactly what makes the assertion possible.
+TEST(MetricsDeterminism, FleetCountersBitIdenticalAcrossThreadCounts) {
+    if (!obs::metrics_enabled()) GTEST_SKIP() << "metrics disabled (DREL_METRICS=0)";
+    edgesim::SimulationConfig config = small_fleet_config();
+    std::string baseline;
+    for (const std::size_t threads : {1u, 2u, 4u, 8u}) {
+        config.num_threads = threads;
+        config.learner.em.num_threads = threads;  // nested parallelism too
+        obs::Registry::global().reset();
+        stats::Rng rng(4242);
+        (void)edgesim::run_fleet_simulation(config, rng);
+        const std::string snapshot = obs::Registry::global().deterministic_json();
+        ASSERT_NE(snapshot.find("fleet.devices_trained"), std::string::npos);
+        if (baseline.empty()) {
+            baseline = snapshot;
+        } else {
+            EXPECT_EQ(baseline, snapshot) << "threads=" << threads;
+        }
     }
 }
 

@@ -12,14 +12,13 @@
 #include "models/erm_objective.hpp"
 #include "optim/lbfgs.hpp"
 #include "stats/rng.hpp"
+#include "test_support.hpp"
 
 namespace drel::dro {
 namespace {
 
 models::Dataset fixture_dataset(stats::Rng& rng, std::size_t n = 60) {
-    const data::TaskPopulation pop = data::TaskPopulation::make_synthetic(4, 2, 2.0, 0.05, rng);
-    const data::TaskSpec task = pop.sample_task(rng);
-    return pop.generate(task, n, rng);
+    return test_support::binary_task_dataset(rng, n);
 }
 
 // --------------------------------------------------------------- ambiguity

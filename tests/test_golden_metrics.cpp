@@ -1,0 +1,139 @@
+// Golden-file harness for the deterministic metrics snapshots.
+//
+// Each scenario runs a fixed-seed workload, takes the registry's
+// deterministic snapshot (counters/gauges/histograms — never wall clock),
+// and byte-compares its JSON against a checked-in golden under
+// tests/golden/. A mismatch fails with a line-level diff naming the first
+// divergent line, so a renamed or dropped metric is immediately readable.
+//
+// Regenerating goldens (after an intentional instrumentation change):
+//
+//     DREL_UPDATE_GOLDEN=1 ctest -R Golden
+//
+// rewrites every golden from the current run and passes; commit the diff.
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "core/em_dro.hpp"
+#include "dro/ambiguity.hpp"
+#include "edgesim/simulation.hpp"
+#include "models/loss.hpp"
+#include "obs/metrics.hpp"
+#include "stats/rng.hpp"
+#include "test_support.hpp"
+
+namespace drel {
+namespace {
+
+std::string golden_path(const std::string& name) {
+    return std::string(DREL_GOLDEN_DIR) + "/" + name + ".json";
+}
+
+bool update_goldens() {
+    const char* env = std::getenv("DREL_UPDATE_GOLDEN");
+    return env != nullptr && std::string(env) == "1";
+}
+
+std::vector<std::string> split_lines(const std::string& text) {
+    std::vector<std::string> lines;
+    std::stringstream stream(text);
+    std::string line;
+    while (std::getline(stream, line)) lines.push_back(line);
+    return lines;
+}
+
+/// Human-readable unified-ish diff: the first divergent line with a little
+/// context on both sides. Enough to see "counter renamed" at a glance.
+std::string first_diff(const std::string& expected, const std::string& actual) {
+    const std::vector<std::string> want = split_lines(expected);
+    const std::vector<std::string> got = split_lines(actual);
+    std::ostringstream out;
+    const std::size_t n = std::max(want.size(), got.size());
+    for (std::size_t i = 0; i < n; ++i) {
+        const std::string* w = i < want.size() ? &want[i] : nullptr;
+        const std::string* g = i < got.size() ? &got[i] : nullptr;
+        if (w != nullptr && g != nullptr && *w == *g) continue;
+        out << "first difference at line " << (i + 1) << ":\n";
+        for (std::size_t j = i >= 2 ? i - 2 : 0; j < i; ++j) {
+            out << "    " << want[j] << "\n";
+        }
+        out << "  - " << (w != nullptr ? *w : "<end of golden>") << "\n";
+        out << "  + " << (g != nullptr ? *g : "<end of snapshot>") << "\n";
+        return out.str();
+    }
+    return "documents are line-identical (trailing whitespace?)";
+}
+
+void check_against_golden(const std::string& name) {
+    const std::string actual = obs::Registry::global().deterministic_json();
+    const std::string path = golden_path(name);
+    if (update_goldens()) {
+        std::ofstream out(path, std::ios::trunc);
+        out << actual << "\n";
+        ASSERT_TRUE(out.good()) << "failed to write golden " << path;
+        SUCCEED() << "golden regenerated: " << path;
+        return;
+    }
+    std::ifstream in(path);
+    ASSERT_TRUE(in.good()) << "missing golden file " << path
+                           << " — regenerate with DREL_UPDATE_GOLDEN=1";
+    std::stringstream buffer;
+    buffer << in.rdbuf();
+    std::string expected = buffer.str();
+    if (!expected.empty() && expected.back() == '\n') expected.pop_back();
+    EXPECT_EQ(expected, actual)
+        << "metrics snapshot diverged from " << path << "\n"
+        << first_diff(expected, actual)
+        << "if the change is intentional, regenerate with DREL_UPDATE_GOLDEN=1";
+}
+
+class GoldenMetrics : public ::testing::Test {
+ protected:
+    void SetUp() override {
+        if (!obs::metrics_enabled()) GTEST_SKIP() << "metrics disabled (DREL_METRICS=0)";
+        obs::Registry::global().reset();
+    }
+};
+
+// Full pipeline: contributors -> DPMM prior -> broadcast -> per-device
+// EM-DRO training. Exercises every instrumented subsystem in one run.
+TEST_F(GoldenMetrics, FleetSmall) {
+    edgesim::SimulationConfig config = test_support::small_fleet_config();
+    config.num_threads = 2;
+    stats::Rng rng(4242);
+    (void)edgesim::run_fleet_simulation(config, rng);
+    check_against_golden("fleet_small");
+}
+
+// One EM-DRO solve against the oracle prior: pins the EM/DP/DRO/optimizer
+// counters without the fleet machinery on top.
+TEST_F(GoldenMetrics, EmSolveSmall) {
+    const test_support::PopulationFixture f =
+        test_support::make_population_fixture(/*seed=*/7, /*n_train=*/16, /*n_test=*/50);
+    const auto loss = models::make_logistic_loss();
+    const core::EmDroSolver solver(f.train, *loss, f.prior,
+                                   dro::AmbiguitySet::wasserstein(0.1),
+                                   /*transfer_weight=*/2.0);
+    (void)solver.solve();
+    check_against_golden("em_solve_small");
+}
+
+// The harness itself must fail loudly: a renamed counter shows up as a
+// readable one-line diff, not a wall of JSON.
+TEST_F(GoldenMetrics, DiffMessageNamesTheFirstDivergentLine) {
+    const std::string expected = "{\n  \"a\": 1,\n  \"b\": 2\n}";
+    const std::string actual = "{\n  \"a\": 1,\n  \"renamed\": 2\n}";
+    const std::string message = first_diff(expected, actual);
+    EXPECT_NE(message.find("line 3"), std::string::npos) << message;
+    EXPECT_NE(message.find("- "), std::string::npos);
+    EXPECT_NE(message.find("+ "), std::string::npos);
+    EXPECT_NE(message.find("\"renamed\""), std::string::npos);
+}
+
+}  // namespace
+}  // namespace drel

@@ -1,0 +1,221 @@
+// Unit tests for the observability layer: the JSON module, the sharded
+// metrics registry (determinism contract included), and the trace
+// collector. The end-to-end golden/diff coverage lives in
+// test_golden_metrics.cpp; cross-thread-count equality of real workloads in
+// test_concurrency.cpp.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "obs/json.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+
+namespace drel::obs {
+namespace {
+
+// -------------------------------------------------------------------- json
+
+TEST(Json, DumpSortsObjectKeysDeterministically) {
+    JsonValue::Object object;
+    object["zeta"] = std::uint64_t{1};
+    object["alpha"] = std::uint64_t{2};
+    object["mid"] = std::uint64_t{3};
+    const JsonValue doc{object};
+    EXPECT_EQ(doc.dump(0), R"({"alpha":2,"mid":3,"zeta":1})");
+}
+
+TEST(Json, UintValuesRoundTripExactly) {
+    const std::uint64_t big = 18446744073709551615ull;  // 2^64 - 1
+    JsonValue::Object object;
+    object["count"] = big;
+    const std::string text = JsonValue(object).dump(0);
+    EXPECT_NE(text.find("18446744073709551615"), std::string::npos);
+    const JsonValue parsed = JsonValue::parse(text);
+    EXPECT_TRUE(parsed.at("count").is_uint());
+    EXPECT_EQ(parsed.at("count").as_uint(), big);
+}
+
+TEST(Json, DoubleFormattingIsIntegralWhenPossible) {
+    EXPECT_EQ(format_json_double(12.0), "12");
+    EXPECT_EQ(format_json_double(-3.0), "-3");
+    const std::string text = format_json_double(0.1);
+    EXPECT_DOUBLE_EQ(std::stod(text), 0.1);
+    EXPECT_THROW(format_json_double(std::numeric_limits<double>::infinity()),
+                 std::invalid_argument);
+}
+
+TEST(Json, ParseRoundTripsNestedDocument) {
+    const std::string text =
+        R"({"array":[1,2.5,"three",true,null],"nested":{"k":"v"}})";
+    const JsonValue doc = JsonValue::parse(text);
+    ASSERT_TRUE(doc.is_object());
+    const auto& array = doc.at("array").as_array();
+    ASSERT_EQ(array.size(), 5u);
+    EXPECT_EQ(array[0].as_uint(), 1u);
+    EXPECT_DOUBLE_EQ(array[1].as_number(), 2.5);
+    EXPECT_EQ(array[2].as_string(), "three");
+    EXPECT_TRUE(array[3].as_bool());
+    EXPECT_TRUE(array[4].is_null());
+    EXPECT_EQ(doc.at("nested").at("k").as_string(), "v");
+    EXPECT_EQ(JsonValue::parse(doc.dump(2)).dump(0), doc.dump(0));
+}
+
+TEST(Json, ParserRejectsMalformedInput) {
+    EXPECT_THROW(JsonValue::parse("{"), std::invalid_argument);
+    EXPECT_THROW(JsonValue::parse("[1,]"), std::invalid_argument);
+    EXPECT_THROW(JsonValue::parse("{\"a\":1} trailing"), std::invalid_argument);
+    EXPECT_THROW(JsonValue::parse("nul"), std::invalid_argument);
+    EXPECT_THROW(JsonValue::parse("\"unterminated"), std::invalid_argument);
+}
+
+TEST(Json, AccessorsThrowOnKindMismatch) {
+    const JsonValue v{std::uint64_t{7}};
+    EXPECT_THROW(v.as_string(), std::invalid_argument);
+    EXPECT_THROW(v.as_object(), std::invalid_argument);
+    EXPECT_THROW(v.at("missing"), std::invalid_argument);
+    JsonValue::Object object;
+    object["present"] = true;
+    const JsonValue doc{object};
+    EXPECT_TRUE(doc.contains("present"));
+    EXPECT_FALSE(doc.contains("absent"));
+    EXPECT_THROW(doc.at("absent"), std::invalid_argument);
+}
+
+// ----------------------------------------------------------------- metrics
+
+TEST(MetricsDeterminism, CounterAggregatesExactlyAcrossThreads) {
+    Counter counter;
+    constexpr int kThreads = 8;
+    constexpr std::uint64_t kPerThread = 10000;
+    std::vector<std::thread> workers;
+    workers.reserve(kThreads);
+    for (int t = 0; t < kThreads; ++t) {
+        workers.emplace_back([&counter] {
+            for (std::uint64_t i = 0; i < kPerThread; ++i) counter.add(1);
+        });
+    }
+    for (auto& w : workers) w.join();
+    EXPECT_EQ(counter.total(), kThreads * kPerThread);
+    counter.reset();
+    EXPECT_EQ(counter.total(), 0u);
+}
+
+TEST(Metrics, HistogramBucketsAreUpperInclusive) {
+    Histogram histogram({2, 4, 8});
+    for (const std::uint64_t v : {1ull, 2ull, 3ull, 4ull, 8ull, 9ull, 100ull}) {
+        histogram.observe(v);
+    }
+    const std::vector<std::uint64_t> counts = histogram.bucket_counts();
+    ASSERT_EQ(counts.size(), 4u);          // 3 bounds + overflow
+    EXPECT_EQ(counts[0], 2u);              // 1, 2
+    EXPECT_EQ(counts[1], 2u);              // 3, 4
+    EXPECT_EQ(counts[2], 1u);              // 8
+    EXPECT_EQ(counts[3], 2u);              // 9, 100
+    EXPECT_EQ(histogram.count(), 7u);
+    EXPECT_EQ(histogram.sum(), 1 + 2 + 3 + 4 + 8 + 9 + 100u);
+}
+
+TEST(Metrics, RegistryHandlesAreStableAndNamed) {
+    Registry registry;
+    Counter& a = registry.counter("test.counter");
+    Counter& b = registry.counter("test.counter");
+    EXPECT_EQ(&a, &b);
+    Histogram& h = registry.histogram("test.histogram", {1, 2});
+    EXPECT_EQ(&h, &registry.histogram("test.histogram", {1, 2}));
+    EXPECT_THROW(registry.histogram("test.histogram", {1, 2, 3}), std::invalid_argument);
+}
+
+TEST(Metrics, SnapshotIncludesOnlyTouchedMetrics) {
+    Registry registry;
+    registry.counter("touched");
+    registry.counter("untouched");
+    registry.gauge("gauge.untouched");
+    registry.counter("touched").add(3);
+    registry.gauge("gauge.touched").set(1.5);
+    registry.histogram("hist.touched", {10}).observe(4);
+    registry.histogram("hist.untouched", {10});
+    registry.timing("walltime").record_seconds(0.5);
+
+    const JsonValue snapshot = registry.deterministic_snapshot();
+    const auto& counters = snapshot.at("counters").as_object();
+    ASSERT_EQ(counters.size(), 1u);
+    EXPECT_EQ(counters.at("touched").as_uint(), 3u);
+    EXPECT_EQ(snapshot.at("gauges").as_object().size(), 1u);
+    const auto& histograms = snapshot.at("histograms").as_object();
+    ASSERT_EQ(histograms.size(), 1u);
+    EXPECT_EQ(histograms.at("hist.touched").at("count").as_uint(), 1u);
+    // Wall clock never leaks into the deterministic section.
+    EXPECT_FALSE(snapshot.contains("timings"));
+    const std::string text = registry.deterministic_json();
+    EXPECT_EQ(text.find("walltime"), std::string::npos);
+    EXPECT_EQ(JsonValue::parse(text).at("schema_version").as_uint(), kMetricsSchemaVersion);
+
+    // After reset the snapshot is empty again: pure function of the run.
+    registry.reset();
+    const JsonValue cleared = registry.deterministic_snapshot();
+    EXPECT_TRUE(cleared.at("counters").as_object().empty());
+    EXPECT_TRUE(cleared.at("gauges").as_object().empty());
+    EXPECT_TRUE(cleared.at("histograms").as_object().empty());
+}
+
+TEST(Metrics, TimingSnapshotTracksCountTotalMinMax) {
+    Registry registry;
+    TimingStat& stat = registry.timing("phase");
+    stat.record_seconds(0.25);
+    stat.record_seconds(0.75);
+    const TimingStat::Snapshot s = stat.snapshot();
+    EXPECT_EQ(s.count, 2u);
+    EXPECT_DOUBLE_EQ(s.total_seconds, 1.0);
+    EXPECT_DOUBLE_EQ(s.min_seconds, 0.25);
+    EXPECT_DOUBLE_EQ(s.max_seconds, 0.75);
+    const JsonValue timings = registry.timing_snapshot();
+    EXPECT_DOUBLE_EQ(timings.at("phase").at("total_seconds").as_number(), 1.0);
+}
+
+// ------------------------------------------------------------------- trace
+
+TEST(Trace, SpansRecordOnlyWhenEnabled) {
+    TraceCollector& collector = TraceCollector::global();
+    collector.disable();
+    collector.clear();
+    { DREL_TRACE_SPAN("disabled.span"); }
+    EXPECT_EQ(collector.event_count(), 0u);
+
+    const std::string path = ::testing::TempDir() + "drel_trace_test.json";
+    collector.enable(path);
+    {
+        DREL_TRACE_SPAN("outer");
+        DREL_TRACE_SPAN("inner");
+    }
+    collector.disable();
+    EXPECT_EQ(collector.event_count(), 2u);
+
+    const JsonValue doc = JsonValue::parse(collector.json());
+    const auto& events = doc.at("traceEvents").as_array();
+    ASSERT_EQ(events.size(), 2u);
+    for (const JsonValue& event : events) {
+        EXPECT_EQ(event.at("ph").as_string(), "X");
+        EXPECT_EQ(event.at("cat").as_string(), "drel");
+        EXPECT_TRUE(event.at("ts").is_number());
+        EXPECT_TRUE(event.at("dur").is_number());
+    }
+
+    ASSERT_TRUE(collector.flush());
+    EXPECT_EQ(collector.event_count(), 0u);  // flush clears the buffer
+    std::ifstream in(path);
+    ASSERT_TRUE(in.good());
+    std::stringstream buffer;
+    buffer << in.rdbuf();
+    EXPECT_TRUE(JsonValue::parse(buffer.str()).contains("traceEvents"));
+    std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace drel::obs

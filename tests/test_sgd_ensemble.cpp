@@ -12,13 +12,13 @@
 #include "optim/lbfgs.hpp"
 #include "optim/sgd.hpp"
 #include "stats/rng.hpp"
+#include "test_support.hpp"
 
 namespace drel {
 namespace {
 
 models::Dataset binary_fixture(stats::Rng& rng, std::size_t n) {
-    const data::TaskPopulation pop = data::TaskPopulation::make_synthetic(5, 2, 2.0, 0.05, rng);
-    return pop.generate(pop.sample_task(rng), n, rng);
+    return test_support::binary_task_dataset(rng, n, /*feature_dim=*/5);
 }
 
 // --------------------------------------------------------------------- SGD

@@ -1,0 +1,93 @@
+// Shared helpers for the test suite: bit-level comparisons and the
+// fixed-seed dataset/fixture builders that used to be copy-pasted across
+// test files. Every builder performs the exact same RNG call sequence as
+// the locals it replaced, so adopting it never shifts a test's data.
+#pragma once
+
+#include <cstdint>
+#include <cstring>
+#include <utility>
+#include <vector>
+
+#include "data/task_generator.hpp"
+#include "dp/mixture_prior.hpp"
+#include "edgesim/simulation.hpp"
+#include "stats/multivariate_normal.hpp"
+#include "stats/rng.hpp"
+
+namespace drel::test_support {
+
+/// Bitwise double equality — what the determinism tests actually assert
+/// (== would conflate -0.0/0.0 and is a lint trap for exact checks).
+inline bool bits_equal(double a, double b) {
+    return std::memcmp(&a, &b, sizeof(double)) == 0;
+}
+
+/// Small binary-task dataset from a 2-mode synthetic population
+/// (radius 2.0, within-mode var 0.05). The shape shared by the DRO,
+/// certificate, label-shift, and SGD tests.
+inline models::Dataset binary_task_dataset(stats::Rng& rng, std::size_t n,
+                                           std::size_t feature_dim = 4) {
+    const data::TaskPopulation pop =
+        data::TaskPopulation::make_synthetic(feature_dim, 2, 2.0, 0.05, rng);
+    const data::TaskSpec task = pop.sample_task(rng);
+    return pop.generate(task, n, rng);
+}
+
+/// The true population mixture as a prior: one atom per mode. Isolates
+/// learner tests from DPMM inference quality.
+inline dp::MixturePrior oracle_prior_of(const data::TaskPopulation& population) {
+    linalg::Vector weights;
+    std::vector<stats::MultivariateNormal> atoms;
+    for (const auto& mode : population.modes()) {
+        weights.push_back(mode.weight);
+        atoms.emplace_back(mode.mean, mode.covariance);
+    }
+    return dp::MixturePrior(std::move(weights), std::move(atoms));
+}
+
+/// Edge-task fixture on a 3-mode population (dim 5, radius 2.5,
+/// margin_scale 2.0) with the oracle prior. Used by the core and baseline
+/// suites; n_test differs between them, so it is a parameter.
+struct PopulationFixture {
+    data::TaskPopulation population;
+    data::TaskSpec task;
+    models::Dataset train;
+    models::Dataset test;
+    dp::MixturePrior prior;
+};
+
+inline PopulationFixture make_population_fixture(std::uint64_t seed, std::size_t n_train,
+                                                 std::size_t n_test) {
+    stats::Rng rng(seed);
+    data::TaskPopulation population =
+        data::TaskPopulation::make_synthetic(5, 3, 2.5, 0.05, rng);
+    data::TaskSpec task = population.sample_task(rng);
+    data::DataOptions options;
+    options.margin_scale = 2.0;
+    models::Dataset train = population.generate(task, n_train, rng, options);
+    models::Dataset test = population.generate(task, n_test, rng, options);
+    dp::MixturePrior prior = oracle_prior_of(population);
+    return PopulationFixture{std::move(population), std::move(task), std::move(train),
+                             std::move(test), std::move(prior)};
+}
+
+/// Small fleet scenario shared by the determinism and golden-metrics
+/// suites: 8 contributors, 6 edge devices, 3 modes — a full pipeline run
+/// in well under a second.
+inline edgesim::SimulationConfig small_fleet_config() {
+    edgesim::SimulationConfig config;
+    config.feature_dim = 5;
+    config.num_modes = 3;
+    config.num_contributors = 8;
+    config.contributor_samples = 120;
+    config.num_edge_devices = 6;
+    config.edge_samples = 10;
+    config.test_samples = 300;
+    config.cloud.gibbs_sweeps = 20;
+    config.learner.em.max_outer_iterations = 8;
+    config.run_ensemble = true;
+    return config;
+}
+
+}  // namespace drel::test_support
