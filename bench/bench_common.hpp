@@ -129,7 +129,9 @@ class MetricsSidecar {
         std::string path = dir.empty() ? bench_name_ + ".metrics.json"
                                        : dir + "/" + bench_name_ + ".metrics.json";
         if (obs::write_bench_sidecar(bench_name_, path)) {
-            std::cout << "\nmetrics sidecar: " << path << "\n";
+            // stderr, not stdout: bench stdout is table data that scripts may
+            // redirect or diff, and the sidecar notice must not contaminate it.
+            std::cerr << "metrics sidecar: " << path << "\n";
         }
     }
 

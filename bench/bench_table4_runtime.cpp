@@ -5,7 +5,12 @@
 // growth in n and K and super-linear (Cholesky-bound) growth in d, with
 // absolute numbers in the tens of milliseconds — i.e. trainable on a
 // constrained edge box.
-#include "util/stopwatch.hpp"
+//
+// Timing comes from the phase profiler rather than an ad-hoc stopwatch: each
+// fit runs under a "table4.fit" profile frame, so the per-cell numbers and
+// the phase breakdown printed after the table are drawn from the same
+// instrumentation used in production runs (DREL_PROFILE=1).
+#include "obs/profiler.hpp"
 
 #include "bench_common.hpp"
 
@@ -13,13 +18,25 @@ namespace {
 
 using namespace drel;
 
+/// Inclusive wall nanoseconds accumulated so far under the `table4.fit`
+/// root phase, per the merged profiler snapshot.
+std::uint64_t fit_phase_wall_ns() {
+    const auto phases = obs::Profiler::global().merged_phases();
+    const auto it = phases.find("table4.fit");
+    return it == phases.end() ? 0 : it->second.wall_ns;
+}
+
 double time_fit(const dp::MixturePrior& prior, const models::Dataset& train, int reps) {
     core::EdgeLearnerConfig config;
     config.em.max_outer_iterations = 15;
     const core::EdgeLearner learner(prior, config);
-    util::Stopwatch watch;
-    for (int r = 0; r < reps; ++r) (void)learner.fit(train);
-    return watch.elapsed_millis() / reps;
+    const std::uint64_t before = fit_phase_wall_ns();
+    for (int r = 0; r < reps; ++r) {
+        DREL_PROFILE_SCOPE("table4.fit");
+        (void)learner.fit(train);
+    }
+    const std::uint64_t after = fit_phase_wall_ns();
+    return static_cast<double>(after - before) / 1e6 / reps;
 }
 
 dp::MixturePrior prior_with_components(const data::TaskPopulation& population, std::size_t k,
@@ -41,6 +58,7 @@ dp::MixturePrior prior_with_components(const data::TaskPopulation& population, s
 int main() {
     using namespace drel;
     bench::MetricsSidecar sidecar("bench_table4_runtime");
+    obs::Profiler::global().enable();
     bench::print_header("E10 (Table IV)",
                         "EdgeLearner::fit wall-clock (ms, averaged over 3 runs; 15 EM outer "
                         "iterations, Wasserstein auto radius). One axis varies per block.");
@@ -85,5 +103,8 @@ int main() {
     }
 
     table.print(std::cout);
+
+    std::cout << "\nPhase breakdown (all sweeps combined):\n"
+              << obs::Profiler::global().report();
     return 0;
 }

@@ -1,0 +1,188 @@
+#!/usr/bin/env python3
+"""Noise-aware perf regression gate over BENCH_PERF.json files.
+
+Compares a candidate run against a baseline (both produced by
+bench_perf_runner) and fails when any benchmark's median regresses by more
+than max(--pct % of the baseline median, --mad-mult x the baseline MAD).
+The MAD term keeps jittery benchmarks from tripping the gate on noise; the
+percentage term keeps rock-stable benchmarks honest.
+
+Exit codes: 0 clean, 1 regression (or missing benchmark), 2 usage/schema.
+
+Usage:
+  perf_compare.py BASELINE.json CANDIDATE.json [--pct 5] [--mad-mult 3]
+  perf_compare.py --validate-only FILE.json
+  perf_compare.py --self-test
+"""
+
+from __future__ import annotations
+
+import argparse
+import copy
+import json
+import sys
+
+SCHEMA_VERSION = 1
+REQUIRED_STATS = ("inner_iterations", "repetitions", "min_ms", "median_ms", "mad_ms", "mean_ms")
+
+
+def load(path: str) -> dict:
+    try:
+        with open(path, encoding="utf-8") as f:
+            doc = json.load(f)
+    except (OSError, json.JSONDecodeError) as err:
+        raise SystemExit(f"perf_compare: cannot read {path}: {err}")
+    validate(doc, path)
+    return doc
+
+
+def validate(doc: dict, label: str) -> None:
+    def fail(msg: str) -> None:
+        raise SystemExit(f"perf_compare: {label}: {msg}")
+
+    if not isinstance(doc, dict):
+        fail("top level is not an object")
+    if doc.get("schema_version") != SCHEMA_VERSION:
+        fail(f"schema_version {doc.get('schema_version')!r} != {SCHEMA_VERSION}")
+    env = doc.get("environment")
+    if not isinstance(env, dict):
+        fail("missing environment object")
+    for key in ("git_sha", "compiler", "build_type", "threads"):
+        if key not in env:
+            fail(f"environment missing {key!r}")
+    benches = doc.get("benchmarks")
+    if not isinstance(benches, dict) or not benches:
+        fail("missing or empty benchmarks object")
+    for name, entry in benches.items():
+        if not isinstance(entry, dict):
+            fail(f"benchmark {name!r} is not an object")
+        for stat in REQUIRED_STATS:
+            if not isinstance(entry.get(stat), (int, float)):
+                fail(f"benchmark {name!r} missing numeric {stat!r}")
+        if entry["median_ms"] < 0 or entry["mad_ms"] < 0:
+            fail(f"benchmark {name!r} has negative timing stats")
+
+
+def compare(baseline: dict, candidate: dict, pct: float, mad_mult: float) -> int:
+    base_benches = baseline["benchmarks"]
+    cand_benches = candidate["benchmarks"]
+    regressions = []
+    improvements = []
+    missing = [name for name in base_benches if name not in cand_benches]
+
+    width = max((len(n) for n in base_benches), default=0)
+    for name in sorted(base_benches):
+        if name in missing:
+            continue
+        base = base_benches[name]
+        cand = cand_benches[name]
+        base_median = float(base["median_ms"])
+        cand_median = float(cand["median_ms"])
+        threshold = max(pct / 100.0 * base_median, mad_mult * float(base["mad_ms"]))
+        delta = cand_median - base_median
+        ratio = (cand_median / base_median - 1.0) * 100.0 if base_median > 0 else 0.0
+        status = "ok"
+        if delta > threshold:
+            status = "REGRESSED"
+            regressions.append(name)
+        elif delta < -threshold:
+            status = "improved"
+            improvements.append(name)
+        print(
+            f"{name:<{width}}  base {base_median:10.4f} ms  cand {cand_median:10.4f} ms"
+            f"  {ratio:+7.2f}%  (allow +{threshold:.4f} ms)  {status}"
+        )
+
+    for name in sorted(missing):
+        print(f"{name:<{width}}  MISSING from candidate")
+
+    new_benches = sorted(set(cand_benches) - set(base_benches))
+    for name in new_benches:
+        print(f"{name:<{width}}  new benchmark (no baseline; not gated)")
+
+    print(
+        f"\nperf_compare: {len(base_benches) - len(missing)} compared,"
+        f" {len(regressions)} regressed, {len(improvements)} improved,"
+        f" {len(missing)} missing, {len(new_benches)} new"
+    )
+    if regressions or missing:
+        for name in regressions:
+            print(f"perf_compare: REGRESSION in {name}", file=sys.stderr)
+        for name in missing:
+            print(f"perf_compare: benchmark {name} missing from candidate", file=sys.stderr)
+        return 1
+    return 0
+
+
+def self_test() -> int:
+    """Gate sanity: identical inputs pass; an injected 2x regression fails."""
+    doc = {
+        "schema_version": SCHEMA_VERSION,
+        "environment": {"git_sha": "0" * 40, "compiler": "self-test", "build_type": "Release",
+                        "threads": 1},
+        "benchmarks": {
+            "kernel.stable": {"inner_iterations": 64, "repetitions": 11, "min_ms": 1.00,
+                              "median_ms": 1.02, "mad_ms": 0.01, "mean_ms": 1.03},
+            "kernel.noisy": {"inner_iterations": 8, "repetitions": 11, "min_ms": 4.2,
+                             "median_ms": 5.0, "mad_ms": 0.8, "mean_ms": 5.1},
+        },
+    }
+    validate(doc, "self-test fixture")
+
+    if compare(doc, copy.deepcopy(doc), pct=5.0, mad_mult=3.0) != 0:
+        print("perf_compare: SELF-TEST FAILED: identical inputs flagged", file=sys.stderr)
+        return 1
+
+    slow = copy.deepcopy(doc)
+    for entry in slow["benchmarks"].values():
+        for stat in ("min_ms", "median_ms", "mean_ms"):
+            entry[stat] *= 2.0
+    if compare(doc, slow, pct=5.0, mad_mult=3.0) != 1:
+        print("perf_compare: SELF-TEST FAILED: 2x regression not flagged", file=sys.stderr)
+        return 1
+
+    # Noise tolerance: a bump inside 3x MAD on the noisy kernel must pass.
+    wobble = copy.deepcopy(doc)
+    wobble["benchmarks"]["kernel.noisy"]["median_ms"] += 2.0  # < 3 * 0.8 = 2.4
+    if compare(doc, wobble, pct=5.0, mad_mult=3.0) != 0:
+        print("perf_compare: SELF-TEST FAILED: in-noise wobble flagged", file=sys.stderr)
+        return 1
+
+    print("perf_compare: self-test passed")
+    return 0
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__,
+                                     formatter_class=argparse.RawDescriptionHelpFormatter)
+    parser.add_argument("baseline", nargs="?", help="baseline BENCH_PERF.json")
+    parser.add_argument("candidate", nargs="?", help="candidate BENCH_PERF.json")
+    parser.add_argument("--pct", type=float, default=5.0,
+                        help="percentage regression allowance (default 5)")
+    parser.add_argument("--mad-mult", type=float, default=3.0,
+                        help="MAD multiples allowed on top of baseline median (default 3)")
+    parser.add_argument("--validate-only", action="store_true",
+                        help="only schema-validate the given file(s)")
+    parser.add_argument("--self-test", action="store_true",
+                        help="run the built-in gate sanity checks")
+    args = parser.parse_args()
+
+    if args.self_test:
+        return self_test()
+
+    if args.validate_only:
+        paths = [p for p in (args.baseline, args.candidate) if p]
+        if not paths:
+            parser.error("--validate-only requires at least one file")
+        for path in paths:
+            load(path)
+            print(f"perf_compare: {path} is valid (schema v{SCHEMA_VERSION})")
+        return 0
+
+    if not args.baseline or not args.candidate:
+        parser.error("need BASELINE and CANDIDATE (or --validate-only / --self-test)")
+    return compare(load(args.baseline), load(args.candidate), args.pct, args.mad_mult)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,55 @@
+#!/usr/bin/env bash
+# Perf baseline workflow around bench_perf_runner + perf_compare.py.
+#
+#   scripts/run_perf.sh record [OUT.json]    build + run the full suite,
+#                                            write OUT.json (default
+#                                            BENCH_PERF.json at repo root)
+#   scripts/run_perf.sh compare [BASELINE]   run the suite into a temp file
+#                                            and gate it against BASELINE
+#                                            (default BENCH_PERF.json)
+#   scripts/run_perf.sh smoke                seconds-scale plumbing check:
+#                                            --smoke run, schema validation,
+#                                            gate self-test
+#
+# Recording wants a quiet machine: close other workloads, and prefer a
+# Release build (this script configures the default build dir as-is).
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+mode="${1:-compare}"
+
+build() {
+    cmake -B build -S . > /dev/null
+    cmake --build build -j "$(nproc)" --target bench_perf_runner > /dev/null
+}
+
+case "${mode}" in
+    record)
+        out="${2:-BENCH_PERF.json}"
+        build
+        ./build/bench/bench_perf_runner --out "${out}"
+        python3 scripts/perf_compare.py --validate-only "${out}"
+        ;;
+    compare)
+        baseline="${2:-BENCH_PERF.json}"
+        [[ -f "${baseline}" ]] || { echo "run_perf.sh: no baseline at ${baseline}" >&2; exit 2; }
+        build
+        candidate="$(mktemp /tmp/bench_perf.XXXXXX.json)"
+        trap 'rm -f "${candidate}"' EXIT
+        ./build/bench/bench_perf_runner --out "${candidate}"
+        python3 scripts/perf_compare.py "${baseline}" "${candidate}"
+        ;;
+    smoke)
+        build
+        smoke_out="$(mktemp /tmp/bench_perf_smoke.XXXXXX.json)"
+        trap 'rm -f "${smoke_out}"' EXIT
+        ./build/bench/bench_perf_runner --smoke --out "${smoke_out}"
+        python3 scripts/perf_compare.py --validate-only "${smoke_out}"
+        python3 scripts/perf_compare.py "${smoke_out}" "${smoke_out}"
+        python3 scripts/perf_compare.py --self-test
+        ;;
+    *)
+        echo "usage: scripts/run_perf.sh {record [OUT]|compare [BASELINE]|smoke}" >&2
+        exit 2
+        ;;
+esac

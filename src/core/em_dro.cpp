@@ -6,7 +6,7 @@
 #include <stdexcept>
 
 #include "obs/metrics.hpp"
-#include "obs/trace.hpp"
+#include "obs/profiler.hpp"
 #include "util/executor.hpp"
 
 namespace drel::core {
@@ -114,7 +114,7 @@ EmDroResult EmDroSolver::solve_from(const linalg::Vector& theta0) const {
     if (theta0.size() != prior_->dim()) {
         throw std::invalid_argument("EmDroSolver::solve_from: theta0 dimension mismatch");
     }
-    DREL_TRACE_SPAN("em.solve_from");
+    DREL_PROFILE_SCOPE("em.solve_from");
     EmDroResult result;
     result.theta = theta0;
     double current = objective(result.theta);
@@ -122,7 +122,10 @@ EmDroResult EmDroSolver::solve_from(const linalg::Vector& theta0) const {
     for (int it = 0; it < options_.max_outer_iterations; ++it) {
         // E-step.
         e_step_count().add(1);
-        const linalg::Vector r = prior_->responsibilities(result.theta);
+        const linalg::Vector r = [&] {
+            DREL_PROFILE_SCOPE("em.e_step");
+            return prior_->responsibilities(result.theta);
+        }();
 
         result.trace.objective.push_back(current);
         result.trace.robust_loss.push_back(robust().value(result.theta));
@@ -131,8 +134,10 @@ EmDroResult EmDroSolver::solve_from(const linalg::Vector& theta0) const {
 
         // M-step: convex, solved by L-BFGS from the current iterate.
         const MStepObjective m_step(robust(), *prior_, r, weight_);
-        const optim::OptimResult inner =
-            optim::minimize_lbfgs(m_step, result.theta, options_.m_step);
+        const optim::OptimResult inner = [&] {
+            DREL_PROFILE_SCOPE("em.m_step");
+            return optim::minimize_lbfgs(m_step, result.theta, options_.m_step);
+        }();
 
         const double next = objective(inner.x);
         result.trace.outer_iterations = it + 1;
@@ -161,7 +166,7 @@ EmDroResult EmDroSolver::solve_from(const linalg::Vector& theta0) const {
 }
 
 EmDroResult EmDroSolver::solve() const {
-    DREL_TRACE_SPAN("em.solve");
+    DREL_PROFILE_SCOPE("em.solve");
     solve_calls().add(1);
     // Candidate starts: prior mean plus the heaviest atoms. Multi-modality
     // of the DP prior is exactly why a single start is not enough.

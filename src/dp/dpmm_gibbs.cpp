@@ -6,7 +6,7 @@
 #include "dp/crp.hpp"
 #include "linalg/vector_ops.hpp"
 #include "obs/metrics.hpp"
-#include "obs/trace.hpp"
+#include "obs/profiler.hpp"
 #include "stats/distributions.hpp"
 #include "stats/multivariate_normal.hpp"
 
@@ -105,6 +105,7 @@ void DpmmGibbs::insert_observation(std::size_t j, std::size_t cluster) {
 }
 
 void DpmmGibbs::sweep(stats::Rng& rng) {
+    DREL_PROFILE_SCOPE("dpmm.sweep");
     static obs::Counter& sweeps = obs::Registry::global().counter("dp.gibbs_sweeps");
     sweeps.add(1);
     for (std::size_t j = 0; j < observations_.size(); ++j) {
@@ -147,7 +148,7 @@ void DpmmGibbs::add_observation(linalg::Vector theta, stats::Rng& rng, int refre
 }
 
 void DpmmGibbs::run(stats::Rng& rng) {
-    DREL_TRACE_SPAN("dpmm.run");
+    DREL_PROFILE_SCOPE("dpmm.run");
     std::vector<std::size_t> best_assignments = assignments_;
     double best_log_joint = log_joint();
     double best_alpha = config_.alpha;

@@ -7,7 +7,7 @@
 #include "dro/wasserstein.hpp"
 #include "models/metrics.hpp"
 #include "obs/metrics.hpp"
-#include "obs/trace.hpp"
+#include "obs/profiler.hpp"
 #include "optim/scalar.hpp"
 
 namespace drel::dro {
@@ -15,7 +15,7 @@ namespace drel::dro {
 double certified_radius(const linalg::Vector& theta, const models::Dataset& data,
                         const models::Loss& loss, AmbiguityKind kind, double loss_budget,
                         double max_radius, double tolerance) {
-    DREL_TRACE_SPAN("dro.certified_radius");
+    DREL_PROFILE_SCOPE("dro.certified_radius");
     static obs::Counter& calls =
         obs::Registry::global().counter("dro.certified_radius_calls");
     calls.add(1);

@@ -6,6 +6,7 @@
 
 #include "models/erm_objective.hpp"
 #include "obs/metrics.hpp"
+#include "obs/profiler.hpp"
 #include "optim/scalar.hpp"
 
 namespace drel::dro {
@@ -28,6 +29,7 @@ double dual_value(const linalg::Vector& losses, double rho, double lambda, doubl
 }  // namespace
 
 ChiSquareDualSolution solve_chi_square_dual(const linalg::Vector& losses, double rho) {
+    DREL_PROFILE_SCOPE("dro.chi2_dual");
     static obs::Counter& solves =
         obs::Registry::global().counter("dro.chi_square_dual_solves");
     solves.add(1);

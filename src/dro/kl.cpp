@@ -6,11 +6,13 @@
 
 #include "models/erm_objective.hpp"
 #include "obs/metrics.hpp"
+#include "obs/profiler.hpp"
 #include "optim/scalar.hpp"
 
 namespace drel::dro {
 
 KlDualSolution solve_kl_dual(const linalg::Vector& losses, double rho) {
+    DREL_PROFILE_SCOPE("dro.kl_dual");
     static obs::Counter& solves = obs::Registry::global().counter("dro.kl_dual_solves");
     solves.add(1);
     if (losses.empty()) throw std::invalid_argument("solve_kl_dual: empty losses");

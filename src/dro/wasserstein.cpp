@@ -6,6 +6,7 @@
 
 #include "models/erm_objective.hpp"
 #include "obs/metrics.hpp"
+#include "obs/profiler.hpp"
 #include "optim/scalar.hpp"
 
 namespace drel::dro {
@@ -53,6 +54,7 @@ WassersteinDroObjective::WassersteinDroObjective(const models::Dataset& data,
 std::size_t WassersteinDroObjective::dim() const { return data_->dim(); }
 
 double WassersteinDroObjective::eval(const linalg::Vector& theta, linalg::Vector* grad) const {
+    DREL_PROFILE_SCOPE("dro.wasserstein_eval");
     static obs::Counter& evals = obs::Registry::global().counter("dro.wasserstein_evals");
     evals.add(1);
     const models::ErmObjective erm(*data_, *loss_, l2_);

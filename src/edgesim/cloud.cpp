@@ -5,7 +5,7 @@
 
 #include "models/erm_objective.hpp"
 #include "obs/metrics.hpp"
-#include "obs/trace.hpp"
+#include "obs/profiler.hpp"
 #include "optim/lbfgs.hpp"
 #include "stats/descriptive.hpp"
 
@@ -37,7 +37,7 @@ void CloudNode::fit_contributor_models() {
 }
 
 dp::MixturePrior CloudNode::fit_prior(stats::Rng& rng) {
-    DREL_TRACE_SPAN("cloud.fit_prior");
+    DREL_PROFILE_SCOPE("cloud.fit_prior");
     static obs::Counter& fits = obs::Registry::global().counter("cloud.prior_fits");
     fits.add(1);
     if (contributor_data_.size() < 2) {

@@ -4,7 +4,7 @@
 
 #include "edgesim/transfer.hpp"
 #include "obs/metrics.hpp"
-#include "obs/trace.hpp"
+#include "obs/profiler.hpp"
 
 namespace drel::edgesim {
 
@@ -35,7 +35,7 @@ core::FitResult EdgeDevice::train() {
     if (!learner_) {
         throw std::logic_error("EdgeDevice::train: no prior received yet");
     }
-    DREL_TRACE_SPAN("device.train");
+    DREL_PROFILE_SCOPE("device.train");
     static obs::Counter& trainings = obs::Registry::global().counter("device.trainings");
     trainings.add(1);
     fit_ = learner_->fit(local_data_);

@@ -9,7 +9,7 @@
 #include "models/erm_objective.hpp"
 #include "models/metrics.hpp"
 #include "obs/metrics.hpp"
-#include "obs/trace.hpp"
+#include "obs/profiler.hpp"
 #include "optim/lbfgs.hpp"
 #include "stats/descriptive.hpp"
 
@@ -38,7 +38,7 @@ LifecycleReport run_lifecycle(const LifecycleConfig& config, stats::Rng& rng) {
     if (config.initial_contributors < 2) {
         throw std::invalid_argument("run_lifecycle: need >= 2 initial contributors");
     }
-    DREL_TRACE_SPAN("lifecycle.run");
+    DREL_PROFILE_SCOPE("lifecycle.run");
     static obs::Counter& rounds_count = obs::Registry::global().counter("lifecycle.rounds");
     static obs::Counter& rebroadcasts =
         obs::Registry::global().counter("lifecycle.rebroadcasts");

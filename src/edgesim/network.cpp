@@ -4,6 +4,7 @@
 
 #include "edgesim/transfer.hpp"
 #include "obs/metrics.hpp"
+#include "obs/profiler.hpp"
 
 namespace drel::edgesim {
 namespace {
@@ -32,6 +33,7 @@ TransmissionReport transmit_with_retries(const std::vector<std::uint8_t>& payloa
         throw std::invalid_argument("transmit_with_retries: validate must be non-null");
     }
 
+    DREL_PROFILE_SCOPE("net.transmit");
     TransmissionReport report;
     report.payload_bytes = payload.size();
 

@@ -7,7 +7,7 @@
 #include "edgesim/device.hpp"
 #include "models/metrics.hpp"
 #include "obs/metrics.hpp"
-#include "obs/trace.hpp"
+#include "obs/profiler.hpp"
 #include "util/executor.hpp"
 #include "util/logging.hpp"
 #include "util/stopwatch.hpp"
@@ -44,7 +44,7 @@ FleetReport run_fleet_simulation(const SimulationConfig& config, stats::Rng& rng
     if (config.num_edge_devices == 0) {
         throw std::invalid_argument("run_fleet_simulation: need >= 1 edge device");
     }
-    DREL_TRACE_SPAN("fleet.run");
+    DREL_PROFILE_SCOPE("fleet.run");
     static obs::Counter& runs = obs::Registry::global().counter("fleet.runs");
     runs.add(1);
 
@@ -94,7 +94,7 @@ FleetReport run_fleet_simulation(const SimulationConfig& config, stats::Rng& rng
         obs::Registry::global().counter("fleet.broadcast_bytes");
     broadcast_bytes.add(report.total_broadcast_bytes);
     util::parallel_for(config.num_edge_devices, config.num_threads, [&](std::size_t j) {
-        DREL_TRACE_SPAN("fleet.device");
+        DREL_PROFILE_SCOPE("fleet.device");
         static obs::Counter& devices_trained =
             obs::Registry::global().counter("fleet.devices_trained");
         devices_trained.add(1);

@@ -5,6 +5,7 @@
 
 #include "linalg/matrix.hpp"
 #include "obs/metrics.hpp"
+#include "obs/profiler.hpp"
 
 namespace drel::edgesim {
 namespace {
@@ -76,6 +77,7 @@ std::size_t encoded_size(std::size_t num_components, std::size_t dim,
 
 std::vector<std::uint8_t> encode_prior(const dp::MixturePrior& prior,
                                        const EncodingOptions& options) {
+    DREL_PROFILE_SCOPE("transfer.encode");
     std::vector<std::uint8_t> buffer;
     buffer.reserve(encoded_size(prior.num_components(), prior.dim(), options));
     Writer w(buffer);
@@ -113,6 +115,7 @@ std::vector<std::uint8_t> encode_prior(const dp::MixturePrior& prior,
 }
 
 dp::MixturePrior decode_prior(const std::vector<std::uint8_t>& buffer) {
+    DREL_PROFILE_SCOPE("transfer.decode");
     if (buffer.size() < 8 || std::memcmp(buffer.data(), kMagic, 8) != 0) {
         throw std::invalid_argument("decode_prior: bad magic");
     }

@@ -3,10 +3,13 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "obs/profiler.hpp"
+
 namespace drel::linalg {
 
 std::optional<Matrix> Cholesky::factor_impl(const Matrix& a) {
     if (!a.is_square()) throw std::invalid_argument("Cholesky: matrix must be square");
+    DREL_PROFILE_SCOPE("linalg.cholesky_factor");
     const std::size_t n = a.rows();
     Matrix l(n, n);
     for (std::size_t j = 0; j < n; ++j) {

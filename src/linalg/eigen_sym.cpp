@@ -5,10 +5,13 @@
 #include <numeric>
 #include <stdexcept>
 
+#include "obs/profiler.hpp"
+
 namespace drel::linalg {
 
 EigenSym eigen_sym(const Matrix& input, int max_sweeps) {
     if (!input.is_square()) throw std::invalid_argument("eigen_sym: matrix must be square");
+    DREL_PROFILE_SCOPE("linalg.eig_sym");
     const std::size_t n = input.rows();
 
     // Symmetrize to absorb round-off asymmetry.

@@ -3,9 +3,12 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "obs/profiler.hpp"
+
 namespace drel::linalg {
 
 QR::QR(const Matrix& a) : q_(0, 0), r_(0, 0) {
+    DREL_PROFILE_SCOPE("linalg.qr");
     const std::size_t m = a.rows();
     const std::size_t n = a.cols();
     if (m < n) throw std::invalid_argument("QR: requires rows >= cols");

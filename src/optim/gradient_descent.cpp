@@ -4,6 +4,7 @@
 #include <stdexcept>
 
 #include "obs/metrics.hpp"
+#include "obs/profiler.hpp"
 #include "optim/line_search.hpp"
 
 namespace drel::optim {
@@ -51,6 +52,7 @@ OptimResult minimize_gradient_descent(const Objective& objective, linalg::Vector
     result.value = fx;
     result.grad_norm = linalg::norm_inf(grad);
     if (result.message.empty()) result.message = "max iterations reached";
+    DREL_PROFILE_SCOPE("optim.gd");
     static obs::Counter& solves = obs::Registry::global().counter("optim.gd_solves");
     static obs::Counter& iterations = obs::Registry::global().counter("optim.gd_iterations");
     solves.add(1);

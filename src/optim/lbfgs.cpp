@@ -5,6 +5,7 @@
 #include <stdexcept>
 
 #include "obs/metrics.hpp"
+#include "obs/profiler.hpp"
 #include "optim/line_search.hpp"
 
 namespace drel::optim {
@@ -15,6 +16,7 @@ OptimResult minimize_lbfgs(const Objective& objective, linalg::Vector x0,
         throw std::invalid_argument("minimize_lbfgs: x0 dimension mismatch");
     }
     if (options.history < 1) throw std::invalid_argument("minimize_lbfgs: history must be >= 1");
+    DREL_PROFILE_SCOPE("optim.lbfgs");
 
     OptimResult result;
     result.x = std::move(x0);

@@ -4,6 +4,7 @@
 #include <stdexcept>
 
 #include "obs/metrics.hpp"
+#include "obs/profiler.hpp"
 
 namespace drel::optim {
 
@@ -29,6 +30,7 @@ SgdResult minimize_sgd(const StochasticObjective& objective, linalg::Vector x0,
     const std::size_t n = objective.num_examples();
     double step = options.step;
 
+    DREL_PROFILE_SCOPE("optim.sgd");
     static obs::Counter& runs = obs::Registry::global().counter("optim.sgd_runs");
     static obs::Counter& steps = obs::Registry::global().counter("optim.sgd_steps");
     runs.add(1);

@@ -14,6 +14,9 @@ namespace {
 /// threads never wait on the pool.
 thread_local bool t_in_parallel_region = false;
 
+/// Installed once at startup (profiler static init); loaded per region.
+std::atomic<const ParallelContextHooks*> g_context_hooks{nullptr};
+
 std::size_t global_default_threads() {
     if (const char* env = std::getenv("DREL_NUM_THREADS")) {
         try {
@@ -40,10 +43,23 @@ struct LoopState {
     std::atomic<bool> failed{false};
     std::mutex error_mutex;
     std::exception_ptr first_error;
+    /// Context propagation (see ParallelContextHooks): the token captured
+    /// on the submitting thread, adopted by every runner, dropped with the
+    /// loop state (shared_ptr keeps it alive for queued stragglers).
+    const ParallelContextHooks* hooks = nullptr;
+    void* context_token = nullptr;
+
+    ~LoopState() {
+        if (hooks != nullptr && hooks->drop != nullptr) hooks->drop(context_token);
+    }
 
     void run() {
         const bool was_nested = t_in_parallel_region;
         t_in_parallel_region = true;
+        void* context_cookie = nullptr;
+        if (hooks != nullptr && hooks->adopt != nullptr) {
+            context_cookie = hooks->adopt(context_token);
+        }
         while (!failed.load(std::memory_order_acquire)) {
             const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
             if (i >= count) break;
@@ -58,11 +74,18 @@ struct LoopState {
                 break;
             }
         }
+        if (hooks != nullptr && hooks->release != nullptr) hooks->release(context_cookie);
         t_in_parallel_region = was_nested;
     }
 };
 
 }  // namespace
+
+void install_parallel_context_hooks(const ParallelContextHooks& hooks) noexcept {
+    static ParallelContextHooks storage;
+    storage = hooks;
+    g_context_hooks.store(&storage, std::memory_order_release);
+}
 
 Executor::Executor(std::size_t max_threads)
     : max_threads_(std::max<std::size_t>(1, max_threads)) {}
@@ -93,6 +116,10 @@ void Executor::parallel_for(std::size_t count, std::size_t num_threads,
     auto state = std::make_shared<LoopState>();
     state->body = body;  // own a copy: queued tasks must not alias caller refs
     state->count = count;
+    state->hooks = g_context_hooks.load(std::memory_order_acquire);
+    if (state->hooks != nullptr && state->hooks->capture != nullptr) {
+        state->context_token = state->hooks->capture();
+    }
 
     std::vector<std::future<void>> futures;
     futures.reserve(runners - 1);

@@ -44,6 +44,28 @@
 
 namespace drel::util {
 
+/// Observer hooks that carry per-thread context from the thread submitting
+/// a parallel region onto every runner of that region (the obs profiler
+/// uses this to keep phase paths schedule-independent: a frame opened
+/// inside parallel_for must land under the submitting thread's phase path
+/// whether it ran on the caller or on a pool worker).
+///
+/// Lifecycle per region: `capture()` once on the submitting thread; on each
+/// runner `adopt(token)` before the claim loop and `release(cookie)` after
+/// it (same thread, including the caller-as-runner); `drop(token)` once
+/// when the region's state dies. All functions must be noexcept-safe and
+/// thread-safe; any of them may be null. Installed once at startup.
+struct ParallelContextHooks {
+    void* (*capture)() noexcept = nullptr;
+    void* (*adopt)(void* token) noexcept = nullptr;
+    void (*release)(void* cookie) noexcept = nullptr;
+    void (*drop)(void* token) noexcept = nullptr;
+};
+
+/// Installs the process-wide hooks (last call wins; regions already in
+/// flight keep the hooks they captured).
+void install_parallel_context_hooks(const ParallelContextHooks& hooks) noexcept;
+
 class Executor {
  public:
     /// An executor targeting up to `max_threads` concurrent runners: the

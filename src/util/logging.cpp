@@ -1,14 +1,32 @@
 #include "util/logging.hpp"
 
 #include <atomic>
+#include <cctype>
 #include <chrono>
 #include <cstdio>
+#include <cstdlib>
 #include <mutex>
+#include <string>
 
 namespace drel::util {
 namespace {
 
-std::atomic<LogLevel> g_level{LogLevel::kWarn};
+/// Initial level comes from DREL_LOG_LEVEL (debug|info|warn|error|off,
+/// case-insensitive); anything unset or unrecognized keeps the kWarn default.
+LogLevel level_from_env() noexcept {
+    const char* env = std::getenv("DREL_LOG_LEVEL");
+    if (env == nullptr) return LogLevel::kWarn;
+    std::string name(env);
+    for (char& c : name) c = static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+    if (name == "debug") return LogLevel::kDebug;
+    if (name == "info") return LogLevel::kInfo;
+    if (name == "warn" || name == "warning") return LogLevel::kWarn;
+    if (name == "error") return LogLevel::kError;
+    if (name == "off" || name == "none") return LogLevel::kOff;
+    return LogLevel::kWarn;
+}
+
+std::atomic<LogLevel> g_level{level_from_env()};
 std::mutex g_mutex;
 
 const char* level_name(LogLevel level) noexcept {

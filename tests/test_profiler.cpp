@@ -1,0 +1,204 @@
+// Phase profiler suite: nesting, exception safety, the disabled-mode
+// contract, and the determinism contract — merged phase COUNTS must be
+// byte-identical at any thread count (timings are segregated and never
+// compared). Mirrors the metrics-registry determinism tests in test_obs.cpp.
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "obs/json.hpp"
+#include "obs/profiler.hpp"
+#include "obs/trace.hpp"
+#include "util/executor.hpp"
+
+namespace {
+
+using namespace drel;
+using obs::JsonValue;
+using obs::Profiler;
+
+/// Fresh, enabled profiler for one test body; restores disabled state on
+/// exit so suites sharing a process never observe each other's frames.
+class ProfilerTest : public ::testing::Test {
+ protected:
+    void SetUp() override {
+        Profiler::global().disable();
+        Profiler::global().reset();
+        Profiler::global().enable();
+    }
+    void TearDown() override {
+        Profiler::global().disable();
+        Profiler::global().reset();
+    }
+};
+
+TEST_F(ProfilerTest, NestedScopesBuildPaths) {
+    {
+        DREL_PROFILE_SCOPE("outer");
+        for (int i = 0; i < 3; ++i) {
+            DREL_PROFILE_SCOPE("inner");
+        }
+        DREL_PROFILE_SCOPE("sibling");
+    }
+    {
+        DREL_PROFILE_SCOPE("outer");
+    }
+
+    const auto phases = Profiler::global().merged_phases();
+    ASSERT_TRUE(phases.count("outer"));
+    ASSERT_TRUE(phases.count("outer/inner"));
+    ASSERT_TRUE(phases.count("outer/sibling"));
+    EXPECT_EQ(phases.at("outer").count, 2u);
+    EXPECT_EQ(phases.at("outer/inner").count, 3u);
+    EXPECT_EQ(phases.at("outer/sibling").count, 1u);
+    // Inclusive wall time flows upward: outer covers its children.
+    EXPECT_GE(phases.at("outer").wall_ns, phases.at("outer/inner").wall_ns);
+}
+
+TEST_F(ProfilerTest, ExceptionUnwindPopsFrames) {
+    try {
+        DREL_PROFILE_SCOPE("throwing");
+        {
+            DREL_PROFILE_SCOPE("deep");
+            throw std::runtime_error("unwind");
+        }
+    } catch (const std::runtime_error&) {
+    }
+    // After the unwind the stack must be back at the root: a new frame is
+    // a top-level path, not a child of the phase that threw.
+    {
+        DREL_PROFILE_SCOPE("after");
+    }
+
+    const auto phases = Profiler::global().merged_phases();
+    EXPECT_EQ(phases.at("throwing").count, 1u);
+    EXPECT_EQ(phases.at("throwing/deep").count, 1u);
+    ASSERT_TRUE(phases.count("after"));
+    EXPECT_FALSE(phases.count("throwing/after"));
+}
+
+TEST_F(ProfilerTest, DisabledModeRecordsNothing) {
+    Profiler::global().disable();
+    Profiler::global().reset();
+
+    constexpr int kFrames = 200000;
+    const auto start = std::chrono::steady_clock::now();
+    for (int i = 0; i < kFrames; ++i) {
+        DREL_PROFILE_SCOPE("disabled.hot");
+    }
+    const double ns_per_frame =
+        std::chrono::duration<double, std::nano>(std::chrono::steady_clock::now() - start)
+            .count() /
+        kFrames;
+
+    EXPECT_TRUE(Profiler::global().merged_phases().empty());
+    // One relaxed load + untaken branch. The bound is deliberately loose
+    // (sanitizer builds, noisy CI) — it exists to catch an accidental
+    // clock read or lock on the disabled path, which costs 10-100x more.
+    EXPECT_LT(ns_per_frame, 1000.0);
+}
+
+TEST_F(ProfilerTest, FrameStartedWhileEnabledCompletesAfterDisable) {
+    {
+        DREL_PROFILE_SCOPE("straddle");
+        Profiler::global().disable();
+    }
+    Profiler::global().enable();
+    EXPECT_EQ(Profiler::global().merged_phases().at("straddle").count, 1u);
+}
+
+TEST_F(ProfilerTest, ResetZeroesCountsAndTimes) {
+    {
+        DREL_PROFILE_SCOPE("transient");
+    }
+    ASSERT_EQ(Profiler::global().merged_phases().at("transient").count, 1u);
+    Profiler::global().reset();
+    EXPECT_TRUE(Profiler::global().merged_phases().empty());
+}
+
+TEST_F(ProfilerTest, DeterministicJsonSchema) {
+    {
+        DREL_PROFILE_SCOPE("schema.phase");
+    }
+    const JsonValue doc = JsonValue::parse(Profiler::global().deterministic_json());
+    EXPECT_EQ(doc.at("schema_version").as_uint(), obs::kProfileSchemaVersion);
+    EXPECT_EQ(doc.at("phases").at("schema.phase").as_uint(), 1u);
+
+    const JsonValue full = JsonValue::parse(Profiler::global().json());
+    EXPECT_TRUE(full.contains("counts"));
+    EXPECT_TRUE(full.contains("timing"));
+    const JsonValue& timing = full.at("timing").at("schema.phase");
+    EXPECT_TRUE(timing.at("wall_seconds").is_number());
+    EXPECT_TRUE(timing.at("self_wall_seconds").is_number());
+}
+
+/// Deterministic fan-out workload: counts depend only on indices, never on
+/// which thread ran an iteration.
+std::string run_workload_and_snapshot(std::size_t num_threads) {
+    Profiler::global().reset();
+    {
+        DREL_PROFILE_SCOPE("mt.region");
+        util::Executor::global().parallel_for(24, num_threads, [](std::size_t i) {
+            DREL_PROFILE_SCOPE("mt.item");
+            if (i % 3 == 0) {
+                DREL_PROFILE_SCOPE("mt.special");
+            }
+        });
+    }
+    std::string snapshot = Profiler::global().deterministic_json();
+    Profiler::global().reset();
+    return snapshot;
+}
+
+TEST_F(ProfilerTest, MergedCountsBitIdenticalAcrossThreadCounts) {
+    const std::string serial = run_workload_and_snapshot(1);
+
+    // Worker-thread frames must land under the submitting thread's phase
+    // path (executor context propagation), not at the root.
+    const JsonValue doc = JsonValue::parse(serial);
+    EXPECT_EQ(doc.at("phases").at("mt.region").as_uint(), 1u);
+    EXPECT_EQ(doc.at("phases").at("mt.region/mt.item").as_uint(), 24u);
+    EXPECT_EQ(doc.at("phases").at("mt.region/mt.item/mt.special").as_uint(), 8u);
+
+    for (const std::size_t threads : {2u, 4u, 8u}) {
+        EXPECT_EQ(run_workload_and_snapshot(threads), serial)
+            << "deterministic snapshot diverged at " << threads << " threads";
+    }
+}
+
+TEST_F(ProfilerTest, ScopeEmitsValidTraceSpans) {
+    obs::TraceCollector& collector = obs::TraceCollector::global();
+    collector.disable();
+    collector.clear();
+    collector.enable(::testing::TempDir() + "drel_profiler_trace.json");
+    {
+        DREL_PROFILE_SCOPE("tv.outer");
+        DREL_PROFILE_SCOPE("tv.inner");
+    }
+    collector.disable();
+
+    // The trace document must be parseable by the strict obs::json parser
+    // and contain exactly the spans the profiler counted.
+    const JsonValue doc = JsonValue::parse(collector.json());
+    const auto& events = doc.at("traceEvents").as_array();
+    ASSERT_EQ(events.size(), 2u);
+    std::vector<std::string> names;
+    for (const JsonValue& event : events) {
+        names.push_back(event.at("name").as_string());
+        EXPECT_EQ(event.at("ph").as_string(), "X");
+        EXPECT_TRUE(event.at("ts").is_number());
+        EXPECT_TRUE(event.at("dur").is_number());
+    }
+    EXPECT_NE(std::find(names.begin(), names.end(), "tv.outer"), names.end());
+    EXPECT_NE(std::find(names.begin(), names.end(), "tv.inner"), names.end());
+
+    const auto phases = Profiler::global().merged_phases();
+    EXPECT_EQ(phases.at("tv.outer").count, 1u);
+    EXPECT_EQ(phases.at("tv.outer/tv.inner").count, 1u);
+    collector.clear();
+}
+
+}  // namespace
