@@ -1,8 +1,11 @@
 #!/usr/bin/env bash
-# Builds and runs the concurrency tests under ThreadSanitizer and
+# Builds and runs the concurrency and chaos tests under ThreadSanitizer and
 # AddressSanitizer (the DREL_SANITIZE CMake option). Part of the verify
 # flow for any change to util/thread_pool, util/executor, or code running
-# on the shared executor (fleet simulation, EM multi-start, collaborative).
+# on the shared executor (fleet simulation, EM multi-start, collaborative),
+# and for the fault-injection layer (test_faults): the chaos suite drives
+# the degraded paths the healthy tests never touch, so memory/race bugs on
+# those paths only surface here.
 #
 # Both sanitizer suites always run: a ThreadSanitizer failure no longer
 # short-circuits the AddressSanitizer pass. The script exits non-zero if
@@ -21,9 +24,9 @@ for sanitizer in thread address; do
     cmake -B "${build_dir}" -S . -DDREL_SANITIZE="${sanitizer}" \
         -DCMAKE_BUILD_TYPE=RelWithDebInfo > /dev/null
     cmake --build "${build_dir}" -j "${jobs}" \
-        --target test_util test_concurrency > /dev/null
+        --target test_util test_concurrency test_faults > /dev/null
     if ! (cd "${build_dir}" && ctest --output-on-failure -j "${jobs}" \
-        -R 'ThreadPool|ParallelFor|ParallelReduce|Executor|Determinism'); then
+        -R 'ThreadPool|ParallelFor|ParallelReduce|Executor|Determinism|Fault|Chaos|EmDroDegradation'); then
         echo "!!! ${sanitizer} sanitizer suite FAILED"
         failed+=("${sanitizer}")
     fi

@@ -1,5 +1,6 @@
 #include "core/edge_learner.hpp"
 
+#include <cmath>
 #include <stdexcept>
 
 #include "linalg/vector_ops.hpp"
@@ -41,6 +42,10 @@ FitResult EdgeLearner::fit(const models::Dataset& local_data) const {
     EmDroResult em = solver.solve();
 
     FitResult result;
+    result.degraded = em.hit_non_finite;
+    for (const double v : em.theta) {
+        if (!std::isfinite(v)) result.degraded = true;
+    }
     result.model = models::LinearModel(std::move(em.theta));
     result.objective = em.objective;
     result.chosen_radius = ambiguity.radius;

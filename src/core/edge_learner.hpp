@@ -50,6 +50,11 @@ struct FitResult {
     EmDroTrace trace;
     linalg::Vector responsibilities;      ///< prior-component posterior at theta*
     std::size_t map_component = 0;        ///< argmax responsibility
+    /// The solve hit a non-finite state (see EmDroResult::hit_non_finite) or
+    /// the returned parameters are not finite. The model may be unusable;
+    /// the simulators fall back to local-only ERM and report the device as
+    /// degraded instead of trusting it.
+    bool degraded = false;
 };
 
 class EdgeLearner {

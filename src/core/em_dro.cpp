@@ -36,6 +36,17 @@ obs::Histogram& outer_iterations_histogram() {
         "em.outer_iterations_per_solve", {1, 2, 4, 8, 16, 32, 64});
     return h;
 }
+obs::Counter& non_finite_states() {
+    static obs::Counter& c = obs::Registry::global().counter("em.non_finite_states");
+    return c;
+}
+
+bool vector_is_finite(const linalg::Vector& v) noexcept {
+    for (const double x : v) {
+        if (!std::isfinite(x)) return false;
+    }
+    return true;
+}
 
 /// M-step objective: R(theta) - w * Q(theta; r), with r fixed.
 class MStepObjective final : public optim::Objective {
@@ -118,6 +129,17 @@ EmDroResult EmDroSolver::solve_from(const linalg::Vector& theta0) const {
     EmDroResult result;
     result.theta = theta0;
     double current = objective(result.theta);
+    // Non-finite states (degenerate prior atoms, overflowing losses) end the
+    // solve at the last finite iterate with hit_non_finite set — a reported
+    // degradation, never a throw (see DESIGN.md "Fault model").
+    if (!std::isfinite(current) || !vector_is_finite(result.theta)) {
+        non_finite_states().add(1);
+        result.hit_non_finite = true;
+        result.objective = current;
+        result.trace.objective.push_back(current);
+        result.final_responsibilities = linalg::zeros(prior_->num_components());
+        return result;
+    }
 
     for (int it = 0; it < options_.max_outer_iterations; ++it) {
         // E-step.
@@ -141,6 +163,11 @@ EmDroResult EmDroSolver::solve_from(const linalg::Vector& theta0) const {
 
         const double next = objective(inner.x);
         result.trace.outer_iterations = it + 1;
+        if (!std::isfinite(next) || !vector_is_finite(inner.x)) {
+            non_finite_states().add(1);
+            result.hit_non_finite = true;
+            break;  // keep the last finite iterate
+        }
         // Majorize-minimize guarantees next <= current up to solver slack;
         // guard against a failed inner solve making things worse.
         if (next > current + 1e-10 * (std::fabs(current) + 1.0)) {
@@ -194,7 +221,15 @@ EmDroResult EmDroSolver::solve() const {
     int total_iterations = 0;
     for (EmDroResult& candidate : candidates) {
         total_iterations += candidate.total_outer_iterations;
-        if (!have_best || candidate.objective < best.objective) {
+        // Any start that stayed finite beats every start that did not; among
+        // equals, the lower final objective wins (fixed scan order keeps the
+        // winner bit-identical at any thread count).
+        const bool preferred =
+            !have_best ||
+            (best.hit_non_finite && !candidate.hit_non_finite) ||
+            (best.hit_non_finite == candidate.hit_non_finite &&
+             candidate.objective < best.objective);
+        if (preferred) {
             best = std::move(candidate);
             have_best = true;
         }

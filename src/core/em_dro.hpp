@@ -73,6 +73,12 @@ struct EmDroResult {
     /// trace.outer_iterations for a single solve_from). The honest compute
     /// cost — what the streaming warm-start comparison measures.
     int total_outer_iterations = 0;
+    /// The solve encountered a non-finite objective or iterate. EM stops at
+    /// the last finite iterate instead of throwing; callers (the fleet and
+    /// lifecycle simulators) report this as a degraded device rather than
+    /// aborting the run. solve() prefers any finite multi-start candidate
+    /// over a flagged one.
+    bool hit_non_finite = false;
 };
 
 class EmDroSolver {

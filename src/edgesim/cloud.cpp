@@ -36,6 +36,24 @@ void CloudNode::fit_contributor_models() {
     }
 }
 
+bool CloudNode::upload_is_usable(const linalg::Vector& theta, std::size_t dim) noexcept {
+    bool usable = theta.size() == dim;
+    if (usable) {
+        for (const double v : theta) {
+            if (!std::isfinite(v)) {
+                usable = false;
+                break;
+            }
+        }
+    }
+    if (!usable) {
+        static obs::Counter& rejected =
+            obs::Registry::global().counter("cloud.uploads_rejected");
+        rejected.add(1);
+    }
+    return usable;
+}
+
 dp::MixturePrior CloudNode::fit_prior(stats::Rng& rng) {
     DREL_PROFILE_SCOPE("cloud.fit_prior");
     static obs::Counter& fits = obs::Registry::global().counter("cloud.prior_fits");

@@ -63,6 +63,13 @@ class CloudNode {
     /// the transferable prior. Requires >= 2 contributors.
     dp::MixturePrior fit_prior(stats::Rng& rng);
 
+    /// Guard for the online-update path: true iff an uploaded parameter
+    /// vector has the expected dimension and every entry is finite. A
+    /// false return counts `cloud.uploads_rejected` — the cloud's DP
+    /// posterior silently skips garbled uploads instead of absorbing NaNs
+    /// or aborting the round (see edgesim/faults.hpp).
+    static bool upload_is_usable(const linalg::Vector& theta, std::size_t dim) noexcept;
+
  private:
     CloudConfig config_;
     std::vector<models::Dataset> contributor_data_;

@@ -31,6 +31,18 @@ std::size_t EdgeDevice::receive_prior(const std::vector<std::uint8_t>& encoded) 
     return encoded.size();
 }
 
+bool EdgeDevice::try_receive_prior(const std::vector<std::uint8_t>& encoded) {
+    try {
+        receive_prior(encoded);
+        return true;
+    } catch (const std::exception&) {
+        static obs::Counter& rejected =
+            obs::Registry::global().counter("device.prior_rejected");
+        rejected.add(1);
+        return false;
+    }
+}
+
 core::FitResult EdgeDevice::train() {
     if (!learner_) {
         throw std::logic_error("EdgeDevice::train: no prior received yet");

@@ -28,7 +28,15 @@ class EdgeDevice {
     bool has_prior() const noexcept { return learner_.has_value(); }
 
     /// Decodes and installs the cloud prior; returns the payload size.
+    /// Throws std::invalid_argument on a malformed payload or dimension
+    /// mismatch — the strict path for callers that control the bytes.
     std::size_t receive_prior(const std::vector<std::uint8_t>& encoded);
+
+    /// Tolerant install for payloads that crossed a faulty link: returns
+    /// false (counting `device.prior_rejected`) instead of throwing when the
+    /// payload is garbled or mismatched. The device keeps any previously
+    /// installed prior; with none, its graceful fallback is local-only ERM.
+    bool try_receive_prior(const std::vector<std::uint8_t>& encoded);
 
     /// Trains on the local data. Requires a received prior.
     core::FitResult train();

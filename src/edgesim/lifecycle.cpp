@@ -1,6 +1,8 @@
 #include "edgesim/lifecycle.hpp"
 
+#include <limits>
 #include <stdexcept>
+#include <utility>
 
 #include "data/task_generator.hpp"
 #include "dp/dpmm_gibbs.hpp"
@@ -32,8 +34,11 @@ data::TaskPopulation population_with_modes(const std::vector<data::ParameterMode
 }  // namespace
 
 LifecycleReport run_lifecycle(const LifecycleConfig& config, stats::Rng& rng) {
+    config.faults.validate();
     if (config.rounds == 0 || config.devices_per_round == 0) {
-        throw std::invalid_argument("run_lifecycle: rounds and devices_per_round must be > 0");
+        // Nothing to simulate: a valid, empty report (no rounds, no bytes)
+        // rather than an error — degenerate sweeps must not abort a bench.
+        return LifecycleReport{};
     }
     if (config.initial_contributors < 2) {
         throw std::invalid_argument("run_lifecycle: need >= 2 initial contributors");
@@ -92,6 +97,10 @@ LifecycleReport run_lifecycle(const LifecycleConfig& config, stats::Rng& rng) {
 
     LifecycleReport report;
     dp::MixturePrior broadcast_prior = sampler.extract_prior();
+    // A stale-prior fault pins the device to the bootstrap prior — the
+    // "missed every refresh" worst case.
+    const dp::MixturePrior initial_prior = broadcast_prior;
+    const FaultPlan fault_plan(config.faults, rng);
     auto payload = encode_prior(broadcast_prior);
     report.total_broadcast_bytes += payload.size();
     broadcast_bytes.add(payload.size());
@@ -116,6 +125,9 @@ LifecycleReport run_lifecycle(const LifecycleConfig& config, stats::Rng& rng) {
         stats::RunningStats novel_accuracy;
         std::vector<linalg::Vector> uploads;
         for (std::size_t j = 0; j < config.devices_per_round; ++j) {
+            DREL_PROFILE_SCOPE("lifecycle.device");
+            const DeviceFaultDecision faults = fault_plan.device_faults(round, j);
+            if (fault_plan.active()) record_injected_faults(faults);
             stats::Rng device_rng = round_rng.fork(round * 1000 + j);
             // After the novel round, alternate novel-type devices in.
             const bool is_novel = novel_active && (j % 2 == 0);
@@ -133,17 +145,88 @@ LifecycleReport run_lifecycle(const LifecycleConfig& config, stats::Rng& rng) {
             const models::Dataset test =
                 pre_population.generate(task, config.test_samples, device_rng, options);
 
-            const core::EdgeLearner learner(broadcast_prior, config.learner);
-            const double accuracy = models::accuracy(learner.fit(train).model, test);
-            round_accuracy.push(accuracy);
-            if (is_novel) novel_accuracy.push(accuracy);
+            DegradedReason reason = DegradedReason::kNone;
+            if (faults.crash) {
+                // Died mid-round: contributes nothing — no score, no upload.
+                reason = DegradedReason::kCrashed;
+                ++summary.crashed;
+            } else if (faults.straggler) {
+                // Finished past the round deadline: the cloud discards the
+                // late result and the upload window is gone.
+                reason = DegradedReason::kStraggler;
+                ++summary.stragglers;
+            } else {
+                double accuracy = 0.0;
+                if (!faults.prior_usable()) {
+                    // Outage or corrupted install: local-only ERM fallback
+                    // (the paper's own baseline) instead of aborting.
+                    DREL_PROFILE_SCOPE("lifecycle.fallback");
+                    reason = DegradedReason::kFallbackLocalErm;
+                    ++summary.fallbacks;
+                    accuracy = models::accuracy(
+                        models::LinearModel(fit_theta(train, *loss)), test);
+                } else {
+                    if (faults.prior_stale) {
+                        reason = DegradedReason::kStalePrior;
+                        ++summary.stale_priors;
+                    }
+                    const core::EdgeLearner learner(
+                        faults.prior_stale ? initial_prior : broadcast_prior,
+                        config.learner);
+                    const core::FitResult fit = learner.fit(train);
+                    if (fit.degraded) {
+                        reason = DegradedReason::kNonFinite;
+                        accuracy = models::accuracy(
+                            models::LinearModel(fit_theta(train, *loss)), test);
+                    } else {
+                        accuracy = models::accuracy(fit.model, test);
+                    }
+                }
+                round_accuracy.push(accuracy);
+                ++summary.devices_scored;
+                if (is_novel) novel_accuracy.push(accuracy);
 
-            if (config.feedback) {
-                uploads.push_back(fit_theta(train, *loss));
-                report.total_upload_bytes += d * sizeof(double);
-                uploads_count.add(1);
-                upload_bytes.add(d * sizeof(double));
+                if (config.feedback) {
+                    DREL_PROFILE_SCOPE("lifecycle.upload");
+                    linalg::Vector theta = fit_theta(train, *loss);
+                    const UploadOutcome up = fault_plan.upload_outcome(round, j);
+                    if (up.retries > 0) {
+                        static obs::Counter& retries =
+                            obs::Registry::global().counter("upload.retries");
+                        retries.add(static_cast<std::uint64_t>(up.retries));
+                        report.total_upload_retries +=
+                            static_cast<std::size_t>(up.retries);
+                    }
+                    // Every attempt spends bytes on the air, delivered or not.
+                    const std::size_t on_air =
+                        static_cast<std::size_t>(up.attempts) * d * sizeof(double);
+                    report.total_upload_bytes += on_air;
+                    upload_bytes.add(on_air);
+                    if (!up.delivered) {
+                        ++summary.uploads_dropped;
+                        if (reason == DegradedReason::kNone) {
+                            reason = DegradedReason::kUploadDropped;
+                        }
+                    } else {
+                        if (up.garbled) {
+                            // The payload arrives, but mangled to non-finite
+                            // values; the cloud-side guard must catch it.
+                            theta[0] = std::numeric_limits<double>::quiet_NaN();
+                        }
+                        uploads_count.add(1);
+                        if (CloudNode::upload_is_usable(theta, d)) {
+                            uploads.push_back(std::move(theta));
+                        } else {
+                            ++summary.uploads_garbled;
+                            if (reason == DegradedReason::kNone) {
+                                reason = DegradedReason::kUploadDropped;
+                            }
+                        }
+                    }
+                }
             }
+            record_degradation(reason);
+            summary.device_degraded.push_back(reason);
         }
         summary.mean_accuracy = round_accuracy.mean();
         if (novel_accuracy.count() > 0) summary.novel_mode_accuracy = novel_accuracy.mean();

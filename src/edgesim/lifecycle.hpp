@@ -16,6 +16,7 @@
 
 #include "core/edge_learner.hpp"
 #include "edgesim/cloud.hpp"
+#include "edgesim/faults.hpp"
 #include "stats/rng.hpp"
 
 namespace drel::edgesim {
@@ -57,6 +58,12 @@ struct LifecycleConfig {
     std::size_t kl_samples = 200;
 
     core::EdgeLearnerConfig learner;
+
+    /// Deterministic per-round, per-device fault injection (all-zero by
+    /// default). Faulted devices degrade — crash, straggle, fall back to
+    /// local ERM, lose uploads — and the round reports them instead of the
+    /// run aborting. See edgesim/faults.hpp.
+    FaultConfig faults;
 };
 
 struct LifecycleRound {
@@ -67,14 +74,29 @@ struct LifecycleRound {
     std::size_t prior_components = 0;
     bool rebroadcast = false;
     std::size_t broadcast_bytes = 0;   ///< bytes pushed this round (0 if no re-push)
+
+    // Fault accounting (all zero in a fault-free run).
+    std::size_t devices_scored = 0;    ///< completed in time; counted in mean_accuracy
+    std::size_t crashed = 0;
+    std::size_t stragglers = 0;        ///< finished past the deadline; result discarded
+    std::size_t fallbacks = 0;         ///< no usable prior; ran local-only ERM
+    std::size_t stale_priors = 0;
+    std::size_t uploads_dropped = 0;   ///< retries exhausted or deadline passed
+    std::size_t uploads_garbled = 0;   ///< delivered non-finite; rejected by the cloud
+    /// Per-device outcome, indexed by the device's slot within this round.
+    std::vector<DegradedReason> device_degraded;
 };
 
 struct LifecycleReport {
     std::vector<LifecycleRound> rounds;
     std::size_t total_broadcast_bytes = 0;
-    std::size_t total_upload_bytes = 0;   ///< device -> cloud theta uploads
+    std::size_t total_upload_bytes = 0;     ///< device -> cloud theta uploads (on-air)
+    std::size_t total_upload_retries = 0;   ///< re-transmissions across all rounds
 };
 
+/// Runs the closed loop. `rounds == 0` or `devices_per_round == 0` is a
+/// valid "nothing to simulate" request and yields an empty report (no
+/// rounds, zero bytes) rather than an error.
 LifecycleReport run_lifecycle(const LifecycleConfig& config, stats::Rng& rng);
 
 }  // namespace drel::edgesim

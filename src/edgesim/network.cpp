@@ -1,6 +1,7 @@
 #include "edgesim/network.hpp"
 
 #include <stdexcept>
+#include <string>
 
 #include "edgesim/transfer.hpp"
 #include "obs/metrics.hpp"
@@ -18,19 +19,32 @@ bool prior_validates(const std::vector<std::uint8_t>& payload) {
     }
 }
 
+void check_probability(double value, const char* name) {
+    if (!(value >= 0.0 && value <= 1.0)) {
+        throw std::invalid_argument(std::string("ChannelConfig: ") + name +
+                                    " must be in [0, 1]");
+    }
+}
+
 }  // namespace
+
+void ChannelConfig::validate() const {
+    if (packet_bytes == 0) {
+        throw std::invalid_argument("ChannelConfig: packet_bytes must be > 0");
+    }
+    check_probability(packet_loss_prob, "packet_loss_prob");
+    check_probability(bit_flip_prob, "bit_flip_prob");
+    if (max_transmissions < 1) {
+        throw std::invalid_argument("ChannelConfig: max_transmissions must be >= 1");
+    }
+}
 
 TransmissionReport transmit_with_retries(const std::vector<std::uint8_t>& payload,
                                          const ChannelConfig& config, stats::Rng& rng,
-                                         bool (*validate)(const std::vector<std::uint8_t>&)) {
-    if (config.packet_bytes == 0) {
-        throw std::invalid_argument("transmit_with_retries: packet_bytes must be > 0");
-    }
-    if (config.max_transmissions < 1) {
-        throw std::invalid_argument("transmit_with_retries: max_transmissions must be >= 1");
-    }
-    if (validate == nullptr) {
-        throw std::invalid_argument("transmit_with_retries: validate must be non-null");
+                                         const PayloadValidator& validate) {
+    config.validate();
+    if (!validate) {
+        throw std::invalid_argument("transmit_with_retries: validate must be callable");
     }
 
     DREL_PROFILE_SCOPE("net.transmit");

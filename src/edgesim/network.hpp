@@ -11,6 +11,7 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <vector>
 
 #include "stats/rng.hpp"
@@ -22,7 +23,16 @@ struct ChannelConfig {
     double packet_loss_prob = 0.0;      ///< whole-packet drop probability
     double bit_flip_prob = 0.0;         ///< per-BYTE corruption probability
     int max_transmissions = 10;         ///< attempts before giving up
+
+    /// Throws std::invalid_argument on a non-physical channel:
+    /// packet_bytes == 0, a probability outside [0, 1], or
+    /// max_transmissions < 1.
+    void validate() const;
 };
+
+/// Receiver-side integrity check: decode the payload, return false on any
+/// failure. May capture state (e.g. an expected dimension).
+using PayloadValidator = std::function<bool(const std::vector<std::uint8_t>&)>;
 
 struct TransmissionReport {
     bool delivered = false;             ///< payload eventually validated
@@ -40,7 +50,7 @@ struct TransmissionReport {
 /// on any exception — see transmit_prior below for the canonical use.
 TransmissionReport transmit_with_retries(const std::vector<std::uint8_t>& payload,
                                          const ChannelConfig& config, stats::Rng& rng,
-                                         bool (*validate)(const std::vector<std::uint8_t>&));
+                                         const PayloadValidator& validate);
 
 /// Convenience: transmits an encoded prior, validating with decode_prior.
 TransmissionReport transmit_prior(const std::vector<std::uint8_t>& encoded_prior,

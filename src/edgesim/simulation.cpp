@@ -37,6 +37,14 @@ double FleetReport::win_rate() const {
     return static_cast<double>(wins) / static_cast<double>(devices.size());
 }
 
+std::size_t FleetReport::degraded_devices() const {
+    std::size_t degraded = 0;
+    for (const auto& d : devices) {
+        if (d.degraded != DegradedReason::kNone) ++degraded;
+    }
+    return degraded;
+}
+
 FleetReport run_fleet_simulation(const SimulationConfig& config, stats::Rng& rng) {
     if (config.num_contributors < 2) {
         throw std::invalid_argument("run_fleet_simulation: need >= 2 contributors");
@@ -86,6 +94,9 @@ FleetReport run_fleet_simulation(const SimulationConfig& config, stats::Rng& rng
     // --- Edge side: broadcast + local training on every fleet member. ---
     // Devices are fully independent: per-device forked RNG streams and
     // indexed result slots keep the run bit-identical at any thread count.
+    // Fault decisions come from the plan's own forked stream (pure per
+    // device), so a chaos run is just as schedule-independent.
+    const FaultPlan fault_plan(config.faults, rng);
     const auto local_erm = baselines::make_local_erm(config.learner.loss);
     stats::Rng fleet_rng = rng.fork(4);
     report.devices.resize(config.num_edge_devices);
@@ -95,9 +106,8 @@ FleetReport run_fleet_simulation(const SimulationConfig& config, stats::Rng& rng
     broadcast_bytes.add(report.total_broadcast_bytes);
     util::parallel_for(config.num_edge_devices, config.num_threads, [&](std::size_t j) {
         DREL_PROFILE_SCOPE("fleet.device");
-        static obs::Counter& devices_trained =
-            obs::Registry::global().counter("fleet.devices_trained");
-        devices_trained.add(1);
+        const DeviceFaultDecision faults = fault_plan.device_faults(/*round=*/0, j);
+        if (fault_plan.active()) record_injected_faults(faults);
         stats::Rng device_rng = fleet_rng.fork(j);
         const data::TaskSpec task = population.sample_task(device_rng);
         models::Dataset train =
@@ -106,29 +116,67 @@ FleetReport run_fleet_simulation(const SimulationConfig& config, stats::Rng& rng
             population.generate(task, config.test_samples, device_rng, data_options);
 
         EdgeDevice device("edge-" + std::to_string(j), std::move(train), config.learner);
-        device.receive_prior(encoded);
-
-        util::Stopwatch train_watch;
-        device.train();
         DeviceOutcome& outcome = report.devices[j];
-        outcome.train_seconds = train_watch.elapsed_seconds();
-        obs::Registry::global().timing("fleet.device_train_seconds")
-            .record_seconds(outcome.train_seconds);
         outcome.device_id = device.id();
         outcome.mode_index = task.mode_index;
-        outcome.em_dro_accuracy = device.evaluate_accuracy(test);
+        outcome.untrained_accuracy = models::accuracy(
+            models::LinearModel(linalg::zeros(device.local_data().dim())), test);
         outcome.local_erm_accuracy =
             models::accuracy(local_erm->fit(device.local_data()), test);
         outcome.bayes_accuracy =
             models::accuracy(models::LinearModel(task.theta_star), test);
-        if (config.run_ensemble) {
-            core::EnsembleConfig ensemble_config;
-            ensemble_config.loss = config.learner.loss;
-            ensemble_config.radius_coefficient = config.learner.radius_coefficient;
-            ensemble_config.transfer_weight = config.learner.transfer_weight;
-            const core::EnsembleEdgeLearner ensemble(decode_prior(encoded), ensemble_config);
-            outcome.ensemble_accuracy = ensemble.fit(device.local_data()).accuracy(test);
+
+        // Broadcast: a link outage means no payload at all; a corrupted
+        // payload is rejected by the strict decoder inside the tolerant
+        // install. Either way the device is left without a prior.
+        bool prior_installed = false;
+        if (!faults.link_outage) {
+            prior_installed =
+                faults.prior_corrupt
+                    ? device.try_receive_prior(fault_plan.corrupt_payload(encoded, faults))
+                    : device.try_receive_prior(encoded);
         }
+
+        if (faults.crash) {
+            // Died mid-training: the fleet scores what actually shipped —
+            // nothing — so the device lands at the untrained floor.
+            outcome.degraded = DegradedReason::kCrashed;
+            outcome.em_dro_accuracy = outcome.untrained_accuracy;
+        } else if (!prior_installed) {
+            // Graceful fallback: without a valid prior the device runs the
+            // paper's own local-only ERM baseline instead of aborting.
+            DREL_PROFILE_SCOPE("fleet.fallback");
+            outcome.degraded = DegradedReason::kFallbackLocalErm;
+            outcome.em_dro_accuracy = outcome.local_erm_accuracy;
+        } else {
+            static obs::Counter& devices_trained =
+                obs::Registry::global().counter("fleet.devices_trained");
+            devices_trained.add(1);
+            util::Stopwatch train_watch;
+            const core::FitResult fit = device.train();
+            outcome.train_seconds = train_watch.elapsed_seconds();
+            obs::Registry::global().timing("fleet.device_train_seconds")
+                .record_seconds(outcome.train_seconds);
+            if (fit.degraded) {
+                // Non-finite solver state: keep the run alive, report the
+                // device on the ERM fallback.
+                outcome.degraded = DegradedReason::kNonFinite;
+                outcome.em_dro_accuracy = outcome.local_erm_accuracy;
+            } else {
+                outcome.em_dro_accuracy = device.evaluate_accuracy(test);
+                if (faults.straggler) outcome.degraded = DegradedReason::kStraggler;
+            }
+            if (config.run_ensemble) {
+                core::EnsembleConfig ensemble_config;
+                ensemble_config.loss = config.learner.loss;
+                ensemble_config.radius_coefficient = config.learner.radius_coefficient;
+                ensemble_config.transfer_weight = config.learner.transfer_weight;
+                const core::EnsembleEdgeLearner ensemble(decode_prior(encoded),
+                                                         ensemble_config);
+                outcome.ensemble_accuracy = ensemble.fit(device.local_data()).accuracy(test);
+            }
+        }
+        record_degradation(outcome.degraded);
     });
     return report;
 }

@@ -13,6 +13,7 @@
 #include "core/edge_learner.hpp"
 #include "data/task_generator.hpp"
 #include "edgesim/cloud.hpp"
+#include "edgesim/faults.hpp"
 #include "edgesim/transfer.hpp"
 #include "stats/rng.hpp"
 
@@ -50,6 +51,13 @@ struct SimulationConfig {
     /// independent (forked RNG streams, indexed result slots), so any value
     /// produces bit-identical results; >1 just uses more cores.
     std::size_t num_threads = 1;
+
+    /// Deterministic fault injection (all-zero by default: a perfect
+    /// world). Fault decisions come from a dedicated forked stream, so
+    /// enabling faults never perturbs the healthy path's data or training
+    /// draws; a faulted device degrades (DeviceOutcome::degraded) instead
+    /// of failing the run. See edgesim/faults.hpp.
+    FaultConfig faults;
 };
 
 struct DeviceOutcome {
@@ -59,7 +67,14 @@ struct DeviceOutcome {
     double ensemble_accuracy = 0.0;   ///< 0 unless config.run_ensemble
     double local_erm_accuracy = 0.0;
     double bayes_accuracy = 0.0;
+    /// Accuracy of the all-zero (never trained) model on this device's test
+    /// set — the floor a crashed device scores at, and the baseline every
+    /// graceful fallback must beat.
+    double untrained_accuracy = 0.0;
     double train_seconds = 0.0;
+    /// kNone for the healthy path; otherwise why and how this device's
+    /// round degraded (crash, no usable prior, non-finite solve, ...).
+    DegradedReason degraded = DegradedReason::kNone;
 };
 
 struct FleetReport {
@@ -73,6 +88,8 @@ struct FleetReport {
     double mean_local_erm_accuracy() const;
     /// Fraction of devices where EM-DRO strictly beats local ERM.
     double win_rate() const;
+    /// Devices whose round ended on a degraded path (reason != kNone).
+    std::size_t degraded_devices() const;
 };
 
 /// Runs the whole pipeline deterministically from `rng`.

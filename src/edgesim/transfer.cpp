@@ -170,4 +170,15 @@ dp::MixturePrior decode_prior(const std::vector<std::uint8_t>& buffer) {
     return dp::MixturePrior(std::move(weights), std::move(atoms));
 }
 
+std::optional<dp::MixturePrior> try_decode_prior(const std::vector<std::uint8_t>& buffer) {
+    try {
+        return decode_prior(buffer);
+    } catch (const std::exception&) {
+        static obs::Counter& rejected =
+            obs::Registry::global().counter("transfer.decode_rejected");
+        rejected.add(1);
+        return std::nullopt;
+    }
+}
+
 }  // namespace drel::edgesim

@@ -17,6 +17,7 @@
 #pragma once
 
 #include <cstdint>
+#include <optional>
 #include <vector>
 
 #include "dp/mixture_prior.hpp"
@@ -32,6 +33,13 @@ std::vector<std::uint8_t> encode_prior(const dp::MixturePrior& prior,
                                        const EncodingOptions& options = {});
 
 dp::MixturePrior decode_prior(const std::vector<std::uint8_t>& buffer);
+
+/// Non-throwing decode for tolerant receivers: std::nullopt on any
+/// malformed buffer (what decode_prior would reject). Counts rejected
+/// payloads under `transfer.decode_rejected`. The graceful-degradation
+/// entry point — a device that gets nullopt falls back to local-only ERM
+/// instead of aborting its round (see edgesim/faults.hpp).
+std::optional<dp::MixturePrior> try_decode_prior(const std::vector<std::uint8_t>& buffer);
 
 /// Exact size in bytes that encode_prior would produce.
 std::size_t encoded_size(std::size_t num_components, std::size_t dim,

@@ -91,6 +91,21 @@ TEST_F(BenchSchema, Table2MethodsSidecarMatchesSchema) {
     validate_sidecar(doc, "bench_table2_methods");
 }
 
+TEST_F(BenchSchema, Fig15ChaosSidecarSurfacesFaultCounters) {
+    // A chaos workload must emit the fault.* families the chaos bench's
+    // sidecar is keyed on, in the same schema as every other bench.
+    edgesim::SimulationConfig config = test_support::small_fleet_config();
+    config.run_ensemble = false;
+    config.faults = edgesim::FaultConfig::uniform(1.0);
+    stats::Rng rng(100);
+    (void)edgesim::run_fleet_simulation(config, rng);
+    const obs::JsonValue doc = obs::bench_sidecar_json("bench_fig15_chaos");
+    validate_sidecar(doc, "bench_fig15_chaos");
+    const obs::JsonValue& counters = doc.at("deterministic").at("counters");
+    EXPECT_TRUE(counters.contains("fault.injected.crash"));
+    EXPECT_TRUE(counters.contains("fault.degraded.crashed"));
+}
+
 TEST_F(BenchSchema, SidecarSurvivesSerializeParseRoundTrip) {
     const obs::JsonValue doc = obs::bench_sidecar_json("bench_fig7_fleet");
     const obs::JsonValue reparsed = obs::JsonValue::parse(doc.dump(2));

@@ -183,6 +183,30 @@ TEST(LossyChannel, Validation) {
     edgesim::ChannelConfig no_attempts;
     no_attempts.max_transmissions = 0;
     EXPECT_THROW(edgesim::transmit_prior(payload, no_attempts, rng), std::invalid_argument);
+    edgesim::ChannelConfig bad_loss;
+    bad_loss.packet_loss_prob = 1.5;
+    EXPECT_THROW(edgesim::transmit_prior(payload, bad_loss, rng), std::invalid_argument);
+    edgesim::ChannelConfig bad_flip;
+    bad_flip.bit_flip_prob = -0.1;
+    EXPECT_THROW(edgesim::transmit_prior(payload, bad_flip, rng), std::invalid_argument);
+    EXPECT_THROW(edgesim::transmit_with_retries(payload, {}, rng, nullptr),
+                 std::invalid_argument);
+}
+
+TEST(LossyChannel, CapturingValidatorWorks) {
+    // The validate hook accepts capturing lambdas: reject anything shorter
+    // than the size we captured, accept the full payload.
+    stats::Rng rng(12);
+    const auto payload = edgesim::encode_prior(channel_prior());
+    const std::size_t expected = payload.size();
+    int calls = 0;
+    const edgesim::TransmissionReport report = edgesim::transmit_with_retries(
+        payload, {}, rng, [&calls, expected](const std::vector<std::uint8_t>& bytes) {
+            ++calls;
+            return bytes.size() == expected;
+        });
+    EXPECT_TRUE(report.delivered);
+    EXPECT_EQ(calls, 1);
 }
 
 }  // namespace

@@ -110,6 +110,19 @@ TEST_F(GoldenMetrics, FleetSmall) {
     check_against_golden("fleet_small");
 }
 
+// The same fleet under deterministic chaos (every fault rate at 0.5): pins
+// the fault.injected.* / fault.degraded.* counter families and proves the
+// degradation paths are as reproducible as the healthy ones. Runs on 2
+// threads — the snapshot must be bit-identical to a serial run.
+TEST_F(GoldenMetrics, FleetChaosSmall) {
+    edgesim::SimulationConfig config = test_support::small_fleet_config();
+    config.num_threads = 2;
+    config.faults = edgesim::FaultConfig::uniform(0.5);
+    stats::Rng rng(4242);
+    (void)edgesim::run_fleet_simulation(config, rng);
+    check_against_golden("fleet_chaos_small");
+}
+
 // One EM-DRO solve against the oracle prior: pins the EM/DP/DRO/optimizer
 // counters without the fleet machinery on top.
 TEST_F(GoldenMetrics, EmSolveSmall) {

@@ -94,11 +94,45 @@ TEST(Lifecycle, FeedbackGrowsPriorAfterNovelMode) {
 TEST(Lifecycle, Validation) {
     stats::Rng rng(40);
     LifecycleConfig bad = small_config();
-    bad.rounds = 0;
-    EXPECT_THROW(run_lifecycle(bad, rng), std::invalid_argument);
-    bad = small_config();
     bad.initial_contributors = 1;
     EXPECT_THROW(run_lifecycle(bad, rng), std::invalid_argument);
+    bad = small_config();
+    bad.faults.crash_prob = 1.5;
+    EXPECT_THROW(run_lifecycle(bad, rng), std::invalid_argument);
+}
+
+TEST(Lifecycle, ZeroRoundsYieldsEmptyReport) {
+    LifecycleConfig config = small_config();
+    config.rounds = 0;
+    stats::Rng rng(41);
+    const LifecycleReport report = run_lifecycle(config, rng);
+    EXPECT_TRUE(report.rounds.empty());
+    EXPECT_EQ(report.total_broadcast_bytes, 0u);
+    EXPECT_EQ(report.total_upload_bytes, 0u);
+    EXPECT_EQ(report.total_upload_retries, 0u);
+}
+
+TEST(Lifecycle, ZeroDevicesPerRoundYieldsEmptyReport) {
+    LifecycleConfig config = small_config();
+    config.devices_per_round = 0;
+    stats::Rng rng(42);
+    const LifecycleReport report = run_lifecycle(config, rng);
+    EXPECT_TRUE(report.rounds.empty());
+    EXPECT_EQ(report.total_broadcast_bytes, 0u);
+    EXPECT_EQ(report.total_upload_bytes, 0u);
+}
+
+TEST(Lifecycle, NovelModeRoundPastEndNeverActivates) {
+    LifecycleConfig config = small_config();
+    config.rounds = 3;
+    config.novel_mode_round = static_cast<int>(config.rounds);  // >= rounds
+    stats::Rng rng(43);
+    const LifecycleReport report = run_lifecycle(config, rng);
+    ASSERT_EQ(report.rounds.size(), 3u);
+    for (const auto& r : report.rounds) {
+        EXPECT_LT(r.novel_mode_accuracy, 0.0);  // no novel device ever scored
+        EXPECT_GT(r.mean_accuracy, 0.0);
+    }
 }
 
 }  // namespace
