@@ -24,9 +24,13 @@ for sanitizer in thread address; do
     cmake -B "${build_dir}" -S . -DDREL_SANITIZE="${sanitizer}" \
         -DCMAKE_BUILD_TYPE=RelWithDebInfo > /dev/null
     cmake --build "${build_dir}" -j "${jobs}" \
-        --target test_util test_concurrency test_faults > /dev/null
+        --target test_util test_concurrency test_faults \
+                 test_linalg_property test_dro_invariants > /dev/null
+    # The property/differential harness (ctest -L property) runs here too:
+    # the allocation-free kernels and workspace arenas are exactly the code
+    # whose buffer reuse ASan/TSan can falsify.
     if ! (cd "${build_dir}" && ctest --output-on-failure -j "${jobs}" \
-        -R 'ThreadPool|ParallelFor|ParallelReduce|Executor|Determinism|Fault|Chaos|EmDroDegradation'); then
+        -R 'ThreadPool|ParallelFor|ParallelReduce|Executor|Determinism|Fault|Chaos|EmDroDegradation|WorkspaceKernels|LinalgProperty|DroInvariants'); then
         echo "!!! ${sanitizer} sanitizer suite FAILED"
         failed+=("${sanitizer}")
     fi

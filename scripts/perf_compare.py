@@ -26,19 +26,26 @@ SCHEMA_VERSION = 1
 REQUIRED_STATS = ("inner_iterations", "repetitions", "min_ms", "median_ms", "mad_ms", "mean_ms")
 
 
+def schema_error(msg: str) -> "SystemExit":
+    """Exit code 2 is the documented schema/usage failure (distinct from 1,
+    which means the gate itself tripped)."""
+    print(f"perf_compare: {msg}", file=sys.stderr)
+    return SystemExit(2)
+
+
 def load(path: str) -> dict:
     try:
         with open(path, encoding="utf-8") as f:
             doc = json.load(f)
     except (OSError, json.JSONDecodeError) as err:
-        raise SystemExit(f"perf_compare: cannot read {path}: {err}")
+        raise schema_error(f"cannot read {path}: {err}")
     validate(doc, path)
     return doc
 
 
 def validate(doc: dict, label: str) -> None:
     def fail(msg: str) -> None:
-        raise SystemExit(f"perf_compare: {label}: {msg}")
+        raise schema_error(f"{label}: {msg}")
 
     if not isinstance(doc, dict):
         fail("top level is not an object")
@@ -70,7 +77,9 @@ def compare(baseline: dict, candidate: dict, pct: float, mad_mult: float) -> int
     improvements = []
     missing = [name for name in base_benches if name not in cand_benches]
 
-    width = max((len(n) for n in base_benches), default=0)
+    # Width spans BOTH sides so added-benchmark lines align with compared
+    # ones even when the suite was renamed wholesale.
+    width = max((len(n) for n in list(base_benches) + list(cand_benches)), default=0)
     for name in sorted(base_benches):
         if name in missing:
             continue
@@ -146,6 +155,33 @@ def self_test() -> int:
     wobble["benchmarks"]["kernel.noisy"]["median_ms"] += 2.0  # < 3 * 0.8 = 2.4
     if compare(doc, wobble, pct=5.0, mad_mult=3.0) != 0:
         print("perf_compare: SELF-TEST FAILED: in-noise wobble flagged", file=sys.stderr)
+        return 1
+
+    # Added benchmarks are reported but never gated: a candidate with an
+    # extra benchmark (and no other change) must pass.
+    grown = copy.deepcopy(doc)
+    grown["benchmarks"]["kernel.brand_new"] = dict(doc["benchmarks"]["kernel.stable"])
+    if compare(doc, grown, pct=5.0, mad_mult=3.0) != 0:
+        print("perf_compare: SELF-TEST FAILED: added benchmark tripped the gate",
+              file=sys.stderr)
+        return 1
+
+    # Removed benchmarks fail the gate (a silently dropped benchmark would
+    # otherwise hide a regression forever) — including the fully disjoint
+    # case, which must report, not crash.
+    shrunk = copy.deepcopy(doc)
+    del shrunk["benchmarks"]["kernel.noisy"]
+    if compare(doc, shrunk, pct=5.0, mad_mult=3.0) != 1:
+        print("perf_compare: SELF-TEST FAILED: removed benchmark not flagged",
+              file=sys.stderr)
+        return 1
+    disjoint = copy.deepcopy(doc)
+    disjoint["benchmarks"] = {
+        "kernel.renamed": dict(doc["benchmarks"]["kernel.stable"]),
+    }
+    if compare(doc, disjoint, pct=5.0, mad_mult=3.0) != 1:
+        print("perf_compare: SELF-TEST FAILED: disjoint suites not flagged",
+              file=sys.stderr)
         return 1
 
     print("perf_compare: self-test passed")

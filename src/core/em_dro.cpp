@@ -8,6 +8,7 @@
 #include "obs/metrics.hpp"
 #include "obs/profiler.hpp"
 #include "util/executor.hpp"
+#include "util/workspace.hpp"
 
 namespace drel::core {
 namespace {
@@ -58,10 +59,17 @@ class MStepObjective final : public optim::Objective {
     std::size_t dim() const override { return robust_.dim(); }
 
     double eval(const linalg::Vector& theta, linalg::Vector* grad) const override {
+        util::Workspace& ws = util::Workspace::local();
         double value = robust_.eval(theta, grad);
-        value -= weight_ * prior_.em_surrogate(theta, r_);
+        value -= weight_ * prior_.em_surrogate_ws(theta, r_, ws);
         if (grad) {
-            linalg::axpy(-weight_, prior_.em_surrogate_gradient(theta, r_), *grad);
+            // Accumulate the surrogate gradient in leased scratch, then fold
+            // it in with one axpy — the same two-stage order (and bits) as
+            // axpy(-w, em_surrogate_gradient(theta, r), grad), minus the
+            // allocation per L-BFGS line-search probe.
+            auto g = ws.vec(dim());
+            prior_.em_surrogate_gradient_into(theta, r_, *g, ws);
+            linalg::axpy_n(-weight_, g->data(), grad->data(), dim());
         }
         return value;
     }

@@ -46,14 +46,45 @@ DpmmGibbs::DpmmGibbs(std::vector<linalg::Vector> observations, DpmmConfig config
     sums_.assign(1, total);
 }
 
+const DpmmGibbs::CountCache& DpmmGibbs::count_cache(std::size_t count) const {
+    if (count >= count_cache_.size()) count_cache_.resize(count + 1);
+    CountCache& entry = count_cache_[count];
+    if (entry.chol_pred) return entry;
+    // Build the entry with the exact operation sequence the uncached path
+    // used, so the cached factors (and therefore every predictive density)
+    // are bit-identical to recomputing from scratch.
+    linalg::Matrix cov(dim_, dim_);
+    if (count == 0) {
+        cov = config_.base_covariance;
+    } else {
+        linalg::Matrix lambda = base_precision_;
+        linalg::Matrix scaled_within = within_precision_;
+        scaled_within *= static_cast<double>(count);
+        lambda += scaled_within;
+        entry.chol_lambda.emplace(lambda);
+        cov = entry.chol_lambda->inverse();
+    }
+    cov += config_.within_covariance;
+    entry.chol_pred.emplace(linalg::Cholesky::factor_with_jitter(std::move(cov)));
+    entry.log_det_pred = entry.chol_pred->log_det();
+    return entry;
+}
+
 void DpmmGibbs::posterior_of_mean(std::size_t count, const linalg::Vector& sum,
                                   linalg::Vector& mean_out, linalg::Matrix& cov_out) const {
     // Lambda = S0^{-1} + n Sw^{-1};  m = Lambda^{-1} (S0^{-1} m0 + Sw^{-1} s)
-    linalg::Matrix lambda = base_precision_;
-    linalg::Matrix scaled_within = within_precision_;
-    scaled_within *= static_cast<double>(count);
-    lambda += scaled_within;
-    const linalg::Cholesky chol(lambda);
+    if (count == 0) {
+        // Matches the historical inline construction: chol(S0^{-1}) solves.
+        linalg::Matrix lambda = base_precision_;
+        const linalg::Cholesky chol(lambda);
+        linalg::Vector rhs = base_precision_m0_;
+        linalg::axpy(1.0, within_precision_.matvec(sum), rhs);
+        mean_out = chol.solve(rhs);
+        cov_out = chol.inverse();
+        return;
+    }
+    const CountCache& cache = count_cache(count);
+    const linalg::Cholesky& chol = *cache.chol_lambda;
     linalg::Vector rhs = base_precision_m0_;
     linalg::axpy(1.0, within_precision_.matvec(sum), rhs);
     mean_out = chol.solve(rhs);
@@ -62,17 +93,26 @@ void DpmmGibbs::posterior_of_mean(std::size_t count, const linalg::Vector& sum,
 
 double DpmmGibbs::predictive_log_pdf(const linalg::Vector& x, std::size_t count,
                                      const linalg::Vector& sum) const {
-    linalg::Vector mean;
-    linalg::Matrix cov(dim_, dim_);
+    static constexpr double kLogTwoPi = 1.8378770664093454836;
+    const CountCache& cache = count_cache(count);
+    util::Workspace& ws = util::Workspace::local();
+    auto diff = ws.vec(dim_);
     if (count == 0) {
-        mean = config_.base_mean;
-        cov = config_.base_covariance;
+        linalg::sub_into(x, config_.base_mean, *diff);
     } else {
-        posterior_of_mean(count, sum, mean, cov);
+        // mean = Lambda^{-1} (S0^{-1} m0 + Sw^{-1} s), solved in leased
+        // scratch with the same substitution order as chol.solve(rhs).
+        auto rhs = ws.vec(dim_);
+        auto mv = ws.vec(dim_);
+        *rhs = base_precision_m0_;
+        within_precision_.matvec_into(sum, *mv);
+        linalg::axpy_n(1.0, mv->data(), rhs->data(), dim_);
+        cache.chol_lambda->solve_in_place(*rhs);
+        linalg::sub_into(x, *rhs, *diff);
     }
-    cov += config_.within_covariance;
-    const stats::MultivariateNormal predictive(std::move(mean), std::move(cov));
-    return predictive.log_pdf(x);
+    cache.chol_pred->solve_lower_in_place(*diff);
+    const double quad = linalg::dot_n(diff->data(), diff->data(), dim_);
+    return -0.5 * (static_cast<double>(dim_) * kLogTwoPi + cache.log_det_pred + quad);
 }
 
 void DpmmGibbs::remove_observation(std::size_t j) {
@@ -108,18 +148,20 @@ void DpmmGibbs::sweep(stats::Rng& rng) {
     DREL_PROFILE_SCOPE("dpmm.sweep");
     static obs::Counter& sweeps = obs::Registry::global().counter("dp.gibbs_sweeps");
     sweeps.add(1);
+    util::Workspace& ws = util::Workspace::local();
+    const linalg::Vector empty_sum;
     for (std::size_t j = 0; j < observations_.size(); ++j) {
         remove_observation(j);
         // Log-weights: existing clusters by size x predictive, new by alpha.
-        linalg::Vector log_weights(counts_.size() + 1);
+        auto log_weights = ws.vec(counts_.size() + 1);
         for (std::size_t k = 0; k < counts_.size(); ++k) {
-            log_weights[k] = std::log(static_cast<double>(counts_[k])) +
-                             predictive_log_pdf(observations_[j], counts_[k], sums_[k]);
+            (*log_weights)[k] = std::log(static_cast<double>(counts_[k])) +
+                                predictive_log_pdf(observations_[j], counts_[k], sums_[k]);
         }
-        log_weights.back() = std::log(config_.alpha) +
-                             predictive_log_pdf(observations_[j], 0, linalg::Vector{});
-        linalg::softmax_inplace(log_weights);
-        insert_observation(j, rng.categorical(log_weights));
+        log_weights->back() = std::log(config_.alpha) +
+                              predictive_log_pdf(observations_[j], 0, empty_sum);
+        linalg::softmax_inplace(*log_weights);
+        insert_observation(j, rng.categorical(*log_weights));
     }
     if (config_.resample_alpha) resample_alpha(rng);
 }
@@ -135,15 +177,18 @@ void DpmmGibbs::add_observation(linalg::Vector theta, stats::Rng& rng, int refre
     const std::size_t j = observations_.size() - 1;
     assignments_.push_back(0);  // placeholder; chosen below
 
-    linalg::Vector log_weights(counts_.size() + 1);
-    for (std::size_t k = 0; k < counts_.size(); ++k) {
-        log_weights[k] = std::log(static_cast<double>(counts_[k])) +
-                         predictive_log_pdf(observations_[j], counts_[k], sums_[k]);
+    util::Workspace& ws = util::Workspace::local();
+    {
+        auto log_weights = ws.vec(counts_.size() + 1);
+        for (std::size_t k = 0; k < counts_.size(); ++k) {
+            (*log_weights)[k] = std::log(static_cast<double>(counts_[k])) +
+                                predictive_log_pdf(observations_[j], counts_[k], sums_[k]);
+        }
+        log_weights->back() = std::log(config_.alpha) +
+                              predictive_log_pdf(observations_[j], 0, linalg::Vector{});
+        linalg::softmax_inplace(*log_weights);
+        insert_observation(j, rng.categorical(*log_weights));
     }
-    log_weights.back() = std::log(config_.alpha) +
-                         predictive_log_pdf(observations_[j], 0, linalg::Vector{});
-    linalg::softmax_inplace(log_weights);
-    insert_observation(j, rng.categorical(log_weights));
     for (int s = 0; s < refresh_sweeps; ++s) sweep(rng);
 }
 
@@ -195,13 +240,15 @@ double DpmmGibbs::log_joint() const {
     for (double i = 0.0; i < n; i += 1.0) lp -= std::log(config_.alpha + i);
 
     // Exact per-cluster marginal likelihood via the predictive chain rule.
+    util::Workspace& ws = util::Workspace::local();
+    auto partial_sum = ws.vec(dim_);
     for (std::size_t k = 0; k < counts_.size(); ++k) {
         std::size_t seen = 0;
-        linalg::Vector partial_sum = linalg::zeros(dim_);
+        partial_sum->assign(dim_, 0.0);
         for (std::size_t j = 0; j < observations_.size(); ++j) {
             if (assignments_[j] != k) continue;
-            lp += predictive_log_pdf(observations_[j], seen, partial_sum);
-            linalg::axpy(1.0, observations_[j], partial_sum);
+            lp += predictive_log_pdf(observations_[j], seen, *partial_sum);
+            linalg::axpy(1.0, observations_[j], *partial_sum);
             ++seen;
         }
     }

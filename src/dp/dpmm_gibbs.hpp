@@ -23,12 +23,14 @@
 // the transferred prior from being overconfident.
 #pragma once
 
+#include <optional>
 #include <vector>
 
 #include "dp/mixture_prior.hpp"
 #include "linalg/cholesky.hpp"
 #include "linalg/matrix.hpp"
 #include "stats/rng.hpp"
+#include "util/workspace.hpp"
 
 namespace drel::dp {
 
@@ -101,6 +103,23 @@ class DpmmGibbs {
     void insert_observation(std::size_t j, std::size_t cluster);
     void resample_alpha(stats::Rng& rng);
 
+    // The conjugate structure makes every covariance-side quantity of the
+    // predictive a function of the cluster COUNT alone:
+    //   Lambda(n) = S0^{-1} + n Sw^{-1}   and   Pred(n) = Lambda(n)^{-1} + Sw
+    // (Pred(0) = S0 + Sw). Only the mean depends on the cluster sum. A sweep
+    // evaluates the predictive for every (observation, cluster) pair, so we
+    // factor each count's matrices once and reuse them; entries are built
+    // with exactly the operations posterior_of_mean/predictive_log_pdf used
+    // to perform inline, so every density comes out bit-identical. The cache
+    // only ever grows (counts are bounded by num_observations) and depends
+    // only on the immutable config matrices, so it is never invalidated.
+    struct CountCache {
+        std::optional<linalg::Cholesky> chol_lambda;  ///< chol(Lambda(n)); unset for n=0
+        std::optional<linalg::Cholesky> chol_pred;    ///< chol(Pred(n))
+        double log_det_pred = 0.0;                    ///< log |Pred(n)|
+    };
+    const CountCache& count_cache(std::size_t count) const;
+
     std::vector<linalg::Vector> observations_;
     DpmmConfig config_;
     std::size_t dim_;
@@ -113,6 +132,11 @@ class DpmmGibbs {
     std::vector<std::size_t> assignments_;
     std::vector<std::size_t> counts_;          ///< per-cluster member count
     std::vector<linalg::Vector> sums_;         ///< per-cluster member sum
+
+    /// Lazily filled, indexed by count. Mutable: filling it is a pure
+    /// memoization of deterministic factorizations. Not thread-safe, like
+    /// the sampler itself (Gibbs sweeps are inherently sequential).
+    mutable std::vector<CountCache> count_cache_;
 };
 
 }  // namespace drel::dp

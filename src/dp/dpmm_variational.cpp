@@ -7,6 +7,7 @@
 #include "linalg/vector_ops.hpp"
 #include "stats/distributions.hpp"
 #include "stats/multivariate_normal.hpp"
+#include "util/workspace.hpp"
 
 namespace drel::dp {
 namespace {
@@ -51,6 +52,7 @@ DpmmVariational::DpmmVariational(std::vector<linalg::Vector> observations,
     base_precision_ = base_chol.inverse();
     within_precision_ = within_chol.inverse();
     within_log_det_ = within_chol.log_det();
+    base_log_det_ = base_chol.log_det();
     base_precision_m0_ = base_precision_.matvec(config_.base_mean);
 
     const std::size_t k = config_.truncation;
@@ -92,37 +94,44 @@ double DpmmVariational::iterate() {
 
 void DpmmVariational::update_responsibilities() {
     const std::size_t k_total = config_.truncation;
+    util::Workspace& ws = util::Workspace::local();
     // E[log pi_k(v)] from the stick posteriors.
-    linalg::Vector e_log_pi(k_total, 0.0);
+    auto e_log_pi = ws.zeros(k_total);
     double cum_log_1mv = 0.0;
     for (std::size_t k = 0; k < k_total; ++k) {
         if (k + 1 < k_total) {
             double e_log_v = 0.0;
             double e_log_1mv = 0.0;
             beta_expectations(gamma1_[k], gamma2_[k], e_log_v, e_log_1mv);
-            e_log_pi[k] = e_log_v + cum_log_1mv;
+            (*e_log_pi)[k] = e_log_v + cum_log_1mv;
             cum_log_1mv += e_log_1mv;
         } else {
-            e_log_pi[k] = cum_log_1mv;  // v_K = 1
+            (*e_log_pi)[k] = cum_log_1mv;  // v_K = 1
         }
     }
-    // Per-component trace penalty: 0.5 tr(Sw^{-1} V_k).
-    linalg::Vector trace_penalty(k_total);
+    // Per-component trace penalty: 0.5 tr(Sw^{-1} V_k), computed without
+    // materializing the product matrix.
+    auto trace_penalty = ws.vec(k_total);
     for (std::size_t k = 0; k < k_total; ++k) {
-        trace_penalty[k] = 0.5 * within_precision_.matmul(covs_[k]).trace();
+        (*trace_penalty)[k] = 0.5 * linalg::Matrix::trace_product(within_precision_, covs_[k]);
     }
+    auto diff = ws.vec(dim_);
+    auto mv = ws.vec(dim_);
     for (std::size_t j = 0; j < observations_.size(); ++j) {
-        linalg::Vector log_phi(k_total);
+        // Fill the stored responsibility row directly — it already has the
+        // right size, so the steady state allocates nothing.
+        linalg::Vector& log_phi = phi_[j];
+        log_phi.resize(k_total);
         for (std::size_t k = 0; k < k_total; ++k) {
-            const linalg::Vector diff = linalg::sub(observations_[j], means_[k]);
-            const double quad = linalg::dot(diff, within_precision_.matvec(diff));
+            linalg::sub_into(observations_[j], means_[k], *diff);
+            within_precision_.matvec_into(*diff, *mv);
+            const double quad = linalg::dot_n(diff->data(), mv->data(), dim_);
             const double e_log_lik =
                 -0.5 * (static_cast<double>(dim_) * kLogTwoPi + within_log_det_ + quad) -
-                trace_penalty[k];
-            log_phi[k] = e_log_pi[k] + e_log_lik;
+                (*trace_penalty)[k];
+            log_phi[k] = (*e_log_pi)[k] + e_log_lik;
         }
         linalg::softmax_inplace(log_phi);
-        phi_[j] = std::move(log_phi);
     }
 }
 
@@ -142,21 +151,27 @@ void DpmmVariational::update_sticks() {
 
 void DpmmVariational::update_means() {
     const std::size_t k_total = config_.truncation;
+    util::Workspace& ws = util::Workspace::local();
+    auto weighted_sum = ws.vec(dim_);
+    auto mv = ws.vec(dim_);
     for (std::size_t k = 0; k < k_total; ++k) {
         double occupancy = 0.0;
-        linalg::Vector weighted_sum = linalg::zeros(dim_);
+        weighted_sum->assign(dim_, 0.0);
         for (std::size_t j = 0; j < observations_.size(); ++j) {
             occupancy += phi_[j][k];
-            linalg::axpy(phi_[j][k], observations_[j], weighted_sum);
+            linalg::axpy(phi_[j][k], observations_[j], *weighted_sum);
         }
         linalg::Matrix lambda = base_precision_;
         linalg::Matrix scaled = within_precision_;
         scaled *= occupancy;
         lambda += scaled;
         const linalg::Cholesky chol(lambda);
-        linalg::Vector rhs = base_precision_m0_;
-        linalg::axpy(1.0, within_precision_.matvec(weighted_sum), rhs);
-        means_[k] = chol.solve(rhs);
+        // means_[k] already has size d: assign + in-place solve keeps the
+        // same substitutions as chol.solve(rhs) with no fresh vectors.
+        means_[k] = base_precision_m0_;
+        within_precision_.matvec_into(*weighted_sum, *mv);
+        linalg::axpy_n(1.0, mv->data(), means_[k].data(), dim_);
+        chol.solve_in_place(means_[k]);
         covs_[k] = chol.inverse();
     }
 }
@@ -176,43 +191,52 @@ double DpmmVariational::elbo() const {
         value -= (gamma1_[k] - 1.0) * e_log_v + (gamma2_[k] - 1.0) * e_log_1mv - log_b;
     }
 
-    // Mean terms: E[log p(mu_k)] + H[q(mu_k)].
+    util::Workspace& ws = util::Workspace::local();
+    auto diff = ws.vec(dim_);
+    auto mv = ws.vec(dim_);
+
+    // Mean terms: E[log p(mu_k)] + H[q(mu_k)]. log|S0| was factored once in
+    // the constructor; tr(S0^{-1} V_k) skips the product matrix.
     for (std::size_t k = 0; k < k_total; ++k) {
-        const linalg::Vector diff = linalg::sub(means_[k], config_.base_mean);
-        const double quad = linalg::dot(diff, base_precision_.matvec(diff));
-        const double trace = base_precision_.matmul(covs_[k]).trace();
-        const linalg::Cholesky base_chol =
-            linalg::Cholesky::factor_with_jitter(config_.base_covariance);
-        value += -0.5 * (static_cast<double>(dim_) * kLogTwoPi + base_chol.log_det() + quad +
-                         trace);
+        linalg::sub_into(means_[k], config_.base_mean, *diff);
+        base_precision_.matvec_into(*diff, *mv);
+        const double quad = linalg::dot_n(diff->data(), mv->data(), dim_);
+        const double trace = linalg::Matrix::trace_product(base_precision_, covs_[k]);
+        value += -0.5 * (static_cast<double>(dim_) * kLogTwoPi + base_log_det_ + quad + trace);
         const linalg::Cholesky vk_chol = linalg::Cholesky::factor_with_jitter(covs_[k]);
         value += 0.5 * (static_cast<double>(dim_) * (kLogTwoPi + 1.0) + vk_chol.log_det());
     }
 
-    // Assignment and likelihood terms.
-    linalg::Vector e_log_pi(k_total, 0.0);
+    // Assignment and likelihood terms. tr(Sw^{-1} V_k) is constant in j, so
+    // hoist it out of the inner loop (the summand is unchanged per (j, k)).
+    auto e_log_pi = ws.zeros(k_total);
     double cum_log_1mv = 0.0;
     for (std::size_t k = 0; k < k_total; ++k) {
         if (k + 1 < k_total) {
             double e_log_v = 0.0;
             double e_log_1mv = 0.0;
             beta_expectations(gamma1_[k], gamma2_[k], e_log_v, e_log_1mv);
-            e_log_pi[k] = e_log_v + cum_log_1mv;
+            (*e_log_pi)[k] = e_log_v + cum_log_1mv;
             cum_log_1mv += e_log_1mv;
         } else {
-            e_log_pi[k] = cum_log_1mv;
+            (*e_log_pi)[k] = cum_log_1mv;
         }
+    }
+    auto within_trace = ws.vec(k_total);
+    for (std::size_t k = 0; k < k_total; ++k) {
+        (*within_trace)[k] = linalg::Matrix::trace_product(within_precision_, covs_[k]);
     }
     for (std::size_t j = 0; j < observations_.size(); ++j) {
         for (std::size_t k = 0; k < k_total; ++k) {
             const double p = phi_[j][k];
             if (p <= 0.0) continue;
-            const linalg::Vector diff = linalg::sub(observations_[j], means_[k]);
-            const double quad = linalg::dot(diff, within_precision_.matvec(diff));
-            const double trace = within_precision_.matmul(covs_[k]).trace();
+            linalg::sub_into(observations_[j], means_[k], *diff);
+            within_precision_.matvec_into(*diff, *mv);
+            const double quad = linalg::dot_n(diff->data(), mv->data(), dim_);
             const double e_log_lik =
-                -0.5 * (static_cast<double>(dim_) * kLogTwoPi + within_log_det_ + quad + trace);
-            value += p * (e_log_pi[k] + e_log_lik - std::log(p));
+                -0.5 * (static_cast<double>(dim_) * kLogTwoPi + within_log_det_ + quad +
+                        (*within_trace)[k]);
+            value += p * ((*e_log_pi)[k] + e_log_lik - std::log(p));
         }
     }
     return value;

@@ -67,6 +67,7 @@ class DpmmVariational {
     linalg::Vector base_precision_m0_;
     linalg::Matrix within_precision_;   ///< Sw^{-1}
     double within_log_det_ = 0.0;
+    double base_log_det_ = 0.0;         ///< log |S0|, cached from the ctor factor
 
     // Variational parameters.
     std::vector<linalg::Vector> phi_;   ///< per-observation responsibilities (size K)

@@ -37,7 +37,11 @@ MixturePrior::MixturePrior(linalg::Vector weights, std::vector<stats::Multivaria
         if (!(w > 0.0)) throw std::invalid_argument("MixturePrior: weights must be positive");
         total += w;
     }
-    for (double& w : weights_) w /= total;
+    log_weights_.resize(weights_.size());
+    for (std::size_t k = 0; k < weights_.size(); ++k) {
+        weights_[k] /= total;
+        log_weights_[k] = std::log(weights_[k]);
+    }
     const std::size_t d = atoms_.front().dim();
     for (const auto& a : atoms_) {
         if (a.dim() != d) throw std::invalid_argument("MixturePrior: atom dimension mismatch");
@@ -51,22 +55,32 @@ MixturePrior MixturePrior::single(stats::MultivariateNormal atom) {
 }
 
 double MixturePrior::log_pdf(const linalg::Vector& theta) const {
+    return log_pdf_ws(theta, util::Workspace::local());
+}
+
+double MixturePrior::log_pdf_ws(const linalg::Vector& theta, util::Workspace& ws) const {
     log_pdf_evals().add(1);
-    linalg::Vector log_terms(num_components());
+    auto log_terms = ws.vec(num_components());
     for (std::size_t k = 0; k < num_components(); ++k) {
-        log_terms[k] = std::log(weights_[k]) + atoms_[k].log_pdf(theta);
+        (*log_terms)[k] = log_weights_[k] + atoms_[k].log_pdf_ws(theta, ws);
     }
-    return linalg::log_sum_exp(log_terms);
+    return linalg::log_sum_exp(*log_terms);
 }
 
 linalg::Vector MixturePrior::responsibilities(const linalg::Vector& theta) const {
+    linalg::Vector out;
+    responsibilities_into(theta, out, util::Workspace::local());
+    return out;
+}
+
+void MixturePrior::responsibilities_into(const linalg::Vector& theta, linalg::Vector& out,
+                                         util::Workspace& ws) const {
     responsibility_evals().add(1);
-    linalg::Vector log_terms(num_components());
+    out.resize(num_components());
     for (std::size_t k = 0; k < num_components(); ++k) {
-        log_terms[k] = std::log(weights_[k]) + atoms_[k].log_pdf(theta);
+        out[k] = log_weights_[k] + atoms_[k].log_pdf_ws(theta, ws);
     }
-    linalg::softmax_inplace(log_terms);
-    return log_terms;
+    linalg::softmax_inplace(out);
 }
 
 linalg::Vector MixturePrior::log_pdf_gradient(const linalg::Vector& theta) const {
@@ -75,6 +89,11 @@ linalg::Vector MixturePrior::log_pdf_gradient(const linalg::Vector& theta) const
 }
 
 double MixturePrior::em_surrogate(const linalg::Vector& theta, const linalg::Vector& r) const {
+    return em_surrogate_ws(theta, r, util::Workspace::local());
+}
+
+double MixturePrior::em_surrogate_ws(const linalg::Vector& theta, const linalg::Vector& r,
+                                     util::Workspace& ws) const {
     em_surrogate_evals().add(1);
     if (r.size() != num_components()) {
         throw std::invalid_argument("MixturePrior::em_surrogate: responsibility size mismatch");
@@ -82,24 +101,31 @@ double MixturePrior::em_surrogate(const linalg::Vector& theta, const linalg::Vec
     double acc = 0.0;
     for (std::size_t k = 0; k < num_components(); ++k) {
         if (r[k] == 0.0) continue;
-        acc += r[k] * (std::log(weights_[k]) + atoms_[k].log_pdf(theta));
+        acc += r[k] * (log_weights_[k] + atoms_[k].log_pdf_ws(theta, ws));
     }
     return acc;
 }
 
 linalg::Vector MixturePrior::em_surrogate_gradient(const linalg::Vector& theta,
                                                    const linalg::Vector& r) const {
+    linalg::Vector grad;
+    em_surrogate_gradient_into(theta, r, grad, util::Workspace::local());
+    return grad;
+}
+
+void MixturePrior::em_surrogate_gradient_into(const linalg::Vector& theta,
+                                              const linalg::Vector& r, linalg::Vector& grad,
+                                              util::Workspace& ws) const {
     if (r.size() != num_components()) {
         throw std::invalid_argument(
             "MixturePrior::em_surrogate_gradient: responsibility size mismatch");
     }
-    linalg::Vector grad = linalg::zeros(dim());
+    grad.assign(dim(), 0.0);
     for (std::size_t k = 0; k < num_components(); ++k) {
         if (r[k] == 0.0) continue;
         // d/dtheta log N = -Sigma^{-1}(theta - mu)
-        linalg::axpy(-r[k], atoms_[k].precision_times_residual(theta), grad);
+        atoms_[k].add_scaled_precision_residual(theta, -r[k], grad, ws);
     }
-    return grad;
 }
 
 linalg::Vector MixturePrior::mean() const {

@@ -13,6 +13,7 @@
 #include "linalg/matrix.hpp"
 #include "stats/multivariate_normal.hpp"
 #include "stats/rng.hpp"
+#include "util/workspace.hpp"
 
 namespace drel::dp {
 
@@ -51,6 +52,19 @@ class MixturePrior {
     linalg::Vector em_surrogate_gradient(const linalg::Vector& theta,
                                          const linalg::Vector& r) const;
 
+    // Workspace-threaded cores. The plain methods above delegate here with
+    // Workspace::local(); results (and eval-counter increments) are
+    // identical — only the scratch buffers change, so the EM inner loop can
+    // run allocation-free. `_into` variants write into caller-owned storage
+    // (resized as needed) instead of returning a fresh vector.
+    double log_pdf_ws(const linalg::Vector& theta, util::Workspace& ws) const;
+    void responsibilities_into(const linalg::Vector& theta, linalg::Vector& out,
+                               util::Workspace& ws) const;
+    double em_surrogate_ws(const linalg::Vector& theta, const linalg::Vector& r,
+                           util::Workspace& ws) const;
+    void em_surrogate_gradient_into(const linalg::Vector& theta, const linalg::Vector& r,
+                                    linalg::Vector& grad, util::Workspace& ws) const;
+
     /// Mixture mean sum_k pi_k mu_k.
     linalg::Vector mean() const;
 
@@ -66,6 +80,7 @@ class MixturePrior {
 
  private:
     linalg::Vector weights_;
+    linalg::Vector log_weights_;  // log(pi_k), cached once after normalization
     std::vector<stats::MultivariateNormal> atoms_;
 };
 

@@ -8,25 +8,9 @@
 #include "obs/metrics.hpp"
 #include "obs/profiler.hpp"
 #include "optim/scalar.hpp"
+#include "util/workspace.hpp"
 
 namespace drel::dro {
-namespace {
-
-/// The dual integrand at fixed (lambda, eta).
-double dual_value(const linalg::Vector& losses, double rho, double lambda, double eta) {
-    double acc = 0.0;
-    for (const double l : losses) {
-        const double a = l - eta;
-        if (a >= -lambda) {
-            acc += a + a * a / (2.0 * lambda);
-        } else {
-            acc += -lambda / 2.0;
-        }
-    }
-    return lambda * rho + eta + acc / static_cast<double>(losses.size());
-}
-
-}  // namespace
 
 ChiSquareDualSolution solve_chi_square_dual(const linalg::Vector& losses, double rho) {
     DREL_PROFILE_SCOPE("dro.chi2_dual");
@@ -49,10 +33,47 @@ ChiSquareDualSolution solve_chi_square_dual(const linalg::Vector& losses, double
         return solution;
     }
 
+    // The dual integrand
+    //   g(lambda, eta) = lambda rho + eta + (1/n) sum_i h(l_i - eta)
+    //   h(a) = a + a^2 / (2 lambda)   if a >= -lambda,   -lambda/2 otherwise
+    // is evaluated ~10^5 times per solve by the nested scalar minimizers.
+    // Sorting once and keeping prefix sums of l and l^2 turns each
+    // evaluation into a binary search plus O(1) arithmetic: only losses with
+    // l >= eta - lambda take the quadratic branch, and their contribution is
+    // a polynomial in (sum l, sum l^2, count, eta). At the a == -lambda
+    // boundary both branches give -lambda/2, so the tie direction of the
+    // binary search cannot change the value. This is an algebraic rewrite
+    // (different accumulation order than the naive loop); the differential
+    // tests in tests/test_dro_invariants.cpp pin it against
+    // linalg::reference::chi_square_dual_value.
+    util::Workspace& ws = util::Workspace::local();
+    auto sorted = ws.vec(n);
+    *sorted = losses;
+    std::sort(sorted->begin(), sorted->end());
+    auto sum1 = ws.zeros(n + 1);
+    auto sum2 = ws.zeros(n + 1);
+    for (std::size_t i = 0; i < n; ++i) {
+        (*sum1)[i + 1] = (*sum1)[i] + (*sorted)[i];
+        (*sum2)[i + 1] = (*sum2)[i] + (*sorted)[i] * (*sorted)[i];
+    }
+    const auto dual_value = [&](double lambda, double eta) {
+        const double threshold = eta - lambda;
+        const std::size_t idx = static_cast<std::size_t>(
+            std::lower_bound(sorted->begin(), sorted->end(), threshold) - sorted->begin());
+        const double cnt_hi = static_cast<double>(n - idx);
+        const double sum_hi = (*sum1)[n] - (*sum1)[idx];
+        const double sumsq_hi = (*sum2)[n] - (*sum2)[idx];
+        const double sum_a = sum_hi - cnt_hi * eta;
+        const double sum_a2 = sumsq_hi - 2.0 * eta * sum_hi + cnt_hi * eta * eta;
+        const double acc =
+            sum_a + sum_a2 / (2.0 * lambda) - static_cast<double>(idx) * lambda / 2.0;
+        return lambda * rho + eta + acc / static_cast<double>(n);
+    };
+
     const double spread = max_loss - min_loss;
     // Inner minimization over eta for a fixed lambda (convex in eta).
     auto inner = [&](double lambda, double* eta_out) {
-        const auto f_eta = [&](double eta) { return dual_value(losses, rho, lambda, eta); };
+        const auto f_eta = [&](double eta) { return dual_value(lambda, eta); };
         const auto r = optim::golden_section_minimize(
             f_eta, min_loss - 2.0 * lambda - spread, max_loss + spread, 1e-10, 300);
         if (eta_out) *eta_out = r.x;

@@ -8,6 +8,7 @@
 #include "obs/metrics.hpp"
 #include "obs/profiler.hpp"
 #include "optim/scalar.hpp"
+#include "util/workspace.hpp"
 
 namespace drel::dro {
 
@@ -38,9 +39,14 @@ KlDualSolution solve_kl_dual(const linalg::Vector& losses, double rho) {
     }
 
     // g(lambda) = lambda*rho + max + lambda*log (1/n) sum e^{(l_i-max)/lambda}
+    // The shifts (l_i - max) are constant across the line search, so hoist
+    // them out of the per-lambda loop (identical arithmetic per term).
+    util::Workspace& ws = util::Workspace::local();
+    auto shifted = ws.vec(n);
+    for (std::size_t i = 0; i < n; ++i) (*shifted)[i] = losses[i] - max_loss;
     auto dual = [&](double lambda) {
         double acc = 0.0;
-        for (const double l : losses) acc += std::exp((l - max_loss) / lambda);
+        for (const double s : *shifted) acc += std::exp(s / lambda);
         return lambda * rho + max_loss + lambda * std::log(acc / static_cast<double>(n));
     };
 

@@ -8,6 +8,7 @@
 #include "obs/metrics.hpp"
 #include "obs/profiler.hpp"
 #include "optim/scalar.hpp"
+#include "util/workspace.hpp"
 
 namespace drel::dro {
 
@@ -63,7 +64,18 @@ double WassersteinDroObjective::eval(const linalg::Vector& theta, linalg::Vector
     if (coeff > 0.0) {
         value += coeff * feature_norm(theta, perturbable_);
         if (grad) {
-            linalg::axpy(coeff, feature_norm_subgradient(theta, perturbable_), *grad);
+            // Build the subgradient in leased scratch and fold it in over the
+            // FULL dimension — the trailing explicit zeros must still pass
+            // through the axpy so the result stays bit-identical to
+            // axpy(coeff, feature_norm_subgradient(...), grad) (adding 0.0
+            // can flip a -0.0 entry to +0.0).
+            util::Workspace& ws = util::Workspace::local();
+            auto g = ws.zeros(theta.size());
+            const double n = feature_norm(theta, perturbable_);
+            if (n >= 1e-15) {
+                for (std::size_t i = 0; i < perturbable_; ++i) (*g)[i] = theta[i] / n;
+            }
+            linalg::axpy_n(coeff, g->data(), grad->data(), theta.size());
         }
     }
     return value;
@@ -83,7 +95,8 @@ double wasserstein_robust_value_numeric(const linalg::Vector& theta,
     const linalg::Vector margins = [&] {
         linalg::Vector m(data.size());
         for (std::size_t i = 0; i < data.size(); ++i) {
-            m[i] = data.label(i) * linalg::dot(theta, data.feature_row(i));
+            m[i] = data.label(i) *
+                   linalg::dot_n(theta.data(), data.feature_row_data(i), theta.size());
         }
         return m;
     }();

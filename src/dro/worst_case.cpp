@@ -1,5 +1,6 @@
 #include "dro/worst_case.hpp"
 
+#include <algorithm>
 #include <cmath>
 #include <stdexcept>
 
@@ -20,12 +21,13 @@ models::Dataset shift_examples(const models::Dataset& data, const linalg::Vector
     const double tnorm = feature_norm(theta, perturbable);
     linalg::Matrix features(data.size(), data.dim());
     for (std::size_t i = 0; i < data.size(); ++i) {
-        linalg::Vector x = data.feature_row(i);
+        const double* src = data.feature_row_data(i);
+        double* dst = features.row_data(i);
+        std::copy(src, src + data.dim(), dst);
         if (tnorm > 1e-15 && per_example_distance[i] > 0.0) {
             const double coeff = -data.label(i) * per_example_distance[i] / tnorm;
-            for (std::size_t c = 0; c < perturbable; ++c) x[c] += coeff * theta[c];
+            for (std::size_t c = 0; c < perturbable; ++c) dst[c] += coeff * theta[c];
         }
-        features.set_row(i, x);
     }
     return models::Dataset(std::move(features), data.labels());
 }
@@ -34,7 +36,8 @@ double expected_loss(const linalg::Vector& theta, const models::Dataset& support
                      const models::Loss& loss, const linalg::Vector& weights) {
     double acc = 0.0;
     for (std::size_t i = 0; i < support.size(); ++i) {
-        const double score = linalg::dot(theta, support.feature_row(i));
+        const double score =
+            linalg::dot_n(theta.data(), support.feature_row_data(i), theta.size());
         const double l = loss.is_margin_loss() ? loss.phi(support.label(i) * score)
                                                : loss.phi(support.label(i) - score);
         acc += weights[i] * l;
@@ -69,7 +72,8 @@ WorstCase wasserstein_worst_case(const linalg::Vector& theta, const models::Data
     std::size_t best = 0;
     double best_gain = -1.0;
     for (std::size_t i = 0; i < n; ++i) {
-        const double m = data.label(i) * linalg::dot(theta, data.feature_row(i));
+        const double m =
+            data.label(i) * linalg::dot_n(theta.data(), data.feature_row_data(i), theta.size());
         const double gain = loss.phi(m - full_budget * tnorm) - loss.phi(m);
         if (gain > best_gain) {
             best_gain = gain;

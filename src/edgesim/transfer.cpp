@@ -15,15 +15,17 @@ constexpr std::uint32_t kVersion = 1;
 constexpr std::uint32_t kFlagFloat32 = 1u << 0;
 constexpr std::uint32_t kFlagDiagonalOnly = 1u << 1;
 
+// Cursor writer over a buffer pre-sized to encoded_size(): plain memcpy at
+// an advancing offset, no per-value capacity checks or insert bookkeeping.
+// encode_prior asserts the cursor lands exactly on the buffer end.
 class Writer {
  public:
     explicit Writer(std::vector<std::uint8_t>& buffer) : buffer_(buffer) {}
 
     template <typename T>
     void put(T value) {
-        std::uint8_t raw[sizeof(T)];
-        std::memcpy(raw, &value, sizeof(T));
-        buffer_.insert(buffer_.end(), raw, raw + sizeof(T));
+        std::memcpy(buffer_.data() + offset_, &value, sizeof(T));
+        offset_ += sizeof(T);
     }
 
     void put_scalar(double value, bool as_float32) {
@@ -34,8 +36,23 @@ class Writer {
         }
     }
 
+    /// Bulk write for the float64 path: one memcpy per span instead of one
+    /// per scalar. Byte-identical to `count` put(double) calls.
+    void put_doubles(const double* src, std::size_t count) {
+        std::memcpy(buffer_.data() + offset_, src, count * sizeof(double));
+        offset_ += count * sizeof(double);
+    }
+
+    void put_bytes(const void* src, std::size_t count) {
+        std::memcpy(buffer_.data() + offset_, src, count);
+        offset_ += count;
+    }
+
+    std::size_t offset() const noexcept { return offset_; }
+
  private:
     std::vector<std::uint8_t>& buffer_;
+    std::size_t offset_ = 0;
 };
 
 class Reader {
@@ -55,6 +72,17 @@ class Reader {
 
     double get_scalar(bool as_float32) {
         return as_float32 ? static_cast<double>(get<float>()) : get<double>();
+    }
+
+    /// Bulk read for the float64 path; value-identical to `count`
+    /// get<double>() calls.
+    void get_doubles(double* dst, std::size_t count) {
+        const std::size_t bytes = count * sizeof(double);
+        if (offset_ + bytes > buffer_.size()) {
+            throw std::invalid_argument("decode_prior: truncated buffer");
+        }
+        std::memcpy(dst, buffer_.data() + offset_, bytes);
+        offset_ += bytes;
     }
 
     bool exhausted() const noexcept { return offset_ == buffer_.size(); }
@@ -78,10 +106,10 @@ std::size_t encoded_size(std::size_t num_components, std::size_t dim,
 std::vector<std::uint8_t> encode_prior(const dp::MixturePrior& prior,
                                        const EncodingOptions& options) {
     DREL_PROFILE_SCOPE("transfer.encode");
-    std::vector<std::uint8_t> buffer;
-    buffer.reserve(encoded_size(prior.num_components(), prior.dim(), options));
+    std::vector<std::uint8_t> buffer(
+        encoded_size(prior.num_components(), prior.dim(), options));
     Writer w(buffer);
-    buffer.insert(buffer.end(), kMagic, kMagic + 8);
+    w.put_bytes(kMagic, sizeof(kMagic));
     w.put(kVersion);
     std::uint32_t flags = 0;
     if (options.use_float32) flags |= kFlagFloat32;
@@ -94,17 +122,29 @@ std::vector<std::uint8_t> encode_prior(const dp::MixturePrior& prior,
     for (std::size_t k = 0; k < prior.num_components(); ++k) {
         w.put(prior.weights()[k]);
         const auto& atom = prior.atom(k);
-        for (std::size_t i = 0; i < d; ++i) w.put_scalar(atom.mean()[i], options.use_float32);
         const linalg::Matrix& cov = atom.covariance();
-        if (options.diagonal_only) {
-            for (std::size_t i = 0; i < d; ++i) w.put_scalar(cov(i, i), options.use_float32);
-        } else {
-            for (std::size_t r = 0; r < d; ++r) {
-                for (std::size_t c = 0; c <= r; ++c) {
-                    w.put_scalar(cov(r, c), options.use_float32);
+        if (options.use_float32) {
+            for (std::size_t i = 0; i < d; ++i) w.put_scalar(atom.mean()[i], true);
+            if (options.diagonal_only) {
+                for (std::size_t i = 0; i < d; ++i) w.put_scalar(cov(i, i), true);
+            } else {
+                for (std::size_t r = 0; r < d; ++r) {
+                    for (std::size_t c = 0; c <= r; ++c) w.put_scalar(cov(r, c), true);
                 }
             }
+        } else {
+            // float64: the mean and each lower-triangle row prefix are
+            // contiguous in memory — write them as spans.
+            w.put_doubles(atom.mean().data(), d);
+            if (options.diagonal_only) {
+                for (std::size_t i = 0; i < d; ++i) w.put(cov(i, i));
+            } else {
+                for (std::size_t r = 0; r < d; ++r) w.put_doubles(cov.row_data(r), r + 1);
+            }
         }
+    }
+    if (w.offset() != buffer.size()) {
+        throw std::logic_error("encode_prior: encoded_size mismatch");
     }
     static obs::Counter& encodes = obs::Registry::global().counter("transfer.encodes");
     static obs::Counter& encoded_bytes =
@@ -146,17 +186,39 @@ dp::MixturePrior decode_prior(const std::vector<std::uint8_t>& buffer) {
         if (!(weights[k] > 0.0)) {
             throw std::invalid_argument("decode_prior: non-positive weight");
         }
+        // Read the mean BEFORE constructing the dim x dim covariance: a
+        // corrupted header dim must fail the bounds check on the mean read,
+        // not zero-fill a gigabyte-scale matrix first.
         linalg::Vector mean(dim);
-        for (std::uint32_t i = 0; i < dim; ++i) mean[i] = r.get_scalar(float32);
-        linalg::Matrix cov(dim, dim);
-        if (diagonal) {
-            for (std::uint32_t i = 0; i < dim; ++i) cov(i, i) = r.get_scalar(float32);
+        if (float32) {
+            for (std::uint32_t i = 0; i < dim; ++i) mean[i] = r.get_scalar(true);
         } else {
-            for (std::uint32_t row = 0; row < dim; ++row) {
-                for (std::uint32_t col = 0; col <= row; ++col) {
-                    const double v = r.get_scalar(float32);
-                    cov(row, col) = v;
-                    cov(col, row) = v;
+            r.get_doubles(mean.data(), dim);
+        }
+        linalg::Matrix cov(dim, dim);
+        if (float32) {
+            if (diagonal) {
+                for (std::uint32_t i = 0; i < dim; ++i) cov(i, i) = r.get_scalar(true);
+            } else {
+                for (std::uint32_t row = 0; row < dim; ++row) {
+                    for (std::uint32_t col = 0; col <= row; ++col) {
+                        const double v = r.get_scalar(true);
+                        cov(row, col) = v;
+                        cov(col, row) = v;
+                    }
+                }
+            }
+        } else {
+            if (diagonal) {
+                for (std::uint32_t i = 0; i < dim; ++i) cov(i, i) = r.get<double>();
+            } else {
+                // Read each lower-triangle row prefix straight into the
+                // row-major storage, then mirror the strict lower part.
+                for (std::uint32_t row = 0; row < dim; ++row) {
+                    r.get_doubles(cov.row_data(row), row + 1);
+                    for (std::uint32_t col = 0; col < row; ++col) {
+                        cov(col, row) = cov(row, col);
+                    }
                 }
             }
         }

@@ -12,16 +12,21 @@ std::optional<Matrix> Cholesky::factor_impl(const Matrix& a) {
     DREL_PROFILE_SCOPE("linalg.cholesky_factor");
     const std::size_t n = a.rows();
     Matrix l(n, n);
+    // Row-pointer form of the classic jik factorization: the k-loops walk
+    // rows j and i contiguously. Same subtraction order as the textbook
+    // reference (linalg/reference.hpp), so results are bit-identical.
     for (std::size_t j = 0; j < n; ++j) {
+        const double* l_j = l.row_data(j);
         double diag = a(j, j);
-        for (std::size_t k = 0; k < j; ++k) diag -= l(j, k) * l(j, k);
+        for (std::size_t k = 0; k < j; ++k) diag -= l_j[k] * l_j[k];
         if (!(diag > 0.0) || !std::isfinite(diag)) return std::nullopt;
         const double ljj = std::sqrt(diag);
         l(j, j) = ljj;
         for (std::size_t i = j + 1; i < n; ++i) {
+            double* l_i = l.row_data(i);
             double acc = a(i, j);
-            for (std::size_t k = 0; k < j; ++k) acc -= l(i, k) * l(j, k);
-            l(i, j) = acc / ljj;
+            for (std::size_t k = 0; k < j; ++k) acc -= l_i[k] * l_j[k];
+            l_i[j] = acc / ljj;
         }
     }
     return l;
@@ -76,6 +81,34 @@ Vector Cholesky::solve_upper(const Vector& y) const {
 }
 
 Vector Cholesky::solve(const Vector& b) const { return solve_upper(solve_lower(b)); }
+
+void Cholesky::solve_lower_in_place(Vector& x) const {
+    const std::size_t n = dim();
+    if (x.size() != n) throw std::invalid_argument("Cholesky::solve_lower_in_place: dimension mismatch");
+    // Forward substitution overwriting x: entry i reads x[i] (still b[i]) and
+    // entries < i (already solutions), exactly like the allocating version.
+    for (std::size_t i = 0; i < n; ++i) {
+        const double* l_i = l_.row_data(i);
+        double acc = x[i];
+        for (std::size_t k = 0; k < i; ++k) acc -= l_i[k] * x[k];
+        x[i] = acc / l_i[i];
+    }
+}
+
+void Cholesky::solve_upper_in_place(Vector& x) const {
+    const std::size_t n = dim();
+    if (x.size() != n) throw std::invalid_argument("Cholesky::solve_upper_in_place: dimension mismatch");
+    for (std::size_t ii = n; ii-- > 0;) {
+        double acc = x[ii];
+        for (std::size_t k = ii + 1; k < n; ++k) acc -= l_(k, ii) * x[k];
+        x[ii] = acc / l_(ii, ii);
+    }
+}
+
+void Cholesky::solve_in_place(Vector& x) const {
+    solve_lower_in_place(x);
+    solve_upper_in_place(x);
+}
 
 double Cholesky::log_det() const {
     double acc = 0.0;

@@ -40,6 +40,16 @@ class Cholesky {
     /// Solves Lᵀ x = y (back substitution).
     Vector solve_upper(const Vector& y) const;
 
+    // In-place variants: overwrite `x` with the solution, performing the
+    // same substitutions in the same order as the allocating versions (the
+    // forward pass reads x[i] before writing it and only earlier entries
+    // after, so aliasing input and output is exact). These are what the
+    // Workspace-threaded hot paths use to reuse a factorization with zero
+    // allocations per solve.
+    void solve_in_place(Vector& x) const;
+    void solve_lower_in_place(Vector& x) const;
+    void solve_upper_in_place(Vector& x) const;
+
     /// log det(A) = 2 * sum_i log L_ii.
     double log_det() const;
 

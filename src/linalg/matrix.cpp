@@ -1,5 +1,6 @@
 #include "linalg/matrix.hpp"
 
+#include <algorithm>
 #include <cmath>
 #include <stdexcept>
 
@@ -80,15 +81,17 @@ Matrix Matrix::transposed() const {
 }
 
 Vector Matrix::matvec(const Vector& x) const {
-    if (x.size() != cols_) shape_error("matvec");
-    Vector out(rows_, 0.0);
-    for (std::size_t r = 0; r < rows_; ++r) {
-        double acc = 0.0;
-        const double* row_ptr = data_.data() + r * cols_;
-        for (std::size_t c = 0; c < cols_; ++c) acc += row_ptr[c] * x[c];
-        out[r] = acc;
-    }
+    Vector out;
+    matvec_into(x, out);
     return out;
+}
+
+void Matrix::matvec_into(const Vector& x, Vector& out) const {
+    if (x.size() != cols_) shape_error("matvec");
+    out.resize(rows_);
+    for (std::size_t r = 0; r < rows_; ++r) {
+        out[r] = dot_n(data_.data() + r * cols_, x.data(), cols_);
+    }
 }
 
 Vector Matrix::matvec_transposed(const Vector& x) const {
@@ -106,17 +109,42 @@ Vector Matrix::matvec_transposed(const Vector& x) const {
 Matrix Matrix::matmul(const Matrix& other) const {
     if (cols_ != other.rows_) shape_error("matmul");
     Matrix out(rows_, other.cols_);
-    // ikj loop order keeps the inner loop contiguous in both `other` and `out`.
-    for (std::size_t i = 0; i < rows_; ++i) {
-        for (std::size_t k = 0; k < cols_; ++k) {
-            const double aik = (*this)(i, k);
-            if (aik == 0.0) continue;
-            const double* b_row = other.data_.data() + k * other.cols_;
-            double* o_row = out.data_.data() + i * out.cols_;
-            for (std::size_t j = 0; j < other.cols_; ++j) o_row[j] += aik * b_row[j];
+    const std::size_t n = other.cols_;
+    // ikj loop order keeps the inner loop contiguous in both `other` and
+    // `out`; the column blocking keeps the touched slices of `other` and
+    // `out` resident in cache for large products. Each out(i, j) still
+    // accumulates over k in ascending order (blocking splits j, not k), so
+    // results are bit-identical at every block size.
+    constexpr std::size_t kColBlock = 256;
+    for (std::size_t j0 = 0; j0 < n; j0 += kColBlock) {
+        const std::size_t j1 = std::min(n, j0 + kColBlock);
+        for (std::size_t i = 0; i < rows_; ++i) {
+            double* o_row = out.data_.data() + i * n;
+            for (std::size_t k = 0; k < cols_; ++k) {
+                const double aik = (*this)(i, k);
+                if (aik == 0.0) continue;
+                const double* b_row = other.data_.data() + k * n;
+                for (std::size_t j = j0; j < j1; ++j) o_row[j] += aik * b_row[j];
+            }
         }
     }
     return out;
+}
+
+double Matrix::trace_product(const Matrix& a, const Matrix& b) {
+    if (a.cols_ != b.rows_ || b.cols_ != a.rows_) shape_error("trace_product");
+    double acc = 0.0;
+    for (std::size_t i = 0; i < a.rows_; ++i) {
+        const double* a_row = a.data_.data() + i * a.cols_;
+        double diag = 0.0;
+        for (std::size_t k = 0; k < a.cols_; ++k) {
+            const double aik = a_row[k];
+            if (aik == 0.0) continue;  // mirror matmul's skip exactly
+            diag += aik * b(k, i);
+        }
+        acc += diag;
+    }
+    return acc;
 }
 
 Matrix& Matrix::operator+=(const Matrix& other) {

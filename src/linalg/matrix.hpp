@@ -41,6 +41,11 @@ class Matrix {
 
     const std::vector<double>& data() const noexcept { return data_; }
 
+    /// Raw pointer to row r's contiguous storage (unchecked, like
+    /// operator()). The allocation-free alternative to row() for hot loops.
+    const double* row_data(std::size_t r) const noexcept { return data_.data() + r * cols_; }
+    double* row_data(std::size_t r) noexcept { return data_.data() + r * cols_; }
+
     Vector row(std::size_t r) const;
     Vector col(std::size_t c) const;
     void set_row(std::size_t r, const Vector& v);
@@ -49,10 +54,17 @@ class Matrix {
 
     /// this * x
     Vector matvec(const Vector& x) const;
+    /// this * x written into an existing buffer (resized; must not alias x).
+    void matvec_into(const Vector& x, Vector& out) const;
     /// thisᵀ * x
     Vector matvec_transposed(const Vector& x) const;
     /// this * other
     Matrix matmul(const Matrix& other) const;
+
+    /// trace(a * b) without forming the product. Each diagonal entry is
+    /// accumulated in the same k-ascending order (with the same zero skip) as
+    /// matmul, so trace_product(a, b) == a.matmul(b).trace() bit-for-bit.
+    static double trace_product(const Matrix& a, const Matrix& b);
 
     Matrix& operator+=(const Matrix& other);
     Matrix& operator-=(const Matrix& other);

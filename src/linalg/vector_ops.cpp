@@ -18,16 +18,30 @@ void check_same_size(const Vector& x, const Vector& y, const char* op) {
 
 }  // namespace
 
+double dot_n(const double* x, const double* y, std::size_t n) noexcept {
+    double acc = 0.0;
+    for (std::size_t i = 0; i < n; ++i) acc += x[i] * y[i];
+    return acc;
+}
+
+void axpy_n(double alpha, const double* x, double* y, std::size_t n) noexcept {
+    for (std::size_t i = 0; i < n; ++i) y[i] += alpha * x[i];
+}
+
 double dot(const Vector& x, const Vector& y) {
     check_same_size(x, y, "dot");
-    double acc = 0.0;
-    for (std::size_t i = 0; i < x.size(); ++i) acc += x[i] * y[i];
-    return acc;
+    return dot_n(x.data(), y.data(), x.size());
 }
 
 void axpy(double alpha, const Vector& x, Vector& y) {
     check_same_size(x, y, "axpy");
-    for (std::size_t i = 0; i < x.size(); ++i) y[i] += alpha * x[i];
+    axpy_n(alpha, x.data(), y.data(), x.size());
+}
+
+void sub_into(const Vector& x, const Vector& y, Vector& out) {
+    check_same_size(x, y, "sub_into");
+    out.resize(x.size());
+    for (std::size_t i = 0; i < x.size(); ++i) out[i] = x[i] - y[i];
 }
 
 void scale(Vector& x, double alpha) noexcept {

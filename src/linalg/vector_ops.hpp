@@ -14,11 +14,25 @@ namespace drel::linalg {
 
 using Vector = std::vector<double>;
 
+// Raw-array kernels — the allocation-free core the Vector overloads (and the
+// matrix/dataset hot loops) delegate to. Accumulation order is strictly
+// left-to-right, identical to the historical scalar loops, so adopting these
+// never changes a result bit (golden files stay valid without regeneration).
+
+/// <x, y> over n entries.
+double dot_n(const double* x, const double* y, std::size_t n) noexcept;
+
+/// y += alpha * x over n entries.
+void axpy_n(double alpha, const double* x, double* y, std::size_t n) noexcept;
+
 /// <x, y>
 double dot(const Vector& x, const Vector& y);
 
 /// y += alpha * x
 void axpy(double alpha, const Vector& x, Vector& y);
+
+/// out = x - y, written into an existing buffer (resized to match).
+void sub_into(const Vector& x, const Vector& y, Vector& out);
 
 /// x *= alpha
 void scale(Vector& x, double alpha) noexcept;

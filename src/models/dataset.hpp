@@ -31,6 +31,13 @@ class Dataset {
     const linalg::Vector& labels() const noexcept { return labels_; }
 
     linalg::Vector feature_row(std::size_t i) const { return features_.row(i); }
+
+    /// Raw pointer to example i's contiguous feature row (unchecked). The
+    /// allocation-free alternative to feature_row() for per-example loops.
+    const double* feature_row_data(std::size_t i) const noexcept {
+        return features_.row_data(i);
+    }
+
     double label(std::size_t i) const { return labels_.at(i); }
 
     /// Appends one example.

@@ -12,33 +12,34 @@ ErmObjective::ErmObjective(const Dataset& data, const Loss& loss, double l2)
 
 double ErmObjective::eval(const linalg::Vector& w, linalg::Vector* grad) const {
     if (w.size() != dim()) throw std::invalid_argument("ErmObjective: dimension mismatch");
-    if (grad) *grad = linalg::zeros(dim());
+    if (grad) grad->assign(dim(), 0.0);
 
     const std::size_t n = data_->size();
     if (example_weights_ && example_weights_->size() != n) {
         throw std::invalid_argument("ErmObjective: example-weight size mismatch");
     }
+    const std::size_t d = dim();
     const double uniform = 1.0 / static_cast<double>(n);
     double value = 0.0;
     for (std::size_t i = 0; i < n; ++i) {
         const double qi = example_weights_ ? (*example_weights_)[i] : uniform;
         if (qi == 0.0) continue;
-        const linalg::Vector xi = data_->feature_row(i);
+        const double* xi = data_->feature_row_data(i);
         const double yi = data_->label(i);
-        const double score = linalg::dot(w, xi);
+        const double score = linalg::dot_n(w.data(), xi, d);
         if (loss_->is_margin_loss()) {
             const double z = yi * score;
             value += qi * loss_->phi(z);
             if (grad) {
                 const double coeff = qi * loss_->dphi(z) * yi;
-                linalg::axpy(coeff, xi, *grad);
+                linalg::axpy_n(coeff, xi, grad->data(), d);
             }
         } else {
             const double r = yi - score;
             value += qi * loss_->phi(r);
             if (grad) {
                 const double coeff = -qi * loss_->dphi(r);
-                linalg::axpy(coeff, xi, *grad);
+                linalg::axpy_n(coeff, xi, grad->data(), d);
             }
         }
     }
@@ -56,7 +57,7 @@ linalg::Vector per_example_losses(const Dataset& data, const Loss& loss,
     }
     linalg::Vector out(data.size());
     for (std::size_t i = 0; i < data.size(); ++i) {
-        const double score = linalg::dot(w, data.feature_row(i));
+        const double score = linalg::dot_n(w.data(), data.feature_row_data(i), w.size());
         out[i] = loss.is_margin_loss() ? loss.phi(data.label(i) * score)
                                        : loss.phi(data.label(i) - score);
     }
@@ -69,13 +70,14 @@ void add_example_gradient(const Dataset& data, const Loss& loss, const linalg::V
     if (grad.size() != w.size() || w.size() != data.dim()) {
         throw std::invalid_argument("add_example_gradient: dimension mismatch");
     }
-    const linalg::Vector xi = data.feature_row(i);
+    const double* xi = data.feature_row_data(i);
     const double yi = data.label(i);
-    const double score = linalg::dot(w, xi);
+    const std::size_t d = w.size();
+    const double score = linalg::dot_n(w.data(), xi, d);
     if (loss.is_margin_loss()) {
-        linalg::axpy(weight * loss.dphi(yi * score) * yi, xi, grad);
+        linalg::axpy_n(weight * loss.dphi(yi * score) * yi, xi, grad.data(), d);
     } else {
-        linalg::axpy(-weight * loss.dphi(yi - score), xi, grad);
+        linalg::axpy_n(-weight * loss.dphi(yi - score), xi, grad.data(), d);
     }
 }
 

@@ -19,7 +19,7 @@ void StochasticErm::batch_gradient(const linalg::Vector& x,
                                    const std::vector<std::size_t>& batch,
                                    linalg::Vector& grad) const {
     if (batch.empty()) throw std::invalid_argument("StochasticErm: empty batch");
-    grad = linalg::zeros(dim());
+    grad.assign(dim(), 0.0);
     const double inv = 1.0 / static_cast<double>(batch.size());
     for (const std::size_t i : batch) {
         add_example_gradient(*data_, *loss_, x, i, inv, grad);

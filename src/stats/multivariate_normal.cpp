@@ -17,6 +17,9 @@ MultivariateNormal::MultivariateNormal(linalg::Vector mean, linalg::Matrix covar
     if (covariance_.rows() != mean_.size() || covariance_.cols() != mean_.size()) {
         throw std::invalid_argument("MultivariateNormal: covariance shape does not match mean");
     }
+    // The factor is immutable from here on; cache log|Σ| eagerly so the
+    // responsibility hot loops skip d logarithms per density evaluation.
+    log_det_ = chol_.log_det();
 }
 
 MultivariateNormal MultivariateNormal::isotropic(linalg::Vector mean, double variance) {
@@ -43,15 +46,30 @@ MultivariateNormal MultivariateNormal::diagonal(linalg::Vector mean,
 }
 
 double MultivariateNormal::log_pdf(const linalg::Vector& x) const {
-    const double quad = mahalanobis_sq(x);
-    return -0.5 * (static_cast<double>(dim()) * kLogTwoPi + chol_.log_det() + quad);
+    return log_pdf_ws(x, util::Workspace::local());
 }
 
 double MultivariateNormal::mahalanobis_sq(const linalg::Vector& x) const {
+    return mahalanobis_sq_ws(x, util::Workspace::local());
+}
+
+double MultivariateNormal::log_pdf_ws(const linalg::Vector& x, util::Workspace& ws) const {
+    const double quad = mahalanobis_sq_ws(x, ws);
+    return -0.5 * (static_cast<double>(dim()) * kLogTwoPi + log_det_ + quad);
+}
+
+double MultivariateNormal::mahalanobis_sq_ws(const linalg::Vector& x,
+                                             util::Workspace& ws) const {
     if (x.size() != dim()) {
         throw std::invalid_argument("MultivariateNormal::mahalanobis_sq: dimension mismatch");
     }
-    return chol_.quad_form_inv(linalg::sub(x, mean_));
+    // ||L⁻¹ (x - mean)||², with the residual and triangular solve done in a
+    // leased buffer. Same substitution and dot order as
+    // chol_.quad_form_inv(sub(x, mean_)).
+    auto diff = ws.vec(dim());
+    linalg::sub_into(x, mean_, *diff);
+    chol_.solve_lower_in_place(*diff);
+    return linalg::dot_n(diff->data(), diff->data(), dim());
 }
 
 linalg::Vector MultivariateNormal::precision_times_residual(const linalg::Vector& x) const {
@@ -59,7 +77,23 @@ linalg::Vector MultivariateNormal::precision_times_residual(const linalg::Vector
         throw std::invalid_argument(
             "MultivariateNormal::precision_times_residual: dimension mismatch");
     }
-    return chol_.solve(linalg::sub(x, mean_));
+    linalg::Vector out;
+    linalg::sub_into(x, mean_, out);
+    chol_.solve_in_place(out);
+    return out;
+}
+
+void MultivariateNormal::add_scaled_precision_residual(const linalg::Vector& x, double coeff,
+                                                       linalg::Vector& out,
+                                                       util::Workspace& ws) const {
+    if (x.size() != dim() || out.size() != dim()) {
+        throw std::invalid_argument(
+            "MultivariateNormal::add_scaled_precision_residual: dimension mismatch");
+    }
+    auto r = ws.vec(dim());
+    linalg::sub_into(x, mean_, *r);
+    chol_.solve_in_place(*r);
+    linalg::axpy_n(coeff, r->data(), out.data(), dim());
 }
 
 linalg::Vector MultivariateNormal::sample(Rng& rng) const {

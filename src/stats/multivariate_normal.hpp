@@ -10,6 +10,7 @@
 #include "linalg/cholesky.hpp"
 #include "linalg/matrix.hpp"
 #include "stats/rng.hpp"
+#include "util/workspace.hpp"
 
 namespace drel::stats {
 
@@ -31,6 +32,9 @@ class MultivariateNormal {
     const linalg::Matrix& covariance() const noexcept { return covariance_; }
     const linalg::Cholesky& chol() const noexcept { return chol_; }
 
+    /// log |Σ|, computed once at construction.
+    double log_det() const noexcept { return log_det_; }
+
     double log_pdf(const linalg::Vector& x) const;
 
     /// (x - mean)ᵀ Σ⁻¹ (x - mean)
@@ -39,12 +43,26 @@ class MultivariateNormal {
     /// Σ⁻¹ (x - mean) — the gradient of 0.5 * mahalanobis_sq.
     linalg::Vector precision_times_residual(const linalg::Vector& x) const;
 
+    // Workspace-threaded variants. Identical arithmetic to the plain
+    // versions (same substitutions, same accumulation order) but all
+    // scratch comes from `ws`, so steady-state evaluation is
+    // allocation-free. The plain versions delegate to these with the
+    // calling thread's Workspace::local().
+    double log_pdf_ws(const linalg::Vector& x, util::Workspace& ws) const;
+    double mahalanobis_sq_ws(const linalg::Vector& x, util::Workspace& ws) const;
+
+    /// out += coeff * Σ⁻¹ (x - mean), scratch from `ws`. Bit-identical to
+    /// axpy(coeff, precision_times_residual(x), out).
+    void add_scaled_precision_residual(const linalg::Vector& x, double coeff,
+                                       linalg::Vector& out, util::Workspace& ws) const;
+
     linalg::Vector sample(Rng& rng) const;
 
  private:
     linalg::Vector mean_;
     linalg::Matrix covariance_;
     linalg::Cholesky chol_;
+    double log_det_ = 0.0;
 };
 
 }  // namespace drel::stats

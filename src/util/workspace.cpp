@@ -1,0 +1,26 @@
+#include "util/workspace.hpp"
+
+namespace drel::util {
+
+Workspace& Workspace::local() {
+    static thread_local Workspace ws;
+    return ws;
+}
+
+std::vector<double>* Workspace::acquire(std::size_t n) {
+    if (live_ == pool_.size()) pool_.push_back(std::make_unique<std::vector<double>>());
+    std::vector<double>* buf = pool_[live_].get();
+    ++live_;
+    buf->resize(n);
+    return buf;
+}
+
+Workspace::Lease Workspace::vec(std::size_t n) { return Lease(this, acquire(n)); }
+
+Workspace::Lease Workspace::zeros(std::size_t n) {
+    Lease lease(this, acquire(n));
+    lease->assign(n, 0.0);
+    return lease;
+}
+
+}  // namespace drel::util

@@ -11,12 +11,15 @@
 
 #include "core/em_dro.hpp"
 #include "data/task_generator.hpp"
+#include "dp/mixture_prior.hpp"
 #include "edgesim/collaborative.hpp"
 #include "edgesim/simulation.hpp"
 #include "models/metrics.hpp"
 #include "obs/metrics.hpp"
 #include "stats/rng.hpp"
 #include "test_support.hpp"
+#include "util/executor.hpp"
+#include "util/workspace.hpp"
 
 namespace drel {
 namespace {
@@ -161,6 +164,104 @@ TEST(FleetDeterminism, NestedEmParallelismStaysBitIdentical) {
         EXPECT_TRUE(bits_equal(serial.devices[i].em_dro_accuracy,
                                nested.devices[i].em_dro_accuracy))
             << "device=" << i;
+    }
+}
+
+// ----------------------------------------------- workspace-threaded kernels
+
+// The allocation-free kernels lean on one thread_local Workspace arena per
+// worker (util/workspace.hpp). Two things must hold for the bit-identity
+// story to survive parallelism: (a) results must not depend on WHICH arena a
+// worker happens to own — i.e. the kernels are pure in everything but their
+// scratch space — and (b) a reused arena must behave exactly like a fresh
+// one (stale contents never leak into results, `vec` leases are fully
+// overwritten before being read).
+
+TEST(WorkspaceKernels, ThreadLocalArenasBitIdenticalAcrossThreadCounts) {
+    const auto fixture = test_support::make_population_fixture(31, 30, 10);
+    stats::Rng rng(71);
+    std::vector<linalg::Vector> thetas;
+    for (int i = 0; i < 64; ++i) {
+        thetas.push_back(rng.standard_normal_vector(fixture.prior.dim()));
+    }
+
+    // Serial baseline through the public (thread_local-workspace) entry
+    // points — the exact code path the EM inner loop takes.
+    std::vector<double> base_log_pdf(thetas.size());
+    std::vector<linalg::Vector> base_resp(thetas.size());
+    for (std::size_t i = 0; i < thetas.size(); ++i) {
+        base_log_pdf[i] = fixture.prior.log_pdf(thetas[i]);
+        base_resp[i] = fixture.prior.responsibilities(thetas[i]);
+    }
+
+    for (const std::size_t threads : {2u, 4u, 8u}) {
+        std::vector<double> log_pdf(thetas.size());
+        std::vector<linalg::Vector> resp(thetas.size());
+        util::parallel_for(thetas.size(), threads, [&](std::size_t i) {
+            log_pdf[i] = fixture.prior.log_pdf(thetas[i]);
+            fixture.prior.responsibilities_into(thetas[i], resp[i],
+                                                util::Workspace::local());
+        });
+        for (std::size_t i = 0; i < thetas.size(); ++i) {
+            EXPECT_TRUE(bits_equal(base_log_pdf[i], log_pdf[i]))
+                << "threads=" << threads << " i=" << i;
+            ASSERT_EQ(base_resp[i].size(), resp[i].size());
+            for (std::size_t k = 0; k < resp[i].size(); ++k) {
+                EXPECT_TRUE(bits_equal(base_resp[i][k], resp[i][k]))
+                    << "threads=" << threads << " i=" << i << " k=" << k;
+            }
+        }
+    }
+}
+
+TEST(WorkspaceKernels, ReusedArenaBitIdenticalToFreshAllocation) {
+    const auto fixture = test_support::make_population_fixture(13, 30, 10);
+    stats::Rng rng(5);
+    util::Workspace reused;
+    for (int iter = 0; iter < 50; ++iter) {
+        const linalg::Vector theta = rng.standard_normal_vector(fixture.prior.dim());
+        const linalg::Vector r = fixture.prior.responsibilities(theta);
+
+        util::Workspace fresh;  // brand-new arena every call
+        const double q_fresh = fixture.prior.em_surrogate_ws(theta, r, fresh);
+        const double q_reused = fixture.prior.em_surrogate_ws(theta, r, reused);
+        EXPECT_TRUE(bits_equal(q_fresh, q_reused)) << "iter=" << iter;
+
+        linalg::Vector g_fresh;
+        linalg::Vector g_reused;
+        {
+            util::Workspace fresh2;
+            fixture.prior.em_surrogate_gradient_into(theta, r, g_fresh, fresh2);
+        }
+        fixture.prior.em_surrogate_gradient_into(theta, r, g_reused, reused);
+        ASSERT_EQ(g_fresh.size(), g_reused.size());
+        for (std::size_t d = 0; d < g_fresh.size(); ++d) {
+            EXPECT_TRUE(bits_equal(g_fresh[d], g_reused[d]))
+                << "iter=" << iter << " dim=" << d;
+        }
+        // Every lease must have been returned: a non-zero depth here means a
+        // kernel is holding scratch across calls (ownership-rule violation).
+        EXPECT_EQ(reused.depth(), 0u);
+    }
+}
+
+// The full solve is the integration-level statement of the same property:
+// EmDroSolver threads one workspace per runner through the E- and M-steps,
+// so its result must not depend on the thread count (already covered above)
+// NOR on how many solves the arenas have already served.
+TEST(WorkspaceKernels, BackToBackSolvesBitIdentical) {
+    const auto fixture = test_support::make_population_fixture(29, 24, 10);
+    const auto loss = models::make_logistic_loss();
+    core::EmDroOptions options;
+    options.num_threads = 2;
+    const core::EmDroSolver solver(fixture.train, *loss, fixture.prior,
+                                   dro::AmbiguitySet::wasserstein(0.1), 2.0, options);
+    const core::EmDroResult first = solver.solve();
+    const core::EmDroResult second = solver.solve();  // arenas now warm
+    EXPECT_TRUE(bits_equal(first.objective, second.objective));
+    ASSERT_EQ(first.theta.size(), second.theta.size());
+    for (std::size_t d = 0; d < first.theta.size(); ++d) {
+        EXPECT_TRUE(bits_equal(first.theta[d], second.theta[d])) << "dim=" << d;
     }
 }
 

@@ -1,0 +1,122 @@
+#!/usr/bin/env python3
+"""Unit tests for scripts/perf_compare.py (the noise-aware perf gate).
+
+Exercises the CLI the way CI does — as a subprocess over real JSON files —
+so the documented exit-code contract (0 clean, 1 gate tripped, 2 schema or
+usage error) is what gets pinned, not internal helpers. Wired into ctest by
+tests/CMakeLists.txt as `perf_compare_unit`.
+"""
+
+import copy
+import json
+import os
+import subprocess
+import sys
+import tempfile
+import unittest
+
+SCRIPT = os.path.join(os.path.dirname(os.path.abspath(__file__)), os.pardir,
+                      "scripts", "perf_compare.py")
+
+
+def make_doc():
+    return {
+        "schema_version": 1,
+        "environment": {"git_sha": "0" * 40, "compiler": "unit-test",
+                        "build_type": "Release", "threads": 1},
+        "benchmarks": {
+            "kernel.stable": {"inner_iterations": 64, "repetitions": 11,
+                              "min_ms": 1.00, "median_ms": 1.02,
+                              "mad_ms": 0.01, "mean_ms": 1.03},
+            "kernel.noisy": {"inner_iterations": 8, "repetitions": 11,
+                             "min_ms": 4.2, "median_ms": 5.0,
+                             "mad_ms": 0.8, "mean_ms": 5.1},
+        },
+    }
+
+
+class PerfCompareTest(unittest.TestCase):
+    def setUp(self):
+        self.tmp = tempfile.TemporaryDirectory()
+        self.addCleanup(self.tmp.cleanup)
+
+    def write(self, name, doc):
+        path = os.path.join(self.tmp.name, name)
+        with open(path, "w", encoding="utf-8") as f:
+            json.dump(doc, f)
+        return path
+
+    def run_compare(self, *argv):
+        return subprocess.run([sys.executable, SCRIPT, *argv],
+                              capture_output=True, text=True)
+
+    def test_identical_inputs_pass(self):
+        base = self.write("base.json", make_doc())
+        result = self.run_compare(base, base)
+        self.assertEqual(result.returncode, 0, result.stderr)
+        self.assertIn("0 regressed", result.stdout)
+
+    def test_regression_fails(self):
+        doc = make_doc()
+        slow = copy.deepcopy(doc)
+        slow["benchmarks"]["kernel.stable"]["median_ms"] *= 2.0
+        result = self.run_compare(self.write("base.json", doc),
+                                  self.write("cand.json", slow))
+        self.assertEqual(result.returncode, 1)
+        self.assertIn("REGRESSION in kernel.stable", result.stderr)
+
+    def test_added_benchmark_reported_not_gated(self):
+        doc = make_doc()
+        grown = copy.deepcopy(doc)
+        grown["benchmarks"]["kernel.brand_new"] = dict(
+            doc["benchmarks"]["kernel.stable"])
+        result = self.run_compare(self.write("base.json", doc),
+                                  self.write("cand.json", grown))
+        self.assertEqual(result.returncode, 0, result.stderr)
+        self.assertIn("kernel.brand_new", result.stdout)
+        self.assertIn("1 new", result.stdout)
+
+    def test_removed_benchmark_fails_with_report(self):
+        doc = make_doc()
+        shrunk = copy.deepcopy(doc)
+        del shrunk["benchmarks"]["kernel.noisy"]
+        result = self.run_compare(self.write("base.json", doc),
+                                  self.write("cand.json", shrunk))
+        self.assertEqual(result.returncode, 1)
+        self.assertIn("MISSING from candidate", result.stdout)
+        self.assertIn("missing from candidate", result.stderr)
+
+    def test_disjoint_suites_report_instead_of_crashing(self):
+        doc = make_doc()
+        renamed = copy.deepcopy(doc)
+        renamed["benchmarks"] = {
+            "kernel.renamed_to_something_longer": dict(
+                doc["benchmarks"]["kernel.stable"]),
+        }
+        result = self.run_compare(self.write("base.json", doc),
+                                  self.write("cand.json", renamed))
+        self.assertEqual(result.returncode, 1)
+        self.assertNotIn("Traceback", result.stderr)
+        self.assertIn("2 missing", result.stdout)
+        self.assertIn("1 new", result.stdout)
+
+    def test_schema_error_exits_two(self):
+        bad = make_doc()
+        bad["schema_version"] = 99
+        result = self.run_compare("--validate-only", self.write("bad.json", bad))
+        self.assertEqual(result.returncode, 2)
+        self.assertIn("schema_version", result.stderr)
+
+    def test_unreadable_file_exits_two(self):
+        result = self.run_compare(os.path.join(self.tmp.name, "absent.json"),
+                                  os.path.join(self.tmp.name, "absent.json"))
+        self.assertEqual(result.returncode, 2)
+
+    def test_self_test_passes(self):
+        result = self.run_compare("--self-test")
+        self.assertEqual(result.returncode, 0, result.stderr)
+        self.assertIn("self-test passed", result.stdout)
+
+
+if __name__ == "__main__":
+    unittest.main()
