@@ -34,6 +34,7 @@
 #include "dro/chi_square.hpp"
 #include "dro/kl.hpp"
 #include "dro/wasserstein.hpp"
+#include "edgesim/server.hpp"
 #include "edgesim/simulation.hpp"
 #include "edgesim/transfer.hpp"
 #include "linalg/cholesky.hpp"
@@ -320,6 +321,57 @@ std::vector<BenchSpec> build_registry() {
         for (std::size_t i = 0; i < iters; ++i) {
             stats::Rng rng(17);
             sink(edgesim::run_fleet_simulation(config, rng).mean_em_dro_accuracy());
+        }
+    }});
+
+    registry.push_back({"edgesim.engine_event_loop", false, [](std::size_t iters) {
+        // Pure engine overhead: scheduler + shard dispatch + server admission
+        // with near-zero device work. Catches regressions in the event loop
+        // itself that the large e2e run would hide under device work.
+        static const stats::Rng root(18);
+        static const stats::Rng device_root = root.fork(4);
+        static const edgesim::FaultPlan plan({}, root);
+        edgesim::EngineConfig config;
+        config.rounds = 3;
+        config.devices_per_round = 64;
+        config.theta_dim = 2;
+        config.num_shards = 4;
+        const edgesim::DeviceWork work = [](std::size_t /*round*/, std::size_t /*device*/,
+                                            stats::Rng& work_rng, util::Workspace& /*ws*/) {
+            edgesim::DeviceResult result;
+            result.scored = true;
+            result.accuracy = work_rng.uniform();
+            result.attempted_upload = true;
+            result.upload_attempts = 1;
+            result.upload_delivered = true;
+            result.theta = work_rng.standard_normal_vector(2);
+            return result;
+        };
+        const edgesim::RoundEndFn round_end = [](std::size_t /*round*/,
+                                                 edgesim::CloudServer& server) {
+            (void)server.take_serviced_thetas();
+            return edgesim::RoundEndDecision{};
+        };
+        for (std::size_t i = 0; i < iters; ++i) {
+            sink(edgesim::run_fleet_engine(config, device_root, plan, work, round_end)
+                     .rounds.back()
+                     .mean_accuracy);
+        }
+    }});
+
+    registry.push_back({"e2e.fleet_round_large", true, [](std::size_t iters) {
+        // Deployment-scale round: 100k devices through the sharded
+        // event-driven engine (cheap per-device work, sufficient-statistics
+        // uploads) — the throughput number bench_fleet_scale reports,
+        // pinned here so the gate watches it.
+        edgesim::ScaleFleetConfig config;
+        config.devices_per_round = 100000;
+        config.rounds = 1;
+        config.num_shards = 16;
+        config.num_threads = util::Executor::global().max_threads();
+        for (std::size_t i = 0; i < iters; ++i) {
+            stats::Rng rng(19);
+            sink(edgesim::run_scale_fleet(config, rng).mode_recovery_rate);
         }
     }});
 

@@ -24,13 +24,16 @@ for sanitizer in thread address; do
     cmake -B "${build_dir}" -S . -DDREL_SANITIZE="${sanitizer}" \
         -DCMAKE_BUILD_TYPE=RelWithDebInfo > /dev/null
     cmake --build "${build_dir}" -j "${jobs}" \
-        --target test_util test_concurrency test_faults \
+        --target test_util test_concurrency test_faults test_engine \
                  test_linalg_property test_dro_invariants > /dev/null
     # The property/differential harness (ctest -L property) runs here too:
     # the allocation-free kernels and workspace arenas are exactly the code
-    # whose buffer reuse ASan/TSan can falsify.
+    # whose buffer reuse ASan/TSan can falsify. The event-driven engine
+    # suite (test_engine) rides along because its shard fan-out merges
+    # per-shard SoA slices across threads — the exact pattern TSan exists
+    # to check.
     if ! (cd "${build_dir}" && ctest --output-on-failure -j "${jobs}" \
-        -R 'ThreadPool|ParallelFor|ParallelReduce|Executor|Determinism|Fault|Chaos|EmDroDegradation|WorkspaceKernels|LinalgProperty|DroInvariants'); then
+        -R 'ThreadPool|ParallelFor|ParallelReduce|Executor|Determinism|Fault|Chaos|EmDroDegradation|WorkspaceKernels|LinalgProperty|DroInvariants|FleetEngine|EventQueue|StreamScheme|ScaleFleet|ShardLayout|UploadSufficientStats'); then
         echo "!!! ${sanitizer} sanitizer suite FAILED"
         failed+=("${sanitizer}")
     fi

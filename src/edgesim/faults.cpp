@@ -27,6 +27,7 @@ const char* to_string(DegradedReason reason) noexcept {
         case DegradedReason::kStalePrior: return "stale_prior";
         case DegradedReason::kUploadDropped: return "upload_dropped";
         case DegradedReason::kNonFinite: return "non_finite";
+        case DegradedReason::kBackpressure: return "backpressure";
     }
     return "unknown";
 }
@@ -206,6 +207,12 @@ void record_degradation(DegradedReason reason) {
         case DegradedReason::kNonFinite: {
             static obs::Counter& c =
                 obs::Registry::global().counter("fault.degraded.non_finite");
+            c.add(1);
+            return;
+        }
+        case DegradedReason::kBackpressure: {
+            static obs::Counter& c =
+                obs::Registry::global().counter("fault.degraded.backpressure");
             c.add(1);
             return;
         }

@@ -42,6 +42,7 @@ enum class DegradedReason : std::uint8_t {
     kStalePrior,        ///< trained against an out-of-date prior
     kUploadDropped,     ///< trained fine but the upload never arrived
     kNonFinite,         ///< solver hit a non-finite state; fell back to ERM
+    kBackpressure,      ///< delivered, but the cloud's admission queue was full
 };
 
 /// Stable lowercase name ("none", "crashed", ...) for logs and tables.

@@ -95,165 +95,193 @@ LifecycleReport run_lifecycle(const LifecycleConfig& config, stats::Rng& rng) {
     stats::Rng gibbs_rng = rng.fork(3);
     sampler.run(gibbs_rng);
 
-    LifecycleReport report;
     dp::MixturePrior broadcast_prior = sampler.extract_prior();
     // A stale-prior fault pins the device to the bootstrap prior — the
     // "missed every refresh" worst case.
     const dp::MixturePrior initial_prior = broadcast_prior;
     const FaultPlan fault_plan(config.faults, rng);
     auto payload = encode_prior(broadcast_prior);
-    report.total_broadcast_bytes += payload.size();
-    broadcast_bytes.add(payload.size());
 
-    // --- Rounds. ---
-    stats::Rng round_rng = rng.fork(4);
-    for (std::size_t round = 0; round < config.rounds; ++round) {
-        const bool novel_active = config.novel_mode_round >= 0 &&
-                                  round >= static_cast<std::size_t>(config.novel_mode_round);
+    // Disjoint stream roots: all per-device draws hang off fork(4) via the
+    // hierarchical device_stream scheme, all cloud-side draws off fork(5)
+    // via server_stream — no tag arithmetic can make them meet (the fix for
+    // the old round * 1000 + j aliasing; see shard.hpp).
+    const stats::Rng device_root = rng.fork(4);
+    const stats::Rng server_root = rng.fork(5);
 
-        rounds_count.add(1);
-        LifecycleRound summary;
-        summary.round = round;
-        summary.prior_components = broadcast_prior.num_components();
-        if (round == 0) {
-            summary.rebroadcast = true;   // initial push
-            summary.broadcast_bytes = payload.size();
-            rebroadcasts.add(1);
+    EngineConfig engine;
+    engine.rounds = config.rounds;
+    engine.devices_per_round = config.devices_per_round;
+    engine.theta_dim = d;
+    engine.num_shards = config.num_shards;
+    engine.num_threads = config.num_threads;
+    engine.round_seconds = config.round_seconds;
+    engine.deadline_seconds = config.deadline_seconds;
+    engine.uplink_seconds = config.uplink_seconds;
+    engine.keep_thetas = true;  // the Gibbs refresh needs full-fidelity uploads
+    // Historical accounting: the bootstrap broadcast is charged once, not
+    // per device (the fleet does not exist yet when it is encoded).
+    engine.initial_broadcast_bytes = payload.size();
+    engine.initial_prior_components = broadcast_prior.num_components();
+    engine.server = config.server;
+
+    const DeviceWork work = [&](std::size_t round, std::size_t j, stats::Rng& work_rng,
+                                util::Workspace& /*ws*/) {
+        DREL_PROFILE_SCOPE("lifecycle.device");
+        DeviceResult result;
+        const DeviceFaultDecision faults = fault_plan.device_faults(round, j);
+        if (faults.straggler) {
+            // Finished past the round deadline: the cloud discards the late
+            // result and the upload window is gone.
+            result.reason = DegradedReason::kStraggler;
+            return result;
         }
 
-        stats::RunningStats round_accuracy;
-        stats::RunningStats novel_accuracy;
-        std::vector<linalg::Vector> uploads;
-        for (std::size_t j = 0; j < config.devices_per_round; ++j) {
-            DREL_PROFILE_SCOPE("lifecycle.device");
-            const DeviceFaultDecision faults = fault_plan.device_faults(round, j);
-            if (fault_plan.active()) record_injected_faults(faults);
-            stats::Rng device_rng = round_rng.fork(round * 1000 + j);
-            // After the novel round, alternate novel-type devices in.
-            const bool is_novel = novel_active && (j % 2 == 0);
-            data::TaskSpec task;
-            if (is_novel) {
-                const stats::MultivariateNormal mode_dist(novel_mode.mean,
-                                                          novel_mode.covariance);
-                task.theta_star = mode_dist.sample(device_rng);
-                task.mode_index = config.initial_modes;  // the novel id
-            } else {
-                task = pre_population.sample_task(device_rng);
-            }
-            const models::Dataset train =
-                pre_population.generate(task, config.edge_samples, device_rng, options);
-            const models::Dataset test =
-                pre_population.generate(task, config.test_samples, device_rng, options);
+        const bool novel_active =
+            config.novel_mode_round >= 0 &&
+            round >= static_cast<std::size_t>(config.novel_mode_round);
+        // After the novel round, alternate novel-type devices in.
+        const bool is_novel = novel_active && (j % 2 == 0);
+        data::TaskSpec task;
+        if (is_novel) {
+            const stats::MultivariateNormal mode_dist(novel_mode.mean, novel_mode.covariance);
+            task.theta_star = mode_dist.sample(work_rng);
+            task.mode_index = config.initial_modes;  // the novel id
+        } else {
+            task = pre_population.sample_task(work_rng);
+        }
+        const models::Dataset train =
+            pre_population.generate(task, config.edge_samples, work_rng, options);
+        const models::Dataset test =
+            pre_population.generate(task, config.test_samples, work_rng, options);
 
-            DegradedReason reason = DegradedReason::kNone;
-            if (faults.crash) {
-                // Died mid-round: contributes nothing — no score, no upload.
-                reason = DegradedReason::kCrashed;
-                ++summary.crashed;
-            } else if (faults.straggler) {
-                // Finished past the round deadline: the cloud discards the
-                // late result and the upload window is gone.
-                reason = DegradedReason::kStraggler;
-                ++summary.stragglers;
+        double accuracy = 0.0;
+        if (!faults.prior_usable()) {
+            // Outage or corrupted install: local-only ERM fallback (the
+            // paper's own baseline) instead of aborting.
+            DREL_PROFILE_SCOPE("lifecycle.fallback");
+            result.reason = DegradedReason::kFallbackLocalErm;
+            accuracy = models::accuracy(models::LinearModel(fit_theta(train, *loss)), test);
+        } else {
+            if (faults.prior_stale) {
+                result.reason = DegradedReason::kStalePrior;
+                result.stale_prior = true;
+            }
+            const core::EdgeLearner learner(
+                faults.prior_stale ? initial_prior : broadcast_prior, config.learner);
+            const core::FitResult fit = learner.fit(train);
+            if (fit.degraded) {
+                result.reason = DegradedReason::kNonFinite;
+                accuracy = models::accuracy(models::LinearModel(fit_theta(train, *loss)),
+                                            test);
             } else {
-                double accuracy = 0.0;
-                if (!faults.prior_usable()) {
-                    // Outage or corrupted install: local-only ERM fallback
-                    // (the paper's own baseline) instead of aborting.
-                    DREL_PROFILE_SCOPE("lifecycle.fallback");
-                    reason = DegradedReason::kFallbackLocalErm;
-                    ++summary.fallbacks;
-                    accuracy = models::accuracy(
-                        models::LinearModel(fit_theta(train, *loss)), test);
+                accuracy = models::accuracy(fit.model, test);
+            }
+        }
+        result.accuracy = accuracy;
+        result.scored = true;
+        result.novel = is_novel;
+
+        if (config.feedback) {
+            DREL_PROFILE_SCOPE("lifecycle.upload");
+            linalg::Vector theta = fit_theta(train, *loss);
+            const UploadOutcome up = fault_plan.upload_outcome(round, j);
+            result.attempted_upload = true;
+            result.upload_attempts = up.attempts;
+            result.upload_retries = up.retries;
+            result.upload_delivered = up.delivered;
+            result.extra_seconds = up.simulated_seconds;
+            if (up.retries > 0) {
+                static obs::Counter& retries =
+                    obs::Registry::global().counter("upload.retries");
+                retries.add(static_cast<std::uint64_t>(up.retries));
+            }
+            // Every attempt spends bytes on the air, delivered or not.
+            upload_bytes.add(static_cast<std::uint64_t>(up.attempts) * d * sizeof(double));
+            if (!up.delivered) {
+                if (result.reason == DegradedReason::kNone) {
+                    result.reason = DegradedReason::kUploadDropped;
+                }
+            } else {
+                if (up.garbled) {
+                    // The payload arrives, but mangled to non-finite values;
+                    // the cloud-side guard must catch it.
+                    theta[0] = std::numeric_limits<double>::quiet_NaN();
+                }
+                uploads_count.add(1);
+                if (CloudNode::upload_is_usable(theta, d)) {
+                    result.theta = std::move(theta);
                 } else {
-                    if (faults.prior_stale) {
-                        reason = DegradedReason::kStalePrior;
-                        ++summary.stale_priors;
-                    }
-                    const core::EdgeLearner learner(
-                        faults.prior_stale ? initial_prior : broadcast_prior,
-                        config.learner);
-                    const core::FitResult fit = learner.fit(train);
-                    if (fit.degraded) {
-                        reason = DegradedReason::kNonFinite;
-                        accuracy = models::accuracy(
-                            models::LinearModel(fit_theta(train, *loss)), test);
-                    } else {
-                        accuracy = models::accuracy(fit.model, test);
-                    }
-                }
-                round_accuracy.push(accuracy);
-                ++summary.devices_scored;
-                if (is_novel) novel_accuracy.push(accuracy);
-
-                if (config.feedback) {
-                    DREL_PROFILE_SCOPE("lifecycle.upload");
-                    linalg::Vector theta = fit_theta(train, *loss);
-                    const UploadOutcome up = fault_plan.upload_outcome(round, j);
-                    if (up.retries > 0) {
-                        static obs::Counter& retries =
-                            obs::Registry::global().counter("upload.retries");
-                        retries.add(static_cast<std::uint64_t>(up.retries));
-                        report.total_upload_retries +=
-                            static_cast<std::size_t>(up.retries);
-                    }
-                    // Every attempt spends bytes on the air, delivered or not.
-                    const std::size_t on_air =
-                        static_cast<std::size_t>(up.attempts) * d * sizeof(double);
-                    report.total_upload_bytes += on_air;
-                    upload_bytes.add(on_air);
-                    if (!up.delivered) {
-                        ++summary.uploads_dropped;
-                        if (reason == DegradedReason::kNone) {
-                            reason = DegradedReason::kUploadDropped;
-                        }
-                    } else {
-                        if (up.garbled) {
-                            // The payload arrives, but mangled to non-finite
-                            // values; the cloud-side guard must catch it.
-                            theta[0] = std::numeric_limits<double>::quiet_NaN();
-                        }
-                        uploads_count.add(1);
-                        if (CloudNode::upload_is_usable(theta, d)) {
-                            uploads.push_back(std::move(theta));
-                        } else {
-                            ++summary.uploads_garbled;
-                            if (reason == DegradedReason::kNone) {
-                                reason = DegradedReason::kUploadDropped;
-                            }
-                        }
+                    result.upload_garbled = true;
+                    if (result.reason == DegradedReason::kNone) {
+                        result.reason = DegradedReason::kUploadDropped;
                     }
                 }
             }
-            record_degradation(reason);
-            summary.device_degraded.push_back(reason);
         }
-        summary.mean_accuracy = round_accuracy.mean();
-        if (novel_accuracy.count() > 0) summary.novel_mode_accuracy = novel_accuracy.mean();
+        return result;
+    };
 
-        // --- Cloud absorbs the uploads and decides about a re-push. ---
+    // --- Cloud refresh policy, run by the engine at each round close. ---
+    const RoundEndFn round_end = [&](std::size_t round, CloudServer& server) {
+        RoundEndDecision decision;
+        auto uploads = server.take_serviced_thetas();
         if (config.feedback && !uploads.empty()) {
-            stats::Rng update_rng = round_rng.fork(90000 + round);
-            for (auto& theta : uploads) {
+            DREL_PROFILE_SCOPE("lifecycle.cloud_refresh");
+            stats::Rng update_rng =
+                server_stream(server_root, round, ServerStream::kPosteriorUpdate);
+            for (auto& [device, theta] : uploads) {
                 sampler.add_observation(std::move(theta), update_rng,
                                         config.refresh_sweeps_per_upload);
             }
             const dp::MixturePrior refreshed = sampler.extract_prior();
-            stats::Rng kl_rng = round_rng.fork(91000 + round);
+            stats::Rng kl_rng = server_stream(server_root, round, ServerStream::kKlEstimate);
             const double drift = dp::symmetric_kl_estimate(refreshed, broadcast_prior,
                                                            config.kl_samples, kl_rng);
             if (drift > config.rebroadcast_kl_threshold) {
                 broadcast_prior = refreshed;
                 payload = encode_prior(broadcast_prior);
-                report.total_broadcast_bytes +=
-                    payload.size() * config.devices_per_round;  // push to next round's fleet
-                broadcast_bytes.add(payload.size() * config.devices_per_round);
-                summary.rebroadcast = true;
-                rebroadcasts.add(1);
-                summary.broadcast_bytes = payload.size();
+                decision.rebroadcast = true;
             }
         }
-        report.rounds.push_back(summary);
+        decision.payload_bytes = payload.size();
+        decision.prior_components = broadcast_prior.num_components();
+        return decision;
+    };
+
+    const EngineReport engine_report =
+        run_fleet_engine(engine, device_root, fault_plan, work, round_end);
+
+    // --- Map the engine report onto the lifecycle's historical shape. ---
+    LifecycleReport report;
+    report.total_broadcast_bytes = engine_report.total_broadcast_bytes;
+    report.total_upload_bytes = engine_report.total_upload_bytes;
+    report.total_upload_retries = engine_report.total_upload_retries;
+    report.rounds.reserve(engine_report.rounds.size());
+    for (const EngineRoundStats& stats : engine_report.rounds) {
+        rounds_count.add(1);
+        broadcast_bytes.add(stats.broadcast_bytes);
+        LifecycleRound round;
+        round.round = stats.round;
+        round.mean_accuracy = stats.mean_accuracy;
+        round.novel_mode_accuracy = stats.novel_mode_accuracy;
+        round.prior_components = stats.prior_components;
+        round.rebroadcast = stats.round == 0 ? true : stats.rebroadcast;  // initial push
+        round.broadcast_bytes = stats.broadcast_bytes;
+        round.devices_scored = stats.devices_scored;
+        round.crashed = stats.crashed;
+        round.stragglers = stats.stragglers;
+        round.fallbacks = stats.fallbacks;
+        round.stale_priors = stats.stale_priors;
+        round.uploads_dropped = stats.uploads_dropped;
+        round.uploads_garbled = stats.uploads_garbled;
+        round.backpressure_rejected = stats.backpressure_rejected;
+        round.latency_p50_seconds = stats.latency_p50_seconds;
+        round.latency_p99_seconds = stats.latency_p99_seconds;
+        round.latency_max_seconds = stats.latency_max_seconds;
+        round.device_degraded = stats.device_degraded;
+        if (round.rebroadcast) rebroadcasts.add(1);
+        report.rounds.push_back(std::move(round));
     }
     return report;
 }

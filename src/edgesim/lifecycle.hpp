@@ -10,6 +10,13 @@
 // feedback, the nonparametric posterior opens a new cluster and later
 // devices of that type get a useful prior; without feedback they are stuck
 // with the escape atom forever.
+//
+// Since the engine refactor this is a THIN DRIVER over the event-driven
+// fleet engine (server.hpp): the bootstrap, per-device training logic, and
+// the cloud's Gibbs/KL refresh policy live here as closures; sharding, the
+// virtual clock, upload admission, and all per-round accounting live in
+// run_fleet_engine. Reports stay bit-identical for a fixed seed at any
+// num_threads / num_shards setting.
 #pragma once
 
 #include <vector>
@@ -17,6 +24,7 @@
 #include "core/edge_learner.hpp"
 #include "edgesim/cloud.hpp"
 #include "edgesim/faults.hpp"
+#include "edgesim/server.hpp"
 #include "stats/rng.hpp"
 
 namespace drel::edgesim {
@@ -64,6 +72,15 @@ struct LifecycleConfig {
     /// local ERM, lose uploads — and the round reports them instead of the
     /// run aborting. See edgesim/faults.hpp.
     FaultConfig faults;
+
+    // Engine tuning (see edgesim/server.hpp). Any thread/shard setting
+    // yields a bit-identical report; defaults run serially in one shard.
+    std::size_t num_threads = 1;
+    std::size_t num_shards = 0;        ///< 0 = one shard per thread
+    double round_seconds = 60.0;
+    double deadline_seconds = 30.0;
+    double uplink_seconds = 0.5;
+    ServerConfig server;               ///< cloud admission control knobs
 };
 
 struct LifecycleRound {
@@ -73,7 +90,7 @@ struct LifecycleRound {
     double novel_mode_accuracy = -1.0;
     std::size_t prior_components = 0;
     bool rebroadcast = false;
-    std::size_t broadcast_bytes = 0;   ///< bytes pushed this round (0 if no re-push)
+    std::size_t broadcast_bytes = 0;   ///< bytes charged to the broadcast budget this round
 
     // Fault accounting (all zero in a fault-free run).
     std::size_t devices_scored = 0;    ///< completed in time; counted in mean_accuracy
@@ -83,6 +100,13 @@ struct LifecycleRound {
     std::size_t stale_priors = 0;
     std::size_t uploads_dropped = 0;   ///< retries exhausted or deadline passed
     std::size_t uploads_garbled = 0;   ///< delivered non-finite; rejected by the cloud
+    std::size_t backpressure_rejected = 0;  ///< uploads lost to a full admission queue
+
+    // Virtual completion-latency tail across the round's fleet.
+    double latency_p50_seconds = 0.0;
+    double latency_p99_seconds = 0.0;
+    double latency_max_seconds = 0.0;
+
     /// Per-device outcome, indexed by the device's slot within this round.
     std::vector<DegradedReason> device_degraded;
 };

@@ -46,6 +46,12 @@ TransmissionReport transmit_with_retries(const std::vector<std::uint8_t>& payloa
     if (!validate) {
         throw std::invalid_argument("transmit_with_retries: validate must be callable");
     }
+    if (payload.empty()) {
+        // Same contract as packet_bytes == 0: reject the nonsensical call up
+        // front. The old behavior burned max_transmissions attempts shipping
+        // zero packets and then reported a spurious delivery failure.
+        throw std::invalid_argument("transmit_with_retries: payload must be non-empty");
+    }
 
     DREL_PROFILE_SCOPE("net.transmit");
     TransmissionReport report;

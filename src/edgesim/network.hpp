@@ -48,6 +48,9 @@ struct TransmissionReport {
 /// (every packet delivered, no byte corrupted, and `validate` accepts it) or
 /// attempts run out. `validate` should decode the payload and return false
 /// on any exception — see transmit_prior below for the canonical use.
+/// Throws std::invalid_argument on an empty payload (same contract as
+/// packet_bytes == 0: there is nothing to transmit, so the call is a bug at
+/// the sender, not a delivery failure).
 TransmissionReport transmit_with_retries(const std::vector<std::uint8_t>& payload,
                                          const ChannelConfig& config, stats::Rng& rng,
                                          const PayloadValidator& validate);

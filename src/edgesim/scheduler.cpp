@@ -1,0 +1,60 @@
+#include "edgesim/scheduler.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace drel::edgesim {
+namespace {
+
+/// Heap comparator: std::push_heap keeps the LARGEST element at the front,
+/// so "greater" ordering on (time, seq) yields a min-heap.
+struct Later {
+    bool operator()(const Event& a, const Event& b) const noexcept {
+        if (a.time != b.time) return a.time > b.time;
+        return a.seq > b.seq;
+    }
+};
+
+}  // namespace
+
+const char* to_string(EventKind kind) noexcept {
+    switch (kind) {
+        case EventKind::kRoundStart: return "round_start";
+        case EventKind::kUploadArrival: return "upload_arrival";
+        case EventKind::kRoundEnd: return "round_end";
+    }
+    return "unknown";
+}
+
+void EventQueue::schedule(double time, EventKind kind, std::uint32_t round,
+                          std::uint32_t shard) {
+    if (!std::isfinite(time)) {
+        throw std::invalid_argument("EventQueue::schedule: time must be finite");
+    }
+    if (time < now_) {
+        throw std::invalid_argument("EventQueue::schedule: cannot schedule into the past");
+    }
+    Event event;
+    event.time = time;
+    event.seq = next_seq_++;
+    event.kind = kind;
+    event.round = round;
+    event.shard = shard;
+    heap_.push_back(event);
+    std::push_heap(heap_.begin(), heap_.end(), Later{});
+}
+
+Event EventQueue::pop() {
+    if (heap_.empty()) {
+        throw std::logic_error("EventQueue::pop: queue is empty");
+    }
+    std::pop_heap(heap_.begin(), heap_.end(), Later{});
+    const Event event = heap_.back();
+    heap_.pop_back();
+    now_ = event.time;
+    ++popped_;
+    return event;
+}
+
+}  // namespace drel::edgesim

@@ -1,0 +1,413 @@
+#include "edgesim/server.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <stdexcept>
+#include <utility>
+
+#include "dp/mixture_prior.hpp"
+#include "edgesim/scheduler.hpp"
+#include "edgesim/transfer.hpp"
+#include "obs/metrics.hpp"
+#include "obs/profiler.hpp"
+#include "stats/multivariate_normal.hpp"
+#include "util/executor.hpp"
+
+namespace drel::edgesim {
+
+stats::Rng server_stream(const stats::Rng& server_root, std::size_t round,
+                         ServerStream purpose) {
+    return server_root.fork(round).fork(static_cast<std::uint64_t>(purpose));
+}
+
+void ServerConfig::validate() const {
+    if (queue_capacity == 0) {
+        throw std::invalid_argument("ServerConfig: queue_capacity must be >= 1");
+    }
+    if (!(service_seconds_per_batch >= 0.0) || !std::isfinite(service_seconds_per_batch)) {
+        throw std::invalid_argument(
+            "ServerConfig: service_seconds_per_batch must be finite and >= 0");
+    }
+}
+
+CloudServer::CloudServer(ServerConfig config) : config_(config) { config_.validate(); }
+
+bool CloudServer::offer(UploadBatch batch, double now) {
+    drain_until(now);
+    if (queue_.size() >= config_.queue_capacity) {
+        ++rejected_batches_;
+        rejected_uploads_ += batch.devices.size();
+        static obs::Counter& rejected =
+            obs::Registry::global().counter("server.batches_rejected");
+        rejected.add(1);
+        return false;
+    }
+    ++admitted_batches_;
+    queue_.push_back({std::move(batch), now});
+    static obs::Counter& admitted = obs::Registry::global().counter("server.batches_admitted");
+    admitted.add(1);
+    return true;
+}
+
+void CloudServer::drain_until(double now) {
+    while (!queue_.empty()) {
+        Pending& head = queue_.front();
+        const double start = std::max(busy_until_, head.arrival);
+        const double done = start + config_.service_seconds_per_batch;
+        if (done > now) break;
+        busy_until_ = done;
+        merged_.merge(head.batch.stats);
+        const auto round = static_cast<std::size_t>(head.batch.round);
+        for (auto& [device, theta] : head.batch.thetas) {
+            serviced_thetas_.push_back({round, device, std::move(theta)});
+        }
+        ++serviced_batches_;
+        queue_.pop_front();
+    }
+}
+
+std::vector<std::pair<std::size_t, linalg::Vector>> CloudServer::take_serviced_thetas() {
+    std::sort(serviced_thetas_.begin(), serviced_thetas_.end(),
+              [](const ServicedTheta& a, const ServicedTheta& b) {
+                  return a.round != b.round ? a.round < b.round : a.device < b.device;
+              });
+    std::vector<std::pair<std::size_t, linalg::Vector>> out;
+    out.reserve(serviced_thetas_.size());
+    for (auto& entry : serviced_thetas_) {
+        out.emplace_back(entry.device, std::move(entry.theta));
+    }
+    serviced_thetas_.clear();
+    return out;
+}
+
+void EngineConfig::validate() const {
+    if (rounds == 0) throw std::invalid_argument("EngineConfig: rounds must be >= 1");
+    if (devices_per_round == 0) {
+        throw std::invalid_argument("EngineConfig: devices_per_round must be >= 1");
+    }
+    if (theta_dim == 0) throw std::invalid_argument("EngineConfig: theta_dim must be >= 1");
+    if (!(round_seconds > 0.0) || !std::isfinite(round_seconds)) {
+        throw std::invalid_argument("EngineConfig: round_seconds must be finite and > 0");
+    }
+    if (!(deadline_seconds > 0.0) || !std::isfinite(deadline_seconds)) {
+        throw std::invalid_argument("EngineConfig: deadline_seconds must be finite and > 0");
+    }
+    if (!(uplink_seconds >= 0.0) || !std::isfinite(uplink_seconds)) {
+        throw std::invalid_argument("EngineConfig: uplink_seconds must be finite and >= 0");
+    }
+    if (deadline_seconds + uplink_seconds > round_seconds) {
+        throw std::invalid_argument(
+            "EngineConfig: deadline_seconds + uplink_seconds must not exceed round_seconds "
+            "(a healthy upload must land before its round closes)");
+    }
+    server.validate();
+}
+
+double EngineReport::bytes_per_device_round() const noexcept {
+    std::size_t device_rounds = 0;
+    for (const EngineRoundStats& round : rounds) device_rounds += round.device_degraded.size();
+    if (device_rounds == 0) return 0.0;
+    const double total = static_cast<double>(total_broadcast_bytes) +
+                         static_cast<double>(total_upload_bytes) +
+                         static_cast<double>(total_batch_bytes);
+    return total / static_cast<double>(device_rounds);
+}
+
+namespace {
+
+double nearest_rank(const std::vector<double>& sorted, double quantile) {
+    if (sorted.empty()) return 0.0;
+    const double n = static_cast<double>(sorted.size());
+    const auto rank = static_cast<std::size_t>(std::ceil(quantile * n));
+    const std::size_t index = rank == 0 ? 0 : rank - 1;
+    return sorted[std::min(index, sorted.size() - 1)];
+}
+
+/// Folds the finished round's global SoA arrays — in device-index order, so
+/// the result is independent of shard partition and thread schedule — into
+/// the round's stats entry and the report totals.
+void finalize_round(const RoundSoA& soa, std::size_t theta_dim, EngineRoundStats& stats,
+                    EngineReport& report, std::vector<double>& latency_scratch) {
+    DREL_PROFILE_SCOPE("engine.finalize_round");
+    double accuracy_sum = 0.0;
+    double novel_sum = 0.0;
+    std::size_t novel_scored = 0;
+    for (std::size_t j = 0; j < soa.size(); ++j) {
+        if (soa.scored[j] != 0) {
+            ++stats.devices_scored;
+            accuracy_sum += soa.accuracy[j];
+            if (soa.novel[j] != 0) {
+                ++novel_scored;
+                novel_sum += soa.accuracy[j];
+            }
+        }
+        switch (soa.degraded[j]) {
+            case DegradedReason::kNone: break;
+            case DegradedReason::kCrashed: ++stats.crashed; break;
+            case DegradedReason::kStraggler: ++stats.stragglers; break;
+            case DegradedReason::kFallbackLocalErm: ++stats.fallbacks; break;
+            case DegradedReason::kStalePrior: break;  // counted via the stale flag below
+            case DegradedReason::kUploadDropped: break;  // counted via attempts below
+            case DegradedReason::kNonFinite: ++stats.non_finite; break;
+            case DegradedReason::kBackpressure: ++stats.backpressure_rejected; break;
+        }
+        record_degradation(soa.degraded[j]);
+        // Stale and dropped are facts about the round, not about which
+        // reason ultimately won the device's slot: a stale device whose
+        // solver also degraded is still a stale device, and an undelivered
+        // attempt is dropped whatever else went wrong.
+        stats.stale_priors += soa.stale_prior[j] != 0 ? 1 : 0;
+        stats.uploads_dropped +=
+            soa.upload_attempts[j] > 0 && soa.upload_delivered[j] == 0 ? 1 : 0;
+        stats.uploads_garbled += soa.upload_garbled[j] != 0 ? 1 : 0;
+        stats.upload_bytes +=
+            static_cast<std::size_t>(soa.upload_attempts[j]) * theta_dim * sizeof(double);
+        stats.upload_retries += soa.upload_retries[j];
+    }
+    if (stats.devices_scored > 0) {
+        stats.mean_accuracy = accuracy_sum / static_cast<double>(stats.devices_scored);
+    }
+    if (novel_scored > 0) {
+        stats.novel_mode_accuracy = novel_sum / static_cast<double>(novel_scored);
+    }
+
+    latency_scratch.assign(soa.latency_seconds.begin(), soa.latency_seconds.end());
+    std::sort(latency_scratch.begin(), latency_scratch.end());
+    stats.latency_p50_seconds = nearest_rank(latency_scratch, 0.50);
+    stats.latency_p99_seconds = nearest_rank(latency_scratch, 0.99);
+    stats.latency_p999_seconds = nearest_rank(latency_scratch, 0.999);
+    stats.latency_max_seconds = latency_scratch.empty() ? 0.0 : latency_scratch.back();
+
+    stats.device_degraded.assign(soa.degraded.begin(), soa.degraded.end());
+
+    report.total_upload_bytes += stats.upload_bytes;
+    report.total_batch_bytes += stats.batch_bytes;
+    report.total_upload_retries += stats.upload_retries;
+    report.total_backpressure_rejected += stats.backpressure_rejected;
+}
+
+}  // namespace
+
+EngineReport run_fleet_engine(const EngineConfig& config, const stats::Rng& device_root,
+                              const FaultPlan& plan, const DeviceWork& work,
+                              const RoundEndFn& round_end) {
+    DREL_PROFILE_SCOPE("engine.run");
+    config.validate();
+    const auto wall_start = std::chrono::steady_clock::now();
+
+    const std::size_t num_threads = std::max<std::size_t>(1, config.num_threads);
+    const std::size_t num_shards =
+        config.num_shards > 0 ? config.num_shards : num_threads;
+    const std::vector<ShardLayout> layouts =
+        make_shard_layouts(config.devices_per_round, num_shards);
+    std::vector<Shard> shards;
+    shards.reserve(layouts.size());
+    for (const ShardLayout& layout : layouts) shards.emplace_back(layout, config.theta_dim);
+
+    CloudServer server(config.server);
+    EventQueue queue;
+    RoundSoA soa;
+    std::vector<ShardRoundOutput> outputs(shards.size());
+    std::vector<double> latency_scratch;
+
+    EngineReport report;
+    report.rounds.reserve(config.rounds);
+    std::size_t current_components = config.initial_prior_components;
+
+    queue.schedule(0.0, EventKind::kRoundStart, 0);
+    while (!queue.empty()) {
+        const Event event = queue.pop();
+        const std::size_t round = event.round;
+        switch (event.kind) {
+            case EventKind::kRoundStart: {
+                DREL_PROFILE_SCOPE("engine.round_start");
+                EngineRoundStats stats;
+                stats.round = round;
+                stats.prior_components = current_components;
+                if (round == 0) {
+                    stats.broadcast_bytes += config.initial_broadcast_bytes;
+                    report.total_broadcast_bytes += config.initial_broadcast_bytes;
+                }
+                report.rounds.push_back(std::move(stats));
+
+                soa.resize(config.devices_per_round);
+                util::parallel_for(shards.size(), num_threads, [&](std::size_t s) {
+                    outputs[s] = shards[s].run_round(round, device_root, plan, work, soa,
+                                                     config.deadline_seconds,
+                                                     config.keep_thetas);
+                });
+                // Arrivals scheduled in shard order: deterministic seq
+                // numbers, hence a deterministic event sequence.
+                for (std::size_t s = 0; s < outputs.size(); ++s) {
+                    if (outputs[s].batch.stats.count == 0) continue;
+                    queue.schedule(
+                        event.time + outputs[s].completion_seconds + config.uplink_seconds,
+                        EventKind::kUploadArrival, static_cast<std::uint32_t>(round),
+                        static_cast<std::uint32_t>(s));
+                }
+                queue.schedule(event.time + config.round_seconds, EventKind::kRoundEnd,
+                               static_cast<std::uint32_t>(round));
+                break;
+            }
+            case EventKind::kUploadArrival: {
+                UploadBatch batch = std::move(outputs[event.shard].batch);
+                outputs[event.shard].batch = UploadBatch{};
+                EngineRoundStats& stats = report.rounds[round];
+                stats.batch_bytes += batch.on_air_bytes;
+                const std::vector<std::size_t> members = batch.devices;
+                if (!server.offer(std::move(batch), event.time)) {
+                    // Rejected at admission: every upload in the batch is
+                    // lost to backpressure. Keep any stronger reason the
+                    // device already carries.
+                    for (const std::size_t device : members) {
+                        if (soa.degraded[device] == DegradedReason::kNone) {
+                            soa.degraded[device] = DegradedReason::kBackpressure;
+                        }
+                    }
+                }
+                break;
+            }
+            case EventKind::kRoundEnd: {
+                DREL_PROFILE_SCOPE("engine.round_end");
+                server.drain_until(event.time);
+                EngineRoundStats& stats = report.rounds[round];
+                finalize_round(soa, config.theta_dim, stats, report, latency_scratch);
+
+                const RoundEndDecision decision = round_end(round, server);
+                current_components = decision.prior_components;
+                const bool has_next_round = round + 1 < config.rounds;
+                // The final round has no next fleet: nothing is pushed and
+                // nothing is charged, whatever the driver decided.
+                stats.rebroadcast = decision.rebroadcast && has_next_round;
+                if (stats.rebroadcast) {
+                    const std::size_t bytes =
+                        decision.payload_bytes * config.devices_per_round;
+                    stats.broadcast_bytes += bytes;
+                    report.total_broadcast_bytes += bytes;
+                }
+                if (has_next_round) {
+                    queue.schedule(event.time, EventKind::kRoundStart,
+                                   static_cast<std::uint32_t>(round + 1));
+                }
+                break;
+            }
+        }
+    }
+
+    report.virtual_seconds = queue.now();
+    report.events_processed = queue.total_popped();
+    const auto wall_end = std::chrono::steady_clock::now();
+    report.wall_seconds = std::chrono::duration<double>(wall_end - wall_start).count();
+    if (report.wall_seconds > 0.0) {
+        report.device_rounds_per_second =
+            static_cast<double>(config.rounds * config.devices_per_round) /
+            report.wall_seconds;
+    }
+    return report;
+}
+
+// ---------------------------------------------------------------------------
+// Scale path.
+
+ScaleFleetReport run_scale_fleet(const ScaleFleetConfig& config, stats::Rng& rng) {
+    DREL_PROFILE_SCOPE("engine.scale_fleet");
+    const std::size_t num_modes = std::max<std::size_t>(1, config.num_modes);
+    const std::size_t dim = std::max<std::size_t>(1, config.feature_dim);
+
+    // Oracle-style broadcast prior straight from the synthesized mode
+    // centers: the scale bench measures the machinery (throughput, tails,
+    // bytes), not prior inference, so the cheap per-device work only has to
+    // exercise real mixture evaluations.
+    stats::Rng mode_rng = rng.fork(11);
+    std::vector<linalg::Vector> means;
+    means.reserve(num_modes);
+    std::vector<stats::MultivariateNormal> atoms;
+    atoms.reserve(num_modes);
+    for (std::size_t k = 0; k < num_modes; ++k) {
+        linalg::Vector mean = mode_rng.standard_normal_vector(dim);
+        for (double& m : mean) m *= config.mode_radius;
+        atoms.push_back(stats::MultivariateNormal::isotropic(mean, config.within_mode_var));
+        means.push_back(std::move(mean));
+    }
+    const dp::MixturePrior prior(linalg::Vector(num_modes, 1.0), std::move(atoms));
+    const std::size_t payload_bytes = encoded_size(num_modes, dim, EncodingOptions{});
+
+    EngineConfig engine;
+    engine.rounds = config.rounds;
+    engine.devices_per_round = config.devices_per_round;
+    engine.theta_dim = dim;
+    engine.num_shards = config.num_shards;
+    engine.num_threads = config.num_threads;
+    engine.round_seconds = config.round_seconds;
+    engine.deadline_seconds = config.deadline_seconds;
+    engine.uplink_seconds = config.uplink_seconds;
+    engine.keep_thetas = false;  // sufficient statistics only on the wire
+    engine.initial_broadcast_bytes = payload_bytes * config.devices_per_round;
+    engine.initial_prior_components = num_modes;
+    engine.server = config.server;
+
+    const stats::Rng device_root = rng.fork(4);
+    const FaultPlan plan(config.faults, rng);
+    const double within_sd = std::sqrt(std::max(0.0, config.within_mode_var));
+
+    const DeviceWork work = [&](std::size_t round, std::size_t device, stats::Rng& work_rng,
+                                util::Workspace& ws) {
+        DeviceResult result;
+        const DeviceFaultDecision faults = plan.device_faults(round, device);
+        if (faults.straggler) {
+            result.reason = DegradedReason::kStraggler;
+            return result;
+        }
+        const std::size_t mode = work_rng.uniform_index(means.size());
+        linalg::Vector theta = means[mode];
+        for (double& value : theta) value += within_sd * work_rng.normal();
+
+        auto resp = ws.vec(means.size());
+        prior.responsibilities_into(theta, *resp, ws);
+        const std::size_t map_k = static_cast<std::size_t>(
+            std::max_element(resp->begin(), resp->end()) - resp->begin());
+        result.accuracy = map_k == mode ? 1.0 : 0.0;
+        result.scored = true;
+
+        const UploadOutcome up = plan.upload_outcome(round, device);
+        result.attempted_upload = true;
+        result.upload_attempts = up.attempts;
+        result.upload_retries = up.retries;
+        result.upload_delivered = up.delivered;
+        result.upload_garbled = up.garbled;
+        result.extra_seconds = up.simulated_seconds;
+        if (!up.delivered) {
+            result.reason = DegradedReason::kUploadDropped;
+        } else if (!up.garbled) {
+            result.theta = std::move(theta);
+        }
+        return result;
+    };
+
+    const RoundEndFn round_end = [&](std::size_t round, CloudServer& /*server*/) {
+        RoundEndDecision decision;
+        decision.prior_components = num_modes;
+        decision.payload_bytes = payload_bytes;
+        // Deterministic cadence instead of a shard-order-sensitive FP
+        // threshold, so the byte ledger is bit-identical across partitions.
+        decision.rebroadcast = config.rebroadcast_every > 0 &&
+                               (round + 1) % config.rebroadcast_every == 0;
+        return decision;
+    };
+
+    ScaleFleetReport report;
+    report.engine = run_fleet_engine(engine, device_root, plan, work, round_end);
+    report.prior_components = num_modes;
+    report.payload_bytes = payload_bytes;
+    double accuracy_weighted = 0.0;
+    std::size_t scored = 0;
+    for (const EngineRoundStats& round : report.engine.rounds) {
+        accuracy_weighted += round.mean_accuracy * static_cast<double>(round.devices_scored);
+        scored += round.devices_scored;
+    }
+    if (scored > 0) report.mode_recovery_rate = accuracy_weighted / static_cast<double>(scored);
+    return report;
+}
+
+}  // namespace drel::edgesim

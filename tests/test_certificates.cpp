@@ -193,6 +193,23 @@ TEST(LossyChannel, Validation) {
                  std::invalid_argument);
 }
 
+TEST(LossyChannel, EmptyPayloadIsRejectedUpFront) {
+    // An empty payload used to burn max_transmissions attempts shipping
+    // nothing and then report a zero-byte "delivery". It is a caller bug,
+    // rejected like packet_bytes == 0 — before any channel draw.
+    stats::Rng rng(13);
+    const std::vector<std::uint8_t> empty;
+    EXPECT_THROW(edgesim::transmit_prior(empty, {}, rng), std::invalid_argument);
+    EXPECT_THROW(
+        edgesim::transmit_with_retries(
+            empty, {}, rng, [](const std::vector<std::uint8_t>&) { return true; }),
+        std::invalid_argument);
+    // The throw happens before the RNG is touched: the next draw matches a
+    // fresh stream with the same seed.
+    stats::Rng fresh(13);
+    EXPECT_EQ(rng.uniform(), fresh.uniform());
+}
+
 TEST(LossyChannel, CapturingValidatorWorks) {
     // The validate hook accepts capturing lambdas: reject anything shorter
     // than the size we captured, accept the full payload.

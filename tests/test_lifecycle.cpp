@@ -135,5 +135,60 @@ TEST(Lifecycle, NovelModeRoundPastEndNeverActivates) {
     }
 }
 
+TEST(Lifecycle, FinalRoundNeverChargesARebroadcast) {
+    // A negative KL threshold makes every round-end refresh ask for a
+    // re-push. The fix under test: the LAST round has no next fleet, so its
+    // would-be push is neither flagged nor billed. With a single round the
+    // whole broadcast budget is exactly the bootstrap payload.
+    LifecycleConfig config = small_config();
+    config.rounds = 1;
+    config.rebroadcast_kl_threshold = -1.0;
+    stats::Rng rng(51);
+    const LifecycleReport single = run_lifecycle(config, rng);
+    ASSERT_EQ(single.rounds.size(), 1u);
+    EXPECT_GT(single.total_broadcast_bytes, 0u);
+    EXPECT_EQ(single.total_broadcast_bytes, single.rounds[0].broadcast_bytes);
+
+    // With two rounds the round-0 push IS charged (payload x fleet size),
+    // and round 1 — now final — again charges nothing.
+    config.rounds = 2;
+    stats::Rng rng2(51);
+    const LifecycleReport pair = run_lifecycle(config, rng2);
+    ASSERT_EQ(pair.rounds.size(), 2u);
+    EXPECT_TRUE(pair.rounds[0].rebroadcast);
+    EXPECT_GT(pair.rounds[0].broadcast_bytes, pair.rounds[1].broadcast_bytes);
+    EXPECT_EQ(pair.rounds[1].broadcast_bytes, 0u);
+    EXPECT_EQ(pair.total_broadcast_bytes,
+              pair.rounds[0].broadcast_bytes + pair.rounds[1].broadcast_bytes);
+}
+
+TEST(Lifecycle, ReportIsBitIdenticalAcrossThreadAndShardCounts) {
+    LifecycleConfig config = small_config();
+    config.rounds = 3;
+    stats::Rng rng(61);
+    const LifecycleReport baseline = run_lifecycle(config, rng);
+    const std::size_t thread_counts[] = {2, 4};
+    const std::size_t shard_counts[] = {1, 3, 6};
+    for (const std::size_t threads : thread_counts) {
+        for (const std::size_t shards : shard_counts) {
+            config.num_threads = threads;
+            config.num_shards = shards;
+            stats::Rng rng_i(61);
+            const LifecycleReport report = run_lifecycle(config, rng_i);
+            ASSERT_EQ(report.rounds.size(), baseline.rounds.size());
+            EXPECT_EQ(report.total_broadcast_bytes, baseline.total_broadcast_bytes);
+            EXPECT_EQ(report.total_upload_bytes, baseline.total_upload_bytes);
+            for (std::size_t r = 0; r < report.rounds.size(); ++r) {
+                EXPECT_DOUBLE_EQ(report.rounds[r].mean_accuracy,
+                                 baseline.rounds[r].mean_accuracy);
+                EXPECT_EQ(report.rounds[r].device_degraded,
+                          baseline.rounds[r].device_degraded);
+                EXPECT_EQ(report.rounds[r].prior_components,
+                          baseline.rounds[r].prior_components);
+            }
+        }
+    }
+}
+
 }  // namespace
 }  // namespace drel::edgesim
