@@ -29,6 +29,7 @@
 
 #include "core/edge_learner.hpp"
 #include "data/task_generator.hpp"
+#include "dp/batch_responsibilities.hpp"
 #include "dp/dpmm_gibbs.hpp"
 #include "dp/mixture_prior.hpp"
 #include "dro/chi_square.hpp"
@@ -39,14 +40,17 @@
 #include "edgesim/transfer.hpp"
 #include "linalg/cholesky.hpp"
 #include "linalg/eigen_sym.hpp"
+#include "linalg/vector_ops.hpp"
 #include "linalg/qr.hpp"
 #include "models/erm_objective.hpp"
 #include "models/stochastic_erm.hpp"
 #include "obs/json.hpp"
 #include "optim/lbfgs.hpp"
 #include "optim/sgd.hpp"
+#include "stats/alias_table.hpp"
 #include "stats/rng.hpp"
 #include "util/executor.hpp"
+#include "util/workspace.hpp"
 
 namespace {
 
@@ -194,6 +198,29 @@ std::vector<BenchSpec> build_registry() {
         for (std::size_t i = 0; i < iters; ++i) sink(a.matmul(b)(0, 0));
     }});
 
+    // The dispatched SIMD kernels at a hot-path-typical length. These time
+    // whatever backend linalg::simd::active() resolved (DREL_SIMD overrides),
+    // so a recorded baseline pins the NATIVE backend's throughput.
+    registry.push_back({"linalg.simd_dot", false, [](std::size_t iters) {
+        static const linalg::Vector x = stats::Rng(31).standard_normal_vector(256);
+        static const linalg::Vector y = stats::Rng(32).standard_normal_vector(256);
+        for (std::size_t i = 0; i < iters; ++i) {
+            sink(linalg::dot_n(x.data(), y.data(), x.size()));
+        }
+    }});
+
+    registry.push_back({"linalg.simd_axpy", false, [](std::size_t iters) {
+        static const linalg::Vector x = stats::Rng(33).standard_normal_vector(256);
+        static linalg::Vector y = stats::Rng(34).standard_normal_vector(256);
+        // Paired +a/-a updates keep y bounded at any iteration count; one
+        // "iteration" therefore times TWO axpy calls.
+        for (std::size_t i = 0; i < iters; ++i) {
+            linalg::axpy_n(0.5, x.data(), y.data(), y.size());
+            linalg::axpy_n(-0.5, x.data(), y.data(), y.size());
+        }
+        sink(y[0]);
+    }});
+
     registry.push_back({"models.erm_gradient", false, [](std::size_t iters) {
         static const models::Dataset d = bench_dataset(256, 8);
         static const auto loss = models::make_logistic_loss();
@@ -238,6 +265,51 @@ std::vector<BenchSpec> build_registry() {
         static const dp::MixturePrior prior = bench_prior(9, 16);
         static const linalg::Vector theta = stats::Rng(13).standard_normal_vector(9);
         for (std::size_t i = 0; i < iters; ++i) sink(prior.responsibilities(theta)[0]);
+    }});
+
+    // Batched shard scoring: the SAME mixture shape as
+    // dp.mixture_responsibilities (dim 9, 16 atoms), 512 devices per call.
+    // One iteration here does the work of 512 per-device evaluations, so
+    // the ≥2x win shows up as median(this) < 0.5 * 512 *
+    // median(dp.mixture_responsibilities) — the comparison EXPERIMENTS.md
+    // E22 records.
+    registry.push_back({"dp.batch_responsibilities", false, [](std::size_t iters) {
+        static const dp::MixturePrior prior = bench_prior(9, 16);
+        static const dp::BatchResponsibilities batch(prior);
+        constexpr std::size_t kDevices = 512;
+        static const std::vector<double> thetas = [] {
+            stats::Rng rng(35);
+            std::vector<double> t(kDevices * 9);
+            for (double& v : t) v = rng.normal();
+            return t;
+        }();
+        static const std::vector<std::size_t> tags(kDevices, 0);
+        static std::vector<double> accuracy(kDevices, 0.0);
+        util::Workspace& ws = util::Workspace::local();
+        for (std::size_t i = 0; i < iters; ++i) {
+            batch.score_match_into(thetas.data(), kDevices, tags.data(), accuracy.data(),
+                                   ws);
+            sink(accuracy[0]);
+        }
+    }});
+
+    // One alias draw over a 64-way table (build amortized away): the O(1)
+    // replacement for the O(K) categorical scan in the Gibbs sweep.
+    registry.push_back({"stats.alias_draw", false, [](std::size_t iters) {
+        static const stats::AliasTable table = [] {
+            stats::Rng rng(36);
+            std::vector<double> weights(64);
+            for (double& w : weights) w = 0.1 + rng.uniform();
+            stats::AliasTable t;
+            t.rebuild(weights.data(), weights.size());
+            return t;
+        }();
+        stats::Rng rng(37);
+        double acc = 0.0;
+        for (std::size_t i = 0; i < iters; ++i) {
+            acc += static_cast<double>(table.draw(rng));
+        }
+        sink(acc);
     }});
 
     registry.push_back({"dp.gibbs_sweep", false, [](std::size_t iters) {

@@ -11,6 +11,11 @@
 # short-circuits the AddressSanitizer pass. The script exits non-zero if
 # EITHER suite failed.
 #
+# The SIMD dispatch and sampling-statistics suites (test_simd_dispatch,
+# test_sampling_stats) ride in both sanitizer builds: the dispatch layer's
+# scoped-override atomics are TSan territory, and the alias/reservoir
+# builds index worklists ASan should watch.
+#
 # Usage: scripts/check_sanitizers.sh [jobs]
 set -euo pipefail
 
@@ -25,7 +30,8 @@ for sanitizer in thread address; do
         -DCMAKE_BUILD_TYPE=RelWithDebInfo > /dev/null
     cmake --build "${build_dir}" -j "${jobs}" \
         --target test_util test_concurrency test_faults test_engine \
-                 test_linalg_property test_dro_invariants > /dev/null
+                 test_linalg_property test_dro_invariants \
+                 test_simd_dispatch test_sampling_stats > /dev/null
     # The property/differential harness (ctest -L property) runs here too:
     # the allocation-free kernels and workspace arenas are exactly the code
     # whose buffer reuse ASan/TSan can falsify. The event-driven engine
@@ -33,7 +39,7 @@ for sanitizer in thread address; do
     # per-shard SoA slices across threads — the exact pattern TSan exists
     # to check.
     if ! (cd "${build_dir}" && ctest --output-on-failure -j "${jobs}" \
-        -R 'ThreadPool|ParallelFor|ParallelReduce|Executor|Determinism|Fault|Chaos|EmDroDegradation|WorkspaceKernels|LinalgProperty|DroInvariants|FleetEngine|EventQueue|StreamScheme|ScaleFleet|ShardLayout|UploadSufficientStats'); then
+        -R 'ThreadPool|ParallelFor|ParallelReduce|Executor|Determinism|Fault|Chaos|EmDroDegradation|WorkspaceKernels|LinalgProperty|DroInvariants|FleetEngine|EventQueue|StreamScheme|ScaleFleet|ShardLayout|UploadSufficientStats|SimdDispatch|SamplingStats'); then
         echo "!!! ${sanitizer} sanitizer suite FAILED"
         failed+=("${sanitizer}")
     fi

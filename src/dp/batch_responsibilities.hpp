@@ -1,0 +1,77 @@
+// Batched mixture-prior evaluation over a whole device shard.
+//
+// The scale fleet scores every healthy device against the broadcast prior:
+// K Gaussian log-densities plus a normalization per device. Evaluated
+// per-device (MixturePrior::responsibilities_into), each density is a
+// dim-sized triangular solve — dozens of tiny dependent kernels whose
+// dispatch and loop overhead dominates at fleet scale. This type evaluates
+// the SAME mixture against a flat [count x dim] row-major block of thetas in
+// one call by restructuring the math around the BATCH axis:
+//
+//   1. transpose the block once to dim-major (coordinate r of every device
+//      contiguous),
+//   2. per atom, subtract the mean coordinate-wise (sub_const over count
+//      devices at a time) and run the forward substitution with the
+//      division and the column updates vectorized across devices
+//      (div_const / axpy over count-length rows),
+//   3. accumulate the Mahalanobis quadratics with add_sq and finish each
+//      density from the atom's cached log-determinant.
+//
+// Every inner kernel comes from linalg::simd::active() and is elementwise,
+// so results are bit-identical across SIMD backends (scalar/AVX2/NEON) and
+// independent of how the fleet is sharded: each device's row depends only on
+// its own theta, never on batch composition. Against the per-device path the
+// values differ by a few ULPs (the solve's reduction runs column-by-column
+// across the batch instead of through the 8-lane dot kernel); the naive
+// oracle is linalg::reference::batch_log_densities.
+//
+// Counter parity: a batched call bumps dp.responsibility_evals by `count`,
+// exactly what `count` per-device calls would have added.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "dp/mixture_prior.hpp"
+#include "util/workspace.hpp"
+
+namespace drel::dp {
+
+class BatchResponsibilities {
+ public:
+    /// Borrows `prior` (must outlive this object) and caches the per-atom
+    /// constants (log weights, log determinants, factor pointers).
+    explicit BatchResponsibilities(const MixturePrior& prior);
+
+    std::size_t num_components() const noexcept { return prior_->num_components(); }
+    std::size_t dim() const noexcept { return prior_->dim(); }
+    const MixturePrior& prior() const noexcept { return *prior_; }
+
+    /// out[i*K + k] = log pi_k + log N(theta_i; mu_k, Sigma_k) for the
+    /// row-major block thetas[count x dim]. `out` must hold count*K doubles.
+    void log_densities_into(const double* thetas, std::size_t count, double* out,
+                            util::Workspace& ws) const;
+
+    /// Row-wise softmax of log_densities_into: out[i*K + k] = r_k(theta_i).
+    /// Normalization mirrors linalg::softmax_inplace (max-shifted LSE).
+    void responsibilities_into(const double* thetas, std::size_t count, double* out,
+                               util::Workspace& ws) const;
+
+    /// out[i] = argmax_k of device i's responsibilities (first max wins,
+    /// like linalg::argmax). `out` must hold count entries.
+    void map_components_into(const double* thetas, std::size_t count, std::size_t* out,
+                             util::Workspace& ws) const;
+
+    /// accuracy_out[i] = 1.0 if the MAP component of theta_i equals
+    /// tags[i], else 0.0 — the scale fleet's mode-recovery score for a
+    /// whole shard in one call.
+    void score_match_into(const double* thetas, std::size_t count, const std::size_t* tags,
+                          double* accuracy_out, util::Workspace& ws) const;
+
+ private:
+    const MixturePrior* prior_;
+    std::vector<double> log_weights_;  ///< log pi_k, bit-identical to the prior's cache
+    std::vector<double> log_dets_;     ///< log |Sigma_k|
+};
+
+}  // namespace drel::dp

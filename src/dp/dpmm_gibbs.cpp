@@ -161,7 +161,8 @@ void DpmmGibbs::sweep(stats::Rng& rng) {
         log_weights->back() = std::log(config_.alpha) +
                               predictive_log_pdf(observations_[j], 0, empty_sum);
         linalg::softmax_inplace(*log_weights);
-        insert_observation(j, rng.categorical(*log_weights));
+        assignment_sampler_.rebuild(log_weights->data(), log_weights->size());
+        insert_observation(j, assignment_sampler_.draw(rng));
     }
     if (config_.resample_alpha) resample_alpha(rng);
 }
@@ -187,7 +188,8 @@ void DpmmGibbs::add_observation(linalg::Vector theta, stats::Rng& rng, int refre
         log_weights->back() = std::log(config_.alpha) +
                               predictive_log_pdf(observations_[j], 0, linalg::Vector{});
         linalg::softmax_inplace(*log_weights);
-        insert_observation(j, rng.categorical(*log_weights));
+        assignment_sampler_.rebuild(log_weights->data(), log_weights->size());
+        insert_observation(j, assignment_sampler_.draw(rng));
     }
     for (int s = 0; s < refresh_sweeps; ++s) sweep(rng);
 }

@@ -29,6 +29,7 @@
 #include "dp/mixture_prior.hpp"
 #include "linalg/cholesky.hpp"
 #include "linalg/matrix.hpp"
+#include "stats/alias_table.hpp"
 #include "stats/rng.hpp"
 #include "util/workspace.hpp"
 
@@ -137,6 +138,12 @@ class DpmmGibbs {
     /// memoization of deterministic factorizations. Not thread-safe, like
     /// the sampler itself (Gibbs sweeps are inherently sequential).
     mutable std::vector<CountCache> count_cache_;
+
+    /// Reused across cluster-assignment draws so the O(K) alias build
+    /// allocates only while the cluster count grows. One draw consumes one
+    /// uniform, exactly like the Rng::categorical scan it replaced, so the
+    /// RNG stream stays aligned with every non-assignment draw.
+    stats::AliasTable assignment_sampler_;
 };
 
 }  // namespace drel::dp

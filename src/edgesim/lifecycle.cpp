@@ -225,7 +225,17 @@ LifecycleReport run_lifecycle(const LifecycleConfig& config, stats::Rng& rng) {
     // --- Cloud refresh policy, run by the engine at each round close. ---
     const RoundEndFn round_end = [&](std::size_t round, CloudServer& server) {
         RoundEndDecision decision;
-        auto uploads = server.take_serviced_thetas();
+        std::vector<std::pair<std::size_t, linalg::Vector>> uploads;
+        if (config.max_refresh_uploads > 0) {
+            // Thinning draws from its own stream so enabling the bound
+            // perturbs no kPosteriorUpdate/kKlEstimate draw.
+            stats::Rng subsample_rng =
+                server_stream(server_root, round, ServerStream::kSubsample);
+            uploads = server.sample_serviced_thetas(config.max_refresh_uploads,
+                                                    subsample_rng);
+        } else {
+            uploads = server.take_serviced_thetas();
+        }
         if (config.feedback && !uploads.empty()) {
             DREL_PROFILE_SCOPE("lifecycle.cloud_refresh");
             stats::Rng update_rng =

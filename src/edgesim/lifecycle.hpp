@@ -60,6 +60,13 @@ struct LifecycleConfig {
     bool feedback = true;
     int refresh_sweeps_per_upload = 3;
 
+    /// Upper bound on serviced uploads folded into a single round's cloud
+    /// refresh; the excess is thinned by a weighted reservoir with recency
+    /// weights (CloudServer::sample_serviced_thetas, ServerStream::
+    /// kSubsample). 0 = no bound: every serviced upload refreshes the
+    /// prior, the historical behavior.
+    std::size_t max_refresh_uploads = 0;
+
     /// Re-broadcast when symmetric KL(new prior, last broadcast) exceeds
     /// this; the check itself is cheap (Monte-Carlo with `kl_samples`).
     double rebroadcast_kl_threshold = 0.05;

@@ -6,12 +6,14 @@
 #include <stdexcept>
 #include <utility>
 
+#include "dp/batch_responsibilities.hpp"
 #include "dp/mixture_prior.hpp"
 #include "edgesim/scheduler.hpp"
 #include "edgesim/transfer.hpp"
 #include "obs/metrics.hpp"
 #include "obs/profiler.hpp"
 #include "stats/multivariate_normal.hpp"
+#include "stats/weighted_reservoir.hpp"
 #include "util/executor.hpp"
 
 namespace drel::edgesim {
@@ -75,6 +77,38 @@ std::vector<std::pair<std::size_t, linalg::Vector>> CloudServer::take_serviced_t
     std::vector<std::pair<std::size_t, linalg::Vector>> out;
     out.reserve(serviced_thetas_.size());
     for (auto& entry : serviced_thetas_) {
+        out.emplace_back(entry.device, std::move(entry.theta));
+    }
+    serviced_thetas_.clear();
+    return out;
+}
+
+std::vector<std::pair<std::size_t, linalg::Vector>> CloudServer::sample_serviced_thetas(
+    std::size_t max_count, stats::Rng& rng) {
+    if (max_count == 0 || serviced_thetas_.size() <= max_count) {
+        return take_serviced_thetas();
+    }
+    // Same canonical order as take_serviced_thetas: the reservoir's offer
+    // stream — and therefore the kept set — is arrival-order independent.
+    std::sort(serviced_thetas_.begin(), serviced_thetas_.end(),
+              [](const ServicedTheta& a, const ServicedTheta& b) {
+                  return a.round != b.round ? a.round < b.round : a.device < b.device;
+              });
+    std::size_t latest_round = 0;
+    for (const ServicedTheta& entry : serviced_thetas_) {
+        latest_round = std::max(latest_round, entry.round);
+    }
+    stats::WeightedReservoir reservoir(max_count);
+    for (std::size_t i = 0; i < serviced_thetas_.size(); ++i) {
+        // Halve the weight per round of age; clamp so ldexp never denormals.
+        const std::size_t age = latest_round - serviced_thetas_[i].round;
+        const double weight = std::ldexp(1.0, -static_cast<int>(std::min<std::size_t>(age, 64)));
+        reservoir.offer(i, weight, rng);
+    }
+    std::vector<std::pair<std::size_t, linalg::Vector>> out;
+    out.reserve(max_count);
+    for (const std::size_t i : reservoir.sorted_items()) {
+        ServicedTheta& entry = serviced_thetas_[i];
         out.emplace_back(entry.device, std::move(entry.theta));
     }
     serviced_thetas_.clear();
@@ -191,7 +225,8 @@ void finalize_round(const RoundSoA& soa, std::size_t theta_dim, EngineRoundStats
 
 EngineReport run_fleet_engine(const EngineConfig& config, const stats::Rng& device_root,
                               const FaultPlan& plan, const DeviceWork& work,
-                              const RoundEndFn& round_end) {
+                              const RoundEndFn& round_end,
+                              const BatchScoreFn* batch_score) {
     DREL_PROFILE_SCOPE("engine.run");
     config.validate();
     const auto wall_start = std::chrono::steady_clock::now();
@@ -235,7 +270,7 @@ EngineReport run_fleet_engine(const EngineConfig& config, const stats::Rng& devi
                 util::parallel_for(shards.size(), num_threads, [&](std::size_t s) {
                     outputs[s] = shards[s].run_round(round, device_root, plan, work, soa,
                                                      config.deadline_seconds,
-                                                     config.keep_thetas);
+                                                     config.keep_thetas, batch_score);
                 });
                 // Arrivals scheduled in shard order: deterministic seq
                 // numbers, hence a deterministic event sequence.
@@ -352,7 +387,7 @@ ScaleFleetReport run_scale_fleet(const ScaleFleetConfig& config, stats::Rng& rng
     const double within_sd = std::sqrt(std::max(0.0, config.within_mode_var));
 
     const DeviceWork work = [&](std::size_t round, std::size_t device, stats::Rng& work_rng,
-                                util::Workspace& ws) {
+                                util::Workspace& /*ws*/) {
         DeviceResult result;
         const DeviceFaultDecision faults = plan.device_faults(round, device);
         if (faults.straggler) {
@@ -363,12 +398,12 @@ ScaleFleetReport run_scale_fleet(const ScaleFleetConfig& config, stats::Rng& rng
         linalg::Vector theta = means[mode];
         for (double& value : theta) value += within_sd * work_rng.normal();
 
-        auto resp = ws.vec(means.size());
-        prior.responsibilities_into(theta, *resp, ws);
-        const std::size_t map_k = static_cast<std::size_t>(
-            std::max_element(resp->begin(), resp->end()) - resp->begin());
-        result.accuracy = map_k == mode ? 1.0 : 0.0;
+        // Scoring is deferred: the shard hands its whole slice of thetas to
+        // the batched responsibilities kernel in one call after the device
+        // loop, instead of K tiny solves per device here.
         result.scored = true;
+        result.defer_score = true;
+        result.score_tag = mode;
 
         const UploadOutcome up = plan.upload_outcome(round, device);
         result.attempted_upload = true;
@@ -379,10 +414,21 @@ ScaleFleetReport run_scale_fleet(const ScaleFleetConfig& config, stats::Rng& rng
         result.extra_seconds = up.simulated_seconds;
         if (!up.delivered) {
             result.reason = DegradedReason::kUploadDropped;
-        } else if (!up.garbled) {
-            result.theta = std::move(theta);
         }
+        // theta is always populated — the batch scorer needs it even when
+        // the upload is dropped or garbled (the shard only batches it
+        // upload-side when delivered && !garbled).
+        result.theta = std::move(theta);
         return result;
+    };
+
+    const dp::BatchResponsibilities batch_prior(prior);
+    const BatchScoreFn batch_score = [&](std::size_t /*round*/, const std::size_t* tags,
+                                         const double* thetas, std::size_t count,
+                                         std::size_t theta_dim, double* accuracy_out,
+                                         util::Workspace& ws) {
+        (void)theta_dim;
+        batch_prior.score_match_into(thetas, count, tags, accuracy_out, ws);
     };
 
     const RoundEndFn round_end = [&](std::size_t round, CloudServer& /*server*/) {
@@ -397,7 +443,7 @@ ScaleFleetReport run_scale_fleet(const ScaleFleetConfig& config, stats::Rng& rng
     };
 
     ScaleFleetReport report;
-    report.engine = run_fleet_engine(engine, device_root, plan, work, round_end);
+    report.engine = run_fleet_engine(engine, device_root, plan, work, round_end, &batch_score);
     report.prior_components = num_modes;
     report.payload_bytes = payload_bytes;
     double accuracy_weighted = 0.0;

@@ -50,6 +50,7 @@ namespace drel::edgesim {
 enum class ServerStream : std::uint64_t {
     kPosteriorUpdate = 0,  ///< online DP refresh sweeps
     kKlEstimate = 1,       ///< Monte-Carlo symmetric-KL rebroadcast trigger
+    kSubsample = 2,        ///< weighted reservoir over serviced uploads
 };
 
 /// Collision-free per-round server stream: server_root.fork(round)
@@ -91,6 +92,18 @@ class CloudServer {
     /// Uploads serviced since the last take, sorted by (round, global
     /// device index) — arrival-order independent. Clears the buffer.
     std::vector<std::pair<std::size_t, linalg::Vector>> take_serviced_thetas();
+
+    /// Like take_serviced_thetas(), but keeps at most `max_count` uploads,
+    /// chosen by an A-ExpJ weighted reservoir with recency weights
+    /// 2^-(latest_round - round): a round-newer upload is twice as likely to
+    /// survive, bounding refresh cost at any fleet scale without discarding
+    /// history outright. max_count == 0 or a buffer already within budget
+    /// degrades to the plain take (no rng draw — behavior-identical).
+    /// Offers stream in (round, device) order, so the kept set is a pure
+    /// function of the serviced multiset and the rng state. Clears the
+    /// buffer.
+    std::vector<std::pair<std::size_t, linalg::Vector>> sample_serviced_thetas(
+        std::size_t max_count, stats::Rng& rng);
 
     /// Cumulative statistics over every serviced batch.
     const UploadStats& merged_stats() const noexcept { return merged_; }
@@ -233,10 +246,14 @@ struct EngineReport {
 /// Runs the event loop: `work` per device (round, global index, work
 /// stream, shard arena), `round_end` at each round close. `device_root`
 /// and the fault plan are the only randomness sources; the engine itself
-/// never draws.
+/// never draws. A non-null `batch_score` lets `work` defer its accuracy
+/// (DeviceResult::defer_score): each shard then scores its whole slice in
+/// one call after the device loop — same reports, one kernel invocation
+/// per shard instead of one per device.
 EngineReport run_fleet_engine(const EngineConfig& config, const stats::Rng& device_root,
                               const FaultPlan& plan, const DeviceWork& work,
-                              const RoundEndFn& round_end);
+                              const RoundEndFn& round_end,
+                              const BatchScoreFn* batch_score = nullptr);
 
 // ---------------------------------------------------------------------------
 // The scale path: ≥100k simulated devices per round.

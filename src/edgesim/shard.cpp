@@ -86,7 +86,7 @@ Shard::Shard(ShardLayout layout, std::size_t theta_dim)
 ShardRoundOutput Shard::run_round(std::size_t round, const stats::Rng& device_root,
                                   const FaultPlan& plan, const DeviceWork& work,
                                   RoundSoA& soa, double deadline_seconds,
-                                  bool keep_thetas) {
+                                  bool keep_thetas, const BatchScoreFn* batch_score) {
     DREL_PROFILE_SCOPE("engine.shard_round");
     if (layout_.end > soa.size()) {
         throw std::invalid_argument("Shard::run_round: SoA smaller than shard range");
@@ -94,6 +94,9 @@ ShardRoundOutput Shard::run_round(std::size_t round, const stats::Rng& device_ro
     ShardRoundOutput out;
     out.batch.round = static_cast<std::uint32_t>(round);
     out.batch.shard = static_cast<std::uint32_t>(layout_.index);
+    defer_devices_.clear();
+    defer_tags_.clear();
+    defer_thetas_.clear();
 
     for (std::size_t j = layout_.begin; j < layout_.end; ++j) {
         const DeviceFaultDecision faults = plan.device_faults(round, j);
@@ -125,6 +128,20 @@ ShardRoundOutput Shard::run_round(std::size_t round, const stats::Rng& device_ro
             out.completion_seconds = std::max(out.completion_seconds, latency);
         }
 
+        // Collect deferred thetas BEFORE the upload block may move the
+        // vector into the batch. Accuracy for these devices is written by
+        // the batch scorer below; the placeholder keeps the slot defined.
+        if (result.defer_score && batch_score != nullptr) {
+            if (result.theta.size() != theta_dim_) {
+                throw std::invalid_argument(
+                    "Shard::run_round: defer_score without a populated theta");
+            }
+            defer_devices_.push_back(j);
+            defer_tags_.push_back(result.score_tag);
+            defer_thetas_.insert(defer_thetas_.end(), result.theta.begin(),
+                                 result.theta.end());
+        }
+
         soa.accuracy[j] = result.accuracy;
         soa.latency_seconds[j] = latency;
         soa.degraded[j] = result.reason;
@@ -143,6 +160,17 @@ ShardRoundOutput Shard::run_round(std::size_t round, const stats::Rng& device_ro
             if (keep_thetas) out.batch.thetas.emplace_back(j, std::move(result.theta));
         }
     }
+    if (!defer_devices_.empty()) {
+        DREL_PROFILE_SCOPE("engine.shard_batch_score");
+        defer_accuracy_.assign(defer_devices_.size(), 0.0);
+        (*batch_score)(round, defer_tags_.data(), defer_thetas_.data(),
+                       defer_devices_.size(), theta_dim_, defer_accuracy_.data(),
+                       *workspace_);
+        for (std::size_t i = 0; i < defer_devices_.size(); ++i) {
+            soa.accuracy[defer_devices_[i]] = defer_accuracy_[i];
+        }
+    }
+
     out.batch.on_air_bytes = out.batch.stats.count == 0
                                  ? 0
                                  : out.batch.stats.encoded_bytes() +

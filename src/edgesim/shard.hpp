@@ -139,12 +139,31 @@ struct DeviceResult {
     bool upload_delivered = false;
     bool upload_garbled = false;
     /// Uploaded parameter vector (post-garbling); meaningful only when
-    /// attempted_upload && upload_delivered.
+    /// attempted_upload && upload_delivered — or when `defer_score` asks the
+    /// shard to score it (then it must always be populated).
     linalg::Vector theta;
     /// Extra simulated seconds the device spent before completing (upload
     /// backoff, stretched compute); added to the latency draw.
     double extra_seconds = 0.0;
+
+    /// The work callback produced `theta` and `score_tag` but left
+    /// `accuracy` to the shard: after its device loop the shard hands every
+    /// deferred theta to the engine's BatchScoreFn in one call (the batched
+    /// responsibilities kernel). Requires a populated `theta` and
+    /// `scored == true`; ignored when the engine has no batch scorer.
+    bool defer_score = false;
+    /// Opaque per-device tag forwarded to the batch scorer (the scale
+    /// fleet passes the true mode index to match).
+    std::size_t score_tag = 0;
 };
+
+/// Scores `count` deferred devices in one call: `thetas` is a row-major
+/// [count x dim] block in slice order, `tags` the matching score_tags;
+/// writes one accuracy per device into `accuracy_out`. Must be pure and
+/// thread-safe — shards may invoke it concurrently with their own arenas.
+using BatchScoreFn = std::function<void(
+    std::size_t round, const std::size_t* tags, const double* thetas, std::size_t count,
+    std::size_t dim, double* accuracy_out, util::Workspace& ws)>;
 
 /// Per-device domain logic, supplied by the driver (full EM training for
 /// the lifecycle, cheap prior scoring for the scale bench). `work_rng` is
@@ -176,16 +195,27 @@ class Shard {
     /// `work`, writes the SoA slice, and assembles the upload batch
     /// (sufficient stats always; raw thetas when `keep_thetas`).
     /// `deadline_seconds` caps healthy latency draws; stragglers land past
-    /// it deterministically.
+    /// it deterministically. Devices whose result sets `defer_score` are
+    /// collected and scored by `batch_score` in ONE call after the device
+    /// loop (slice order, so the batch is a pure function of the slice);
+    /// pass nullptr when no work defers.
     ShardRoundOutput run_round(std::size_t round, const stats::Rng& device_root,
                                const FaultPlan& plan, const DeviceWork& work,
-                               RoundSoA& soa, double deadline_seconds, bool keep_thetas);
+                               RoundSoA& soa, double deadline_seconds, bool keep_thetas,
+                               const BatchScoreFn* batch_score = nullptr);
 
  private:
     ShardLayout layout_;
     std::size_t theta_dim_;
     // Behind a pointer so Shard stays movable (arenas are pinned in place).
     std::unique_ptr<util::Workspace> workspace_;
+
+    // Deferred-scoring scratch, reused across rounds (steady-state
+    // allocation-free, like the arena).
+    std::vector<std::size_t> defer_devices_;  ///< global indices, slice order
+    std::vector<std::size_t> defer_tags_;
+    std::vector<double> defer_thetas_;        ///< row-major [deferred x dim]
+    std::vector<double> defer_accuracy_;
 };
 
 }  // namespace drel::edgesim

@@ -3,6 +3,7 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "linalg/simd.hpp"
 #include "obs/profiler.hpp"
 
 namespace drel::linalg {
@@ -59,11 +60,15 @@ Cholesky Cholesky::factor_with_jitter(Matrix a, double initial_jitter, int max_t
 Vector Cholesky::solve_lower(const Vector& b) const {
     const std::size_t n = dim();
     if (b.size() != n) throw std::invalid_argument("Cholesky::solve_lower: dimension mismatch");
+    // Substitutions subtract the lane-contract dot of the solved prefix —
+    // the 8-lane tree (simd.hpp), not the historical one-by-one subtraction,
+    // so results are bit-identical across backends (and a few ULPs off the
+    // naive reference; the property suite pins the bound). dot_n's inline
+    // short-input path matters here: every prefix at dim <= 16 is short.
     Vector y(n);
     for (std::size_t i = 0; i < n; ++i) {
-        double acc = b[i];
-        for (std::size_t k = 0; k < i; ++k) acc -= l_(i, k) * y[k];
-        y[i] = acc / l_(i, i);
+        const double* l_i = l_.row_data(i);
+        y[i] = (b[i] - dot_n(l_i, y.data(), i)) / l_i[i];
     }
     return y;
 }
@@ -71,11 +76,17 @@ Vector Cholesky::solve_lower(const Vector& b) const {
 Vector Cholesky::solve_upper(const Vector& y) const {
     const std::size_t n = dim();
     if (y.size() != n) throw std::invalid_argument("Cholesky::solve_upper: dimension mismatch");
+    // Back-substitution walks column ii of L — stride-n access. Every
+    // backend's table points at the one shared lane-contract strided dot, so
+    // calling it directly (inline, no dispatch) changes nothing but speed.
     Vector x(n);
     for (std::size_t ii = n; ii-- > 0;) {
-        double acc = y[ii];
-        for (std::size_t k = ii + 1; k < n; ++k) acc -= l_(k, ii) * x[k];
-        x[ii] = acc / l_(ii, ii);
+        const std::size_t tail = n - ii - 1;
+        // &l_(ii + 1, ii); only formed when the column below the diagonal is
+        // non-empty, so the pointer always lands inside the factor.
+        const double* col = tail > 0 ? l_.row_data(ii + 1) + ii : nullptr;
+        x[ii] = (y[ii] - simd::scalar::dot_stride_n(col, n, x.data() + ii + 1, tail)) /
+                l_(ii, ii);
     }
     return x;
 }
@@ -86,12 +97,11 @@ void Cholesky::solve_lower_in_place(Vector& x) const {
     const std::size_t n = dim();
     if (x.size() != n) throw std::invalid_argument("Cholesky::solve_lower_in_place: dimension mismatch");
     // Forward substitution overwriting x: entry i reads x[i] (still b[i]) and
-    // entries < i (already solutions), exactly like the allocating version.
+    // entries < i (already solutions), exactly like the allocating version —
+    // same lane-contract dot, so both produce identical bits.
     for (std::size_t i = 0; i < n; ++i) {
         const double* l_i = l_.row_data(i);
-        double acc = x[i];
-        for (std::size_t k = 0; k < i; ++k) acc -= l_i[k] * x[k];
-        x[i] = acc / l_i[i];
+        x[i] = (x[i] - dot_n(l_i, x.data(), i)) / l_i[i];
     }
 }
 
@@ -99,9 +109,10 @@ void Cholesky::solve_upper_in_place(Vector& x) const {
     const std::size_t n = dim();
     if (x.size() != n) throw std::invalid_argument("Cholesky::solve_upper_in_place: dimension mismatch");
     for (std::size_t ii = n; ii-- > 0;) {
-        double acc = x[ii];
-        for (std::size_t k = ii + 1; k < n; ++k) acc -= l_(k, ii) * x[k];
-        x[ii] = acc / l_(ii, ii);
+        const std::size_t tail = n - ii - 1;
+        const double* col = tail > 0 ? l_.row_data(ii + 1) + ii : nullptr;  // &l_(ii + 1, ii)
+        x[ii] = (x[ii] - simd::scalar::dot_stride_n(col, n, x.data() + ii + 1, tail)) /
+                l_(ii, ii);
     }
 }
 

@@ -100,8 +100,7 @@ Vector Matrix::matvec_transposed(const Vector& x) const {
     for (std::size_t r = 0; r < rows_; ++r) {
         const double xr = x[r];
         if (xr == 0.0) continue;
-        const double* row_ptr = data_.data() + r * cols_;
-        for (std::size_t c = 0; c < cols_; ++c) out[c] += xr * row_ptr[c];
+        axpy_n(xr, data_.data() + r * cols_, out.data(), cols_);
     }
     return out;
 }
@@ -112,9 +111,10 @@ Matrix Matrix::matmul(const Matrix& other) const {
     const std::size_t n = other.cols_;
     // ikj loop order keeps the inner loop contiguous in both `other` and
     // `out`; the column blocking keeps the touched slices of `other` and
-    // `out` resident in cache for large products. Each out(i, j) still
-    // accumulates over k in ascending order (blocking splits j, not k), so
-    // results are bit-identical at every block size.
+    // `out` resident in cache for large products. The inner update is the
+    // dispatched axpy over [j0, j1) — elementwise, so each out(i, j) still
+    // accumulates over k in ascending order (blocking splits j, not k) and
+    // results are bit-identical at every block size and on every backend.
     constexpr std::size_t kColBlock = 256;
     for (std::size_t j0 = 0; j0 < n; j0 += kColBlock) {
         const std::size_t j1 = std::min(n, j0 + kColBlock);
@@ -124,7 +124,7 @@ Matrix Matrix::matmul(const Matrix& other) const {
                 const double aik = (*this)(i, k);
                 if (aik == 0.0) continue;
                 const double* b_row = other.data_.data() + k * n;
-                for (std::size_t j = j0; j < j1; ++j) o_row[j] += aik * b_row[j];
+                axpy_n(aik, b_row + j0, o_row + j0, j1 - j0);
             }
         }
     }

@@ -14,9 +14,12 @@
 #include <algorithm>
 #include <cmath>
 #include <cstddef>
+#include <cstdint>
 #include <limits>
+#include <numeric>
 #include <optional>
 #include <stdexcept>
+#include <vector>
 
 #include "linalg/matrix.hpp"
 #include "linalg/vector_ops.hpp"
@@ -143,6 +146,143 @@ inline double kl_dual_value(const Vector& losses, double rho, double lambda) {
     double acc = 0.0;
     for (const double l : losses) acc += std::exp((l - max_loss) / lambda);
     return lambda * rho + max_loss + lambda * std::log(acc / static_cast<double>(losses.size()));
+}
+
+// ---------------------------------------------------------------------------
+// Oracles for the SIMD kernel table (linalg/simd.hpp). Raw-pointer signatures
+// mirror the table entries exactly so the dispatch tests can run both sides
+// on the same (possibly unaligned, possibly denormal) buffers. All strictly
+// left-to-right, one element at a time.
+
+inline double dot_n(const double* x, const double* y, std::size_t n) {
+    double acc = 0.0;
+    for (std::size_t i = 0; i < n; ++i) acc += x[i] * y[i];
+    return acc;
+}
+
+inline double dot_stride_n(const double* x, std::size_t x_stride, const double* y,
+                           std::size_t n) {
+    double acc = 0.0;
+    for (std::size_t i = 0; i < n; ++i) acc += x[i * x_stride] * y[i];
+    return acc;
+}
+
+inline void axpy_n(double alpha, const double* x, double* y, std::size_t n) {
+    for (std::size_t i = 0; i < n; ++i) y[i] += alpha * x[i];
+}
+
+inline void sub_const_n(const double* x, double c, double* out, std::size_t n) {
+    for (std::size_t i = 0; i < n; ++i) out[i] = x[i] - c;
+}
+
+inline void div_const_n(double* x, double c, std::size_t n) {
+    for (std::size_t i = 0; i < n; ++i) x[i] /= c;
+}
+
+inline void add_sq_n(const double* x, double* acc, std::size_t n) {
+    for (std::size_t i = 0; i < n; ++i) acc[i] += x[i] * x[i];
+}
+
+// ---------------------------------------------------------------------------
+// Oracle for the batched responsibilities kernel (dp/batch_responsibilities).
+// One device at a time, textbook forward solve — no transpose, no batching.
+// Stated in raw mixture pieces (means, Cholesky lowers, log-weights) so this
+// header stays independent of dp/.
+
+/// out[i * K + k] = log pi_k + log N(theta_i; mu_k, Sigma_k) for row-major
+/// `thetas` (count x dim). `chol_lowers[k]` is the lower Cholesky factor of
+/// Sigma_k.
+inline void batch_log_densities(const std::vector<Vector>& means,
+                                const std::vector<Matrix>& chol_lowers,
+                                const Vector& log_weights, const double* thetas,
+                                std::size_t count, std::size_t dim, double* out) {
+    constexpr double kLogTwoPi = 1.8378770664093454836;
+    const std::size_t num_components = means.size();
+    if (chol_lowers.size() != num_components || log_weights.size() != num_components) {
+        throw std::invalid_argument("reference::batch_log_densities: component mismatch");
+    }
+    std::vector<double> diff(dim);
+    for (std::size_t i = 0; i < count; ++i) {
+        const double* theta = thetas + i * dim;
+        for (std::size_t k = 0; k < num_components; ++k) {
+            const Matrix& l = chol_lowers[k];
+            double log_det = 0.0;
+            for (std::size_t r = 0; r < dim; ++r) log_det += std::log(l(r, r));
+            log_det *= 2.0;
+            for (std::size_t r = 0; r < dim; ++r) diff[r] = theta[r] - means[k][r];
+            for (std::size_t r = 0; r < dim; ++r) {
+                double acc = diff[r];
+                for (std::size_t c = 0; c < r; ++c) acc -= l(r, c) * diff[c];
+                diff[r] = acc / l(r, r);
+            }
+            double quad = 0.0;
+            for (std::size_t r = 0; r < dim; ++r) quad += diff[r] * diff[r];
+            out[i * num_components + k] =
+                log_weights[k] -
+                0.5 * (static_cast<double>(dim) * kLogTwoPi + log_det + quad);
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Oracles for the sampling kernels (stats/alias_table, stats/weighted_reservoir).
+
+/// The linear CDF scan the alias table replaces, with Rng::categorical's
+/// exact arithmetic (subtractive scan, round-off fallthrough to the last
+/// index). NOT the same u -> index map as the alias draw — distributional
+/// equality is what the chi-square suite checks.
+inline std::size_t categorical_from_uniform(const Vector& weights, double u) {
+    if (weights.empty()) {
+        throw std::invalid_argument("reference::categorical_from_uniform: empty weights");
+    }
+    const double total = std::accumulate(weights.begin(), weights.end(), 0.0);
+    double remaining = u * total;
+    for (std::size_t i = 0; i < weights.size(); ++i) {
+        remaining -= weights[i];
+        if (remaining <= 0.0) return i;
+    }
+    return weights.size() - 1;
+}
+
+/// The exact pmf a (prob, alias) table pair encodes: bucket i keeps
+/// prob[i]/n of its own mass and donates (1 - prob[i])/n to alias[i].
+/// Reconstructing this and comparing against w / sum(w) validates a Vose
+/// build without drawing a single sample.
+inline Vector alias_pmf(const std::vector<double>& prob,
+                        const std::vector<std::uint32_t>& alias) {
+    if (prob.size() != alias.size()) {
+        throw std::invalid_argument("reference::alias_pmf: size mismatch");
+    }
+    const double n = static_cast<double>(prob.size());
+    Vector pmf(prob.size(), 0.0);
+    for (std::size_t i = 0; i < prob.size(); ++i) {
+        pmf[i] += prob[i] / n;
+        pmf[alias[i]] += (1.0 - prob[i]) / n;
+    }
+    return pmf;
+}
+
+/// Naive Efraimidis–Spirakis A-ES: item i gets key uniforms[i]^(1/w_i) and
+/// the k largest keys win (ties by lower index). The exponential-jump
+/// reservoir must match this DISTRIBUTION — inclusion probabilities, not
+/// draw-for-draw equality, since the jumps consume a different uniform
+/// stream.
+inline std::vector<std::size_t> weighted_topk(const Vector& weights, const Vector& uniforms,
+                                              std::size_t k) {
+    if (weights.size() != uniforms.size()) {
+        throw std::invalid_argument("reference::weighted_topk: size mismatch");
+    }
+    std::vector<std::size_t> order(weights.size());
+    std::vector<double> keys(weights.size());
+    for (std::size_t i = 0; i < weights.size(); ++i) {
+        order[i] = i;
+        keys[i] = weights[i] > 0.0 ? std::pow(uniforms[i], 1.0 / weights[i]) : 0.0;
+    }
+    std::stable_sort(order.begin(), order.end(),
+                     [&](std::size_t a, std::size_t b) { return keys[a] > keys[b]; });
+    order.resize(std::min(k, order.size()));
+    std::sort(order.begin(), order.end());
+    return order;
 }
 
 }  // namespace drel::linalg::reference

@@ -1,0 +1,274 @@
+// Backend kernel tables + one-time dispatch. See simd.hpp for the lane
+// contract that makes every backend return the same bits.
+//
+// The whole project compiles with -ffp-contract=off (top-level
+// CMakeLists): GCC's default contraction would fuse the scalar fallback's
+// mul+add into an FMA, which rounds once where the non-FMA vector paths
+// round twice — silently breaking cross-backend bit-identity. The vector
+// paths use separate mul/add intrinsics for the same reason.
+#include "linalg/simd.hpp"
+
+#include <atomic>
+#include <cstdlib>
+#include <cstring>
+
+#if defined(__x86_64__) || defined(__i386__)
+#include <immintrin.h>
+#define DREL_SIMD_X86 1
+#endif
+#if defined(__aarch64__)
+#include <arm_neon.h>
+#define DREL_SIMD_NEON 1
+#endif
+
+namespace drel::linalg::simd {
+namespace {
+
+// The scalar backend's implementation lives header-inline in simd.hpp
+// (namespace simd::scalar) so the small-n fast paths in vector_ops.hpp can
+// inline it; the table here just takes its address. finish_dot and
+// dot_stride_n are shared by the vector backends below.
+using scalar::finish_dot;
+
+constexpr Kernels kScalarTable = {
+    Backend::kScalar,    scalar::dot_n,       scalar::dot_stride_n,
+    scalar::axpy_n,      scalar::sub_const_n, scalar::div_const_n,
+    scalar::add_sq_n,
+};
+
+// ---------------------------------------------------------------------------
+// AVX2 backend. Per-function target attributes keep the rest of the binary
+// baseline-ISA; these bodies are only reached after __builtin_cpu_supports
+// says yes. Lanes 0..3 live in `lo`, lanes 4..7 in `hi`; vmulpd+vaddpd are
+// the same two IEEE roundings the scalar emulation performs per lane.
+
+#if defined(DREL_SIMD_X86)
+
+__attribute__((target("avx2"))) double dot_avx2(const double* x, const double* y,
+                                                std::size_t n) {
+    __m256d lo = _mm256_setzero_pd();
+    __m256d hi = _mm256_setzero_pd();
+    std::size_t i = 0;
+    const std::size_t n8 = n & ~static_cast<std::size_t>(7);
+    for (; i < n8; i += 8) {
+        lo = _mm256_add_pd(lo, _mm256_mul_pd(_mm256_loadu_pd(x + i), _mm256_loadu_pd(y + i)));
+        hi = _mm256_add_pd(
+            hi, _mm256_mul_pd(_mm256_loadu_pd(x + i + 4), _mm256_loadu_pd(y + i + 4)));
+    }
+    double acc[8];
+    _mm256_storeu_pd(acc, lo);
+    _mm256_storeu_pd(acc + 4, hi);
+    return finish_dot(acc, x, y, i, n);
+}
+
+__attribute__((target("avx2"))) void axpy_avx2(double alpha, const double* x, double* y,
+                                               std::size_t n) {
+    const __m256d a = _mm256_set1_pd(alpha);
+    std::size_t i = 0;
+    const std::size_t n4 = n & ~static_cast<std::size_t>(3);
+    for (; i < n4; i += 4) {
+        const __m256d prod = _mm256_mul_pd(a, _mm256_loadu_pd(x + i));
+        _mm256_storeu_pd(y + i, _mm256_add_pd(_mm256_loadu_pd(y + i), prod));
+    }
+    for (; i < n; ++i) y[i] += alpha * x[i];
+}
+
+__attribute__((target("avx2"))) void sub_const_avx2(const double* x, double c, double* out,
+                                                    std::size_t n) {
+    const __m256d cv = _mm256_set1_pd(c);
+    std::size_t i = 0;
+    const std::size_t n4 = n & ~static_cast<std::size_t>(3);
+    for (; i < n4; i += 4) {
+        _mm256_storeu_pd(out + i, _mm256_sub_pd(_mm256_loadu_pd(x + i), cv));
+    }
+    for (; i < n; ++i) out[i] = x[i] - c;
+}
+
+__attribute__((target("avx2"))) void div_const_avx2(double* x, double c, std::size_t n) {
+    const __m256d cv = _mm256_set1_pd(c);
+    std::size_t i = 0;
+    const std::size_t n4 = n & ~static_cast<std::size_t>(3);
+    for (; i < n4; i += 4) {
+        _mm256_storeu_pd(x + i, _mm256_div_pd(_mm256_loadu_pd(x + i), cv));
+    }
+    for (; i < n; ++i) x[i] /= c;
+}
+
+__attribute__((target("avx2"))) void add_sq_avx2(const double* x, double* acc,
+                                                 std::size_t n) {
+    std::size_t i = 0;
+    const std::size_t n4 = n & ~static_cast<std::size_t>(3);
+    for (; i < n4; i += 4) {
+        const __m256d v = _mm256_loadu_pd(x + i);
+        _mm256_storeu_pd(acc + i, _mm256_add_pd(_mm256_loadu_pd(acc + i), _mm256_mul_pd(v, v)));
+    }
+    for (; i < n; ++i) acc[i] += x[i] * x[i];
+}
+
+constexpr Kernels kAvx2Table = {
+    Backend::kAvx2, dot_avx2,       scalar::dot_stride_n,
+    axpy_avx2,      sub_const_avx2, div_const_avx2,
+    add_sq_avx2,
+};
+
+#endif  // DREL_SIMD_X86
+
+// ---------------------------------------------------------------------------
+// NEON backend (aarch64). Four 2-wide accumulators hold lanes (0,1), (2,3),
+// (4,5), (6,7); vmulq+vaddq keep the two-rounding shape (no vfmaq).
+
+#if defined(DREL_SIMD_NEON)
+
+double dot_neon(const double* x, const double* y, std::size_t n) {
+    float64x2_t a01 = vdupq_n_f64(0.0);
+    float64x2_t a23 = vdupq_n_f64(0.0);
+    float64x2_t a45 = vdupq_n_f64(0.0);
+    float64x2_t a67 = vdupq_n_f64(0.0);
+    std::size_t i = 0;
+    const std::size_t n8 = n & ~static_cast<std::size_t>(7);
+    for (; i < n8; i += 8) {
+        a01 = vaddq_f64(a01, vmulq_f64(vld1q_f64(x + i), vld1q_f64(y + i)));
+        a23 = vaddq_f64(a23, vmulq_f64(vld1q_f64(x + i + 2), vld1q_f64(y + i + 2)));
+        a45 = vaddq_f64(a45, vmulq_f64(vld1q_f64(x + i + 4), vld1q_f64(y + i + 4)));
+        a67 = vaddq_f64(a67, vmulq_f64(vld1q_f64(x + i + 6), vld1q_f64(y + i + 6)));
+    }
+    double acc[8];
+    vst1q_f64(acc, a01);
+    vst1q_f64(acc + 2, a23);
+    vst1q_f64(acc + 4, a45);
+    vst1q_f64(acc + 6, a67);
+    return finish_dot(acc, x, y, i, n);
+}
+
+void axpy_neon(double alpha, const double* x, double* y, std::size_t n) {
+    const float64x2_t a = vdupq_n_f64(alpha);
+    std::size_t i = 0;
+    const std::size_t n2 = n & ~static_cast<std::size_t>(1);
+    for (; i < n2; i += 2) {
+        vst1q_f64(y + i, vaddq_f64(vld1q_f64(y + i), vmulq_f64(a, vld1q_f64(x + i))));
+    }
+    for (; i < n; ++i) y[i] += alpha * x[i];
+}
+
+void sub_const_neon(const double* x, double c, double* out, std::size_t n) {
+    const float64x2_t cv = vdupq_n_f64(c);
+    std::size_t i = 0;
+    const std::size_t n2 = n & ~static_cast<std::size_t>(1);
+    for (; i < n2; i += 2) vst1q_f64(out + i, vsubq_f64(vld1q_f64(x + i), cv));
+    for (; i < n; ++i) out[i] = x[i] - c;
+}
+
+void div_const_neon(double* x, double c, std::size_t n) {
+    const float64x2_t cv = vdupq_n_f64(c);
+    std::size_t i = 0;
+    const std::size_t n2 = n & ~static_cast<std::size_t>(1);
+    for (; i < n2; i += 2) vst1q_f64(x + i, vdivq_f64(vld1q_f64(x + i), cv));
+    for (; i < n; ++i) x[i] /= c;
+}
+
+void add_sq_neon(const double* x, double* acc, std::size_t n) {
+    std::size_t i = 0;
+    const std::size_t n2 = n & ~static_cast<std::size_t>(1);
+    for (; i < n2; i += 2) {
+        const float64x2_t v = vld1q_f64(x + i);
+        vst1q_f64(acc + i, vaddq_f64(vld1q_f64(acc + i), vmulq_f64(v, v)));
+    }
+    for (; i < n; ++i) acc[i] += x[i] * x[i];
+}
+
+constexpr Kernels kNeonTable = {
+    Backend::kNeon, dot_neon,       scalar::dot_stride_n,
+    axpy_neon,      sub_const_neon, div_const_neon,
+    add_sq_neon,
+};
+
+#endif  // DREL_SIMD_NEON
+
+// ---------------------------------------------------------------------------
+// Selection.
+
+/// DREL_SIMD names a backend: honor it when the host can run it, fall back
+/// to scalar when it cannot (a CI leg asking for avx2 on an ARM runner gets
+/// a deterministic answer, not a SIGILL). Unset or unrecognized → best
+/// available.
+const Kernels* resolve_default() {
+    const char* env = std::getenv("DREL_SIMD");
+    if (env != nullptr) {
+        if (std::strcmp(env, "scalar") == 0) return &kScalarTable;
+        if (std::strcmp(env, "avx2") == 0) {
+            const Kernels* t = backend_kernels(Backend::kAvx2);
+            return t != nullptr ? t : &kScalarTable;
+        }
+        if (std::strcmp(env, "neon") == 0) {
+            const Kernels* t = backend_kernels(Backend::kNeon);
+            return t != nullptr ? t : &kScalarTable;
+        }
+    }
+    if (const Kernels* t = backend_kernels(Backend::kAvx2)) return t;
+    if (const Kernels* t = backend_kernels(Backend::kNeon)) return t;
+    return &kScalarTable;
+}
+
+}  // namespace
+
+namespace detail {
+
+std::atomic<const Kernels*> g_active{nullptr};
+
+const Kernels& resolve_active() noexcept {
+    const Kernels* t = resolve_default();
+    // Racing first calls all resolve to the same table (the env var and the
+    // CPU don't change), so the last store wins harmlessly.
+    g_active.store(t, std::memory_order_release);
+    return *t;
+}
+
+}  // namespace detail
+
+Backend active_backend() noexcept { return active().backend; }
+
+const char* backend_name(Backend backend) noexcept {
+    switch (backend) {
+        case Backend::kScalar: return "scalar";
+        case Backend::kAvx2: return "avx2";
+        case Backend::kNeon: return "neon";
+    }
+    return "unknown";
+}
+
+bool backend_available(Backend backend) noexcept {
+    return backend_kernels(backend) != nullptr;
+}
+
+const Kernels* backend_kernels(Backend backend) noexcept {
+    switch (backend) {
+        case Backend::kScalar:
+            return &kScalarTable;
+        case Backend::kAvx2:
+#if defined(DREL_SIMD_X86)
+            return __builtin_cpu_supports("avx2") ? &kAvx2Table : nullptr;
+#else
+            return nullptr;
+#endif
+        case Backend::kNeon:
+#if defined(DREL_SIMD_NEON)
+            return &kNeonTable;
+#else
+            return nullptr;
+#endif
+    }
+    return nullptr;
+}
+
+ScopedBackendForTesting::ScopedBackendForTesting(Backend backend)
+    : previous_(&active()) {  // forces resolution, so previous_ is never null
+    const Kernels* table = backend_kernels(backend);
+    if (table == nullptr) table = backend_kernels(Backend::kScalar);
+    detail::g_active.store(table, std::memory_order_release);
+}
+
+ScopedBackendForTesting::~ScopedBackendForTesting() {
+    detail::g_active.store(previous_, std::memory_order_release);
+}
+
+}  // namespace drel::linalg::simd

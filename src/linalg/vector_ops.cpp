@@ -6,6 +6,8 @@
 #include <numeric>
 #include <stdexcept>
 
+#include "linalg/simd.hpp"
+
 namespace drel::linalg {
 namespace {
 
@@ -17,16 +19,6 @@ void check_same_size(const Vector& x, const Vector& y, const char* op) {
 }
 
 }  // namespace
-
-double dot_n(const double* x, const double* y, std::size_t n) noexcept {
-    double acc = 0.0;
-    for (std::size_t i = 0; i < n; ++i) acc += x[i] * y[i];
-    return acc;
-}
-
-void axpy_n(double alpha, const double* x, double* y, std::size_t n) noexcept {
-    for (std::size_t i = 0; i < n; ++i) y[i] += alpha * x[i];
-}
 
 double dot(const Vector& x, const Vector& y) {
     check_same_size(x, y, "dot");

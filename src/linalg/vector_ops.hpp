@@ -10,20 +10,38 @@
 #include <cstddef>
 #include <vector>
 
+#include "linalg/simd.hpp"
+
 namespace drel::linalg {
 
 using Vector = std::vector<double>;
 
 // Raw-array kernels — the allocation-free core the Vector overloads (and the
-// matrix/dataset hot loops) delegate to. Accumulation order is strictly
-// left-to-right, identical to the historical scalar loops, so adopting these
-// never changes a result bit (golden files stay valid without regeneration).
+// matrix/dataset hot loops) delegate to. Since the SIMD dispatch layer
+// (linalg/simd.hpp) these route through the active backend's kernel table:
+// dot_n accumulates into a FIXED 8-lane tree (the lane contract), so its
+// result is bit-identical across scalar/AVX2/NEON backends but differs from
+// the historical left-to-right loop by a few ULPs; axpy_n is elementwise and
+// bit-identical to the naive loop under every backend.
 
-/// <x, y> over n entries.
-double dot_n(const double* x, const double* y, std::size_t n) noexcept;
+/// <x, y> over n entries. Below two 8-lane blocks the dispatch indirection
+/// costs more than the arithmetic (the dim-9 triangular solves live here),
+/// so short inputs inline the scalar lane-contract emulation — bit-identical
+/// to every vector backend, per the contract.
+inline double dot_n(const double* x, const double* y, std::size_t n) noexcept {
+    if (n < 16) return simd::scalar::dot_n(x, y, n);
+    return simd::active().dot_n(x, y, n);
+}
 
-/// y += alpha * x over n entries.
-void axpy_n(double alpha, const double* x, double* y, std::size_t n) noexcept;
+/// y += alpha * x over n entries. Elementwise, so the short-input inline
+/// path is bit-identical to every backend (and to the naive loop).
+inline void axpy_n(double alpha, const double* x, double* y, std::size_t n) noexcept {
+    if (n < 16) {
+        simd::scalar::axpy_n(alpha, x, y, n);
+        return;
+    }
+    simd::active().axpy_n(alpha, x, y, n);
+}
 
 /// <x, y>
 double dot(const Vector& x, const Vector& y);

@@ -1,0 +1,83 @@
+#include "stats/alias_table.hpp"
+
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+namespace drel::stats {
+
+void AliasTable::rebuild(const double* weights, std::size_t n) {
+    if (n == 0) throw std::invalid_argument("AliasTable: empty weights");
+    if (n > std::numeric_limits<std::uint32_t>::max()) {
+        throw std::invalid_argument("AliasTable: too many outcomes");
+    }
+    double total = 0.0;
+    for (std::size_t i = 0; i < n; ++i) {
+        const double w = weights[i];
+        if (w < 0.0 || !std::isfinite(w)) {
+            throw std::invalid_argument("AliasTable: weights must be finite and >= 0");
+        }
+        total += w;
+    }
+    if (!(total > 0.0)) throw std::invalid_argument("AliasTable: all weights are zero");
+    if (!std::isfinite(total)) throw std::invalid_argument("AliasTable: weight sum overflows");
+
+    // Exact power-of-two normalization: total = m * 2^e with m in [0.5, 1);
+    // ldexp(w, -e) is exact, so a near-denormal sum scales every weight back
+    // into normal range before the (inexact) divide by m — no overflow to
+    // inf, no wholesale underflow of the bucket masses.
+    int exponent = 0;
+    const double mantissa = std::frexp(total, &exponent);
+    const double count = static_cast<double>(n);
+
+    prob_.assign(n, 0.0);
+    alias_.assign(n, 0);
+    small_.clear();
+    large_.clear();
+    for (std::size_t i = 0; i < n; ++i) {
+        const double mass = std::ldexp(weights[i], -exponent) / mantissa * count;
+        prob_[i] = mass;
+        alias_[i] = static_cast<std::uint32_t>(i);
+        if (mass < 1.0) {
+            small_.push_back(static_cast<std::uint32_t>(i));
+        } else {
+            large_.push_back(static_cast<std::uint32_t>(i));
+        }
+    }
+
+    // Vose pairing: each under-full bucket tops itself up from one over-full
+    // outcome; the donor re-classifies on its remaining mass.
+    while (!small_.empty() && !large_.empty()) {
+        const std::uint32_t s = small_.back();
+        small_.pop_back();
+        const std::uint32_t g = large_.back();
+        large_.pop_back();
+        alias_[s] = g;
+        prob_[g] = (prob_[g] + prob_[s]) - 1.0;
+        if (prob_[g] < 1.0) {
+            small_.push_back(g);
+        } else {
+            large_.push_back(g);
+        }
+    }
+    // Leftovers on either list hold mass 1 up to round-off: full buckets.
+    for (const std::uint32_t i : small_) prob_[i] = 1.0;
+    for (const std::uint32_t i : large_) prob_[i] = 1.0;
+    small_.clear();
+    large_.clear();
+}
+
+std::size_t AliasTable::draw(Rng& rng) const {
+    if (prob_.empty()) throw std::logic_error("AliasTable::draw: empty table");
+    return draw_from_uniform(rng.uniform());
+}
+
+std::size_t AliasTable::draw_from_uniform(double u) const noexcept {
+    const double scaled = u * static_cast<double>(prob_.size());
+    std::size_t bucket = static_cast<std::size_t>(scaled);
+    if (bucket >= prob_.size()) bucket = prob_.size() - 1;  // u at (or past) 1.0
+    const double frac = scaled - static_cast<double>(bucket);
+    return frac < prob_[bucket] ? bucket : alias_[bucket];
+}
+
+}  // namespace drel::stats

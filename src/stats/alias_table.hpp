@@ -1,0 +1,74 @@
+// Walker/Vose alias method: O(n) build, O(1) draw.
+//
+// A categorical draw over n weights costs an O(n) CDF scan per sample
+// (Rng::categorical). The alias table front-loads that cost: the build
+// splits the distribution into n equal-mass buckets, each holding at most
+// two outcomes (the bucket's own index and one "alias"), after which every
+// draw is one uniform, one floor, one compare. The Gibbs sweep's cluster
+// assignment rebuilds the table per draw (its weights change with every
+// observation, so build cost matches the scan it replaced) and pays O(1)
+// only on the draw — but consumers with static weights (stress tests, the
+// stats.alias_draw benchmark, future truncation-free samplers) amortize one
+// build over arbitrarily many draws.
+//
+// Numerical notes
+// ---------------
+// * The build normalizes by the weight sum through an EXACT power-of-two
+//   rescaling (frexp/ldexp), so near-denormal weight sums cannot overflow
+//   the scaled weights or lose buckets (tests/test_fuzz.cpp pins this).
+// * A draw consumes exactly ONE uniform — same stream advancement as the
+//   Rng::categorical scan it replaces, so swapping one for the other
+//   perturbs no downstream draw positions (values differ: the u -> index
+//   map is a different partition of [0,1)).
+// * Validation matches Rng::categorical: weights must be finite and >= 0
+//   with a positive sum; violations throw std::invalid_argument.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "linalg/vector_ops.hpp"
+#include "stats/rng.hpp"
+
+namespace drel::stats {
+
+class AliasTable {
+ public:
+    /// Empty table; rebuild() before drawing.
+    AliasTable() = default;
+
+    explicit AliasTable(const linalg::Vector& weights) {
+        rebuild(weights.data(), weights.size());
+    }
+
+    /// Rebuilds the table over `weights[0..n)`. Reuses capacity — a table
+    /// rebuilt in a loop (the Gibbs sweep) allocates only while n grows.
+    /// Throws std::invalid_argument on n == 0, a negative or non-finite
+    /// weight, or an all-zero sum.
+    void rebuild(const double* weights, std::size_t n);
+
+    std::size_t size() const noexcept { return prob_.size(); }
+    bool empty() const noexcept { return prob_.empty(); }
+
+    /// One draw = one uniform. Throws std::logic_error on an empty table.
+    std::size_t draw(Rng& rng) const;
+
+    /// The deterministic u -> index map behind draw(): bucket floor(u*n),
+    /// outcome by comparing the fractional part against the bucket's
+    /// threshold. Exposed so tests can drive the table with chosen uniforms.
+    std::size_t draw_from_uniform(double u) const noexcept;
+
+    /// Bucket internals for the reconstruction oracle
+    /// (linalg::reference::alias_pmf).
+    const std::vector<double>& probabilities() const noexcept { return prob_; }
+    const std::vector<std::uint32_t>& aliases() const noexcept { return alias_; }
+
+ private:
+    std::vector<double> prob_;           ///< bucket i keeps i with this probability
+    std::vector<std::uint32_t> alias_;   ///< ... and yields alias_[i] otherwise
+    std::vector<std::uint32_t> small_;   ///< build worklist: buckets under-full
+    std::vector<std::uint32_t> large_;   ///< build worklist: buckets over-full
+};
+
+}  // namespace drel::stats

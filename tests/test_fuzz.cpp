@@ -2,11 +2,16 @@
 // text must produce exceptions, never crashes, hangs, or silent garbage.
 #include <gtest/gtest.h>
 
+#include <cmath>
+#include <limits>
 #include <sstream>
 
 #include "data/csv_io.hpp"
 #include "edgesim/transfer.hpp"
+#include "linalg/reference.hpp"
+#include "stats/alias_table.hpp"
 #include "stats/rng.hpp"
+#include "stats/weighted_reservoir.hpp"
 
 namespace drel {
 namespace {
@@ -89,6 +94,121 @@ TEST(FuzzCsv, MixedValidInvalidRowsRejectedAtomically) {
     // Parsing must not return a half-dataset when a later row is bad.
     std::istringstream is("1.0,2.0,1\n3.0,4.0,-1\nbad,row,1\n");
     EXPECT_THROW(data::load_csv(is, false), std::invalid_argument);
+}
+
+// ---------------------------------------------------------------------------
+// Alias-table builds over hostile weight vectors. The Gibbs sweep feeds the
+// table softmax outputs, which are benign; these pin the contract for every
+// OTHER caller: degenerate and near-denormal inputs either build a usable
+// table or throw std::invalid_argument — never crash, never emit NaN
+// bucket thresholds.
+
+TEST(FuzzAliasTable, DegenerateWeightsThrowInvalidArgument) {
+    stats::AliasTable table;
+    EXPECT_THROW(table.rebuild(nullptr, 0), std::invalid_argument);
+
+    const std::vector<double> zeros(7, 0.0);
+    EXPECT_THROW(table.rebuild(zeros.data(), zeros.size()), std::invalid_argument);
+
+    const std::vector<double> negative = {0.5, -0.25, 0.5};
+    EXPECT_THROW(table.rebuild(negative.data(), negative.size()), std::invalid_argument);
+
+    for (const double bad : {std::numeric_limits<double>::quiet_NaN(),
+                             std::numeric_limits<double>::infinity(),
+                             -std::numeric_limits<double>::infinity()}) {
+        std::vector<double> weights = {0.25, bad, 0.25};
+        EXPECT_THROW(table.rebuild(weights.data(), weights.size()), std::invalid_argument);
+    }
+
+    // Weights individually finite but summing to +inf must also be rejected.
+    const std::vector<double> overflow(4, std::numeric_limits<double>::max());
+    EXPECT_THROW(table.rebuild(overflow.data(), overflow.size()), std::invalid_argument);
+}
+
+TEST(FuzzAliasTable, SingleNonzeroEntryAlwaysDrawsIt) {
+    stats::Rng rng(81);
+    for (std::size_t n : {std::size_t{1}, std::size_t{2}, std::size_t{17}}) {
+        for (std::size_t hot = 0; hot < n; ++hot) {
+            std::vector<double> weights(n, 0.0);
+            weights[hot] = 1e-12;  // magnitude must not matter
+            stats::AliasTable table;
+            table.rebuild(weights.data(), n);
+            for (int trial = 0; trial < 64; ++trial) {
+                EXPECT_EQ(table.draw(rng), hot);
+            }
+        }
+    }
+}
+
+TEST(FuzzAliasTable, NearDenormalSumsBuildUsableTables) {
+    // Sums down at the edge of the denormal range: the exact power-of-two
+    // rescaling must keep every bucket mass finite and the pmf intact.
+    stats::Rng rng(82);
+    for (int scale_exp : {-1000, -1021, -1040, -1060}) {
+        std::vector<double> weights(5);
+        for (std::size_t i = 0; i < weights.size(); ++i) {
+            weights[i] = std::ldexp(static_cast<double>(i + 1), scale_exp);
+        }
+        stats::AliasTable table;
+        table.rebuild(weights.data(), weights.size());
+        for (const double p : table.probabilities()) {
+            EXPECT_TRUE(std::isfinite(p));
+            EXPECT_GE(p, 0.0);
+            EXPECT_LE(p, 1.0);
+        }
+        const std::vector<double> pmf =
+            linalg::reference::alias_pmf(table.probabilities(), table.aliases());
+        const double total = 15.0 * std::ldexp(1.0, scale_exp);  // sum of 1..5, scaled
+        for (std::size_t i = 0; i < weights.size(); ++i) {
+            EXPECT_NEAR(pmf[i], weights[i] / total, 1e-12) << "bucket " << i;
+        }
+        // Draws with extreme uniforms stay in range.
+        EXPECT_LT(table.draw_from_uniform(0.0), weights.size());
+        EXPECT_LT(table.draw_from_uniform(std::nextafter(1.0, 0.0)), weights.size());
+        EXPECT_LT(table.draw(rng), weights.size());
+    }
+}
+
+TEST(FuzzAliasTable, RandomWeightVectorsAlwaysReconstructTheirPmf) {
+    stats::Rng rng(83);
+    for (int trial = 0; trial < 500; ++trial) {
+        const std::size_t n = 1 + rng.uniform_index(40);
+        std::vector<double> weights(n);
+        double total = 0.0;
+        for (double& w : weights) {
+            // Spread magnitudes over ~60 decades, with occasional zeros.
+            w = rng.uniform_index(8) == 0
+                    ? 0.0
+                    : std::ldexp(rng.uniform(), -static_cast<int>(rng.uniform_index(200)));
+            total += w;
+        }
+        if (!(total > 0.0)) weights[0] = 1.0, total = 1.0;
+        stats::AliasTable table;
+        table.rebuild(weights.data(), n);
+        const std::vector<double> pmf =
+            linalg::reference::alias_pmf(table.probabilities(), table.aliases());
+        for (std::size_t i = 0; i < n; ++i) {
+            EXPECT_NEAR(pmf[i], weights[i] / total, 1e-9) << "trial " << trial;
+        }
+    }
+}
+
+TEST(FuzzWeightedReservoir, HostileWeightsThrowAndZeroWeightsAreLegal) {
+    stats::Rng rng(84);
+    stats::WeightedReservoir reservoir(3);
+    EXPECT_THROW(stats::WeightedReservoir(0), std::invalid_argument);
+    EXPECT_THROW(reservoir.offer(0, -1.0, rng), std::invalid_argument);
+    EXPECT_THROW(reservoir.offer(0, std::numeric_limits<double>::quiet_NaN(), rng),
+                 std::invalid_argument);
+    EXPECT_THROW(reservoir.offer(0, std::numeric_limits<double>::infinity(), rng),
+                 std::invalid_argument);
+    // All-zero stream: fills with zero-key entries, never draws, never hangs.
+    for (std::size_t i = 0; i < 64; ++i) reservoir.offer(i, 0.0, rng);
+    EXPECT_EQ(reservoir.size(), 3u);
+    // Positive weights displace every zero-weight resident.
+    for (std::size_t i = 100; i < 103; ++i) reservoir.offer(i, 1.0, rng);
+    const std::vector<std::size_t> kept = reservoir.sorted_items();
+    EXPECT_EQ(kept, (std::vector<std::size_t>{100, 101, 102}));
 }
 
 }  // namespace

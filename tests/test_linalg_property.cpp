@@ -1,11 +1,17 @@
 // Property + differential tests for the optimized linalg kernels.
 //
-// Two kinds of assertion, per DESIGN.md "Workspaces & kernels":
-//  - BITWISE differential: kernels whose optimization only removes
-//    allocations or re-blocks loops (dot/axpy/matvec/matmul/trace_product,
-//    Cholesky factor and solves) must match the retained naive reference in
-//    src/linalg/reference.hpp bit-for-bit — this is what lets the golden
-//    metric files stay valid without regeneration.
+// Three kinds of assertion, per DESIGN.md "Workspaces & kernels" and "SIMD
+// dispatch & sampling kernels":
+//  - BITWISE differential: elementwise kernels (axpy/matmul/trace_product)
+//    and order-preserving rewrites (Cholesky factor, log_sum_exp/softmax)
+//    must match the retained naive reference in src/linalg/reference.hpp
+//    bit-for-bit; in-place variants must match their allocating twins
+//    bit-for-bit.
+//  - ULP-BOUNDED differential: dot-shaped reductions accumulate into the
+//    SIMD lane tree (linalg/simd.hpp) since the dispatch layer landed, so
+//    dot/matvec/triangular solves match the left-to-right reference within
+//    the standard summation forward-error bound (2 n eps sum|x_i y_i|), not
+//    bitwise. Cross-BACKEND bit-identity is pinned in test_simd_dispatch.
 //  - ANALYTIC oracles: reconstruction (L Lᵀ = A, Q R = A), orthonormality,
 //    and solve residuals within a scaled tolerance, which catch "matches the
 //    reference but the reference is wrong" failures.
@@ -68,13 +74,25 @@ bool vectors_bits_equal(const Vector& a, const Vector& b) {
     return true;
 }
 
-TEST(LinalgProperty, DotAxpyMatchReferenceBitwise) {
+/// Forward-error bound for summing n products in ANY order: both the
+/// left-to-right reference and the lane tree sit within n*eps*sum|x_i*y_i|
+/// of the exact value, so they sit within twice that of each other.
+double dot_reorder_tolerance(const Vector& x, const Vector& y) {
+    double magnitude = 0.0;
+    for (std::size_t i = 0; i < x.size(); ++i) magnitude += std::fabs(x[i] * y[i]);
+    const double eps = std::numeric_limits<double>::epsilon();
+    return 2.0 * static_cast<double>(x.size()) * eps * magnitude;
+}
+
+TEST(LinalgProperty, DotWithinReorderBoundAxpyMatchesReferenceBitwise) {
     for (std::uint64_t seed = 1; seed <= kNumSeeds; ++seed) {
         drel::stats::Rng rng(seed);
         for (std::size_t n = 1; n <= kMaxSize; n += 7) {
             const Vector x = rng.standard_normal_vector(n);
             const Vector y = rng.standard_normal_vector(n);
-            EXPECT_TRUE(bits_equal(drel::linalg::dot(x, y), reference::dot(x, y)));
+            EXPECT_NEAR(drel::linalg::dot(x, y), reference::dot(x, y),
+                        dot_reorder_tolerance(x, y))
+                << "n=" << n << " seed=" << seed;
 
             Vector opt = y;
             Vector ref = y;
@@ -85,18 +103,26 @@ TEST(LinalgProperty, DotAxpyMatchReferenceBitwise) {
     }
 }
 
-TEST(LinalgProperty, MatvecMatchesReferenceBitwise) {
+TEST(LinalgProperty, MatvecMatchesReferenceWithinReorderBound) {
     for (std::uint64_t seed = 1; seed <= kNumSeeds; ++seed) {
         drel::stats::Rng rng(seed);
         const std::size_t rows = 1 + static_cast<std::size_t>(seed % kMaxSize);
         const std::size_t cols = 1 + static_cast<std::size_t>((3 * seed) % kMaxSize);
         const Matrix a = random_matrix(rows, cols, rng);
         const Vector x = rng.standard_normal_vector(cols);
-        EXPECT_TRUE(vectors_bits_equal(a.matvec(x), reference::matvec(a, x)));
+        const Vector ref = reference::matvec(a, x);
 
+        const Vector opt = a.matvec(x);
+        ASSERT_EQ(opt.size(), ref.size());
+        for (std::size_t r = 0; r < rows; ++r) {
+            EXPECT_NEAR(opt[r], ref[r], dot_reorder_tolerance(a.row(r), x))
+                << "row " << r << " seed=" << seed;
+        }
+
+        // The _into variant is the same dispatched dot per row — bitwise.
         Vector into;
         a.matvec_into(x, into);
-        EXPECT_TRUE(vectors_bits_equal(into, reference::matvec(a, x)));
+        EXPECT_TRUE(vectors_bits_equal(into, opt));
     }
 }
 
@@ -161,7 +187,7 @@ TEST(LinalgProperty, CholeskyReconstructionOracle) {
     }
 }
 
-TEST(LinalgProperty, CholeskySolveMatchesReferenceBitwiseAndInPlace) {
+TEST(LinalgProperty, CholeskySolveNearReferenceAndInPlaceBitwise) {
     for (std::uint64_t seed = 1; seed <= kNumSeeds; ++seed) {
         drel::stats::Rng rng(seed);
         for (std::size_t n = 1; n <= kMaxSize; n += 5) {
@@ -169,8 +195,15 @@ TEST(LinalgProperty, CholeskySolveMatchesReferenceBitwiseAndInPlace) {
             const Vector b = rng.standard_normal_vector(n);
             const Cholesky chol(a);
 
+            // The substitutions subtract a lane-tree dot, so the solution
+            // tracks the naive reference to a reorder-sized tolerance (the
+            // ridge in random_spd bounds the condition number).
             const Vector x = chol.solve(b);
-            EXPECT_TRUE(vectors_bits_equal(x, reference::cholesky_solve(chol.lower(), b)));
+            const Vector ref = reference::cholesky_solve(chol.lower(), b);
+            for (std::size_t i = 0; i < n; ++i) {
+                EXPECT_NEAR(x[i], ref[i], 1e-9 * (1.0 + drel::linalg::norm_inf(ref)))
+                    << "n=" << n << " seed=" << seed;
+            }
 
             // In-place solves overwrite their input with the exact same bits.
             Vector in_place = b;
