@@ -122,13 +122,22 @@ class MetricsSidecar {
     MetricsSidecar(const MetricsSidecar&) = delete;
     MetricsSidecar& operator=(const MetricsSidecar&) = delete;
 
+    /// Attaches a fleet-health block (health::FleetTelemetry::to_json) to
+    /// the document the destructor writes — the sidecar's schema-v2 "health"
+    /// key, consumed by scripts/health_report.py. Call at most once, with
+    /// the run the bench considers its headline fleet.
+    void set_health(obs::JsonValue health) {
+        health_ = std::move(health);
+        has_health_ = true;
+    }
+
     ~MetricsSidecar() {
         if (!obs::metrics_enabled()) return;
         std::string dir;
         if (const char* env = std::getenv("DREL_METRICS_DIR")) dir = env;
         std::string path = dir.empty() ? bench_name_ + ".metrics.json"
                                        : dir + "/" + bench_name_ + ".metrics.json";
-        if (obs::write_bench_sidecar(bench_name_, path)) {
+        if (obs::write_bench_sidecar(bench_name_, path, has_health_ ? &health_ : nullptr)) {
             // stderr, not stdout: bench stdout is table data that scripts may
             // redirect or diff, and the sidecar notice must not contaminate it.
             std::cerr << "metrics sidecar: " << path << "\n";
@@ -137,6 +146,8 @@ class MetricsSidecar {
 
  private:
     std::string bench_name_;
+    obs::JsonValue health_;
+    bool has_health_ = false;
 };
 
 /// mean +- std formatting for table cells.

@@ -13,6 +13,7 @@
 #include <cstdlib>
 
 #include "edgesim/server.hpp"
+#include "obs/health.hpp"
 
 #include "bench_common.hpp"
 
@@ -21,6 +22,11 @@ namespace {
 struct Row {
     std::string label;
     drel::edgesim::ScaleFleetConfig config;
+    /// The under-provisioned row exists to demonstrate load shedding: its
+    /// SLO report MUST fail on backpressure, and a healthy row must not.
+    bool expect_backpressure_fail = false;
+    /// The row whose health block rides in the metrics sidecar.
+    bool export_health = false;
 };
 
 }  // namespace
@@ -75,6 +81,7 @@ int main() {
         chaos.config.num_shards = shards;
         chaos.config.num_threads = hw_threads;
         chaos.config.faults = edgesim::FaultConfig::uniform(0.1);
+        chaos.export_health = true;
         rows.push_back(chaos);
     }
     {
@@ -88,6 +95,7 @@ int main() {
         slow.config.num_threads = hw_threads;
         slow.config.server.queue_capacity = 2;
         slow.config.server.service_seconds_per_batch = 20.0;
+        slow.expect_backpressure_fail = true;
         rows.push_back(slow);
     }
     if (const char* env = std::getenv("DREL_FLEET_SCALE_HUGE");
@@ -101,7 +109,8 @@ int main() {
     }
 
     util::Table table({"fleet", "rounds", "thr (dev-rnd/s)", "p50 s", "p99 s",
-                       "p999 s", "B/dev/rnd", "recovery", "rejected"});
+                       "p999 s", "B/dev/rnd", "recovery", "rejected", "slo"});
+    bool slo_ok = true;
     for (const Row& row : rows) {
         stats::Rng rng(2100);
         const edgesim::ScaleFleetReport report = edgesim::run_scale_fleet(row.config, rng);
@@ -112,18 +121,53 @@ int main() {
             p99 = std::max(p99, round.latency_p99_seconds);
             p999 = std::max(p999, round.latency_p999_seconds);
         }
+
+        // Judge every row against the default fleet SLOs; the table shows
+        // the verdict and the process exit code enforces the expectations
+        // (healthy rows pass or warn; the slow server MUST fail on
+        // backpressure — if it stops failing, the row no longer demos what
+        // it claims to).
+        const health::SloReport slo =
+            health::evaluate(health::Slo::fleet_default(), engine.telemetry);
+        if (!obs::metrics_enabled()) {
+            // DREL_METRICS=0: the telemetry is empty by contract and every
+            // rule passes vacuously — there is nothing to enforce.
+        } else if (row.expect_backpressure_fail) {
+            bool tripped = false;
+            for (const health::SloResult& rule : slo.rules) {
+                if (rule.name == "backpressure_rejection_rate" &&
+                    rule.verdict == health::Verdict::kFail) {
+                    tripped = true;
+                }
+            }
+            if (!tripped) {
+                std::cerr << "SLO expectation violated: row '" << row.label
+                          << "' should trip backpressure_rejection_rate\n";
+                slo_ok = false;
+            }
+        } else if (slo.verdict == health::Verdict::kFail) {
+            std::cerr << "SLO expectation violated: healthy row '" << row.label
+                      << "' failed its SLOs\n";
+            slo_ok = false;
+        }
+        if (row.export_health && obs::metrics_enabled()) {
+            sidecar.set_health(engine.telemetry.to_json(&slo));
+        }
+
         table.add_row({row.label, std::to_string(engine.rounds.size()),
                        util::Table::fmt(engine.device_rounds_per_second, 0),
                        util::Table::fmt(p50, 2), util::Table::fmt(p99, 2),
                        util::Table::fmt(p999, 2),
                        util::Table::fmt(engine.bytes_per_device_round(), 1),
                        util::Table::fmt(report.mode_recovery_rate, 3),
-                       std::to_string(engine.total_backpressure_rejected)});
+                       std::to_string(engine.total_backpressure_rejected),
+                       health::to_string(slo.verdict)});
     }
     table.print(std::cout);
 
     std::cout << "\nEvery row ran the full event loop (virtual clock, bounded "
                  "server queue); backpressure degrades devices, never the "
-                 "run. Reports are bit-identical across thread counts.\n";
-    return 0;
+                 "run. Reports are bit-identical across thread counts; the "
+                 "chaos row's health block lands in the metrics sidecar.\n";
+    return slo_ok ? 0 : 1;
 }

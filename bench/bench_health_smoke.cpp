@@ -1,0 +1,95 @@
+// Seconds-scale smoke test for the fleet health telemetry pipeline (ctest
+// -R health_smoke): runs the sharded engine end to end twice and checks the
+// SLO layer judges both runs the way the geometry says it must.
+//
+//   1. A small chaos fleet (10% uniform faults, fast server): the default
+//      SLOs must NOT fail — chaos degrades devices but sheds no uploads.
+//      Its health block lands in bench_health_smoke.metrics.json, the
+//      document scripts/health_report.py renders in CI.
+//   2. The same fleet behind a deliberately under-provisioned server (one
+//      queued batch, 40 s service): admission control must shed load and
+//      the backpressure SLO must FAIL, written to
+//      bench_health_smoke_slow.metrics.json so the report script's nonzero
+//      exit path is exercised on a real document, not a fixture.
+//
+// Exits nonzero when either expectation is violated.
+#include <iostream>
+
+#include "edgesim/server.hpp"
+#include "obs/health.hpp"
+
+#include "bench_common.hpp"
+
+namespace {
+
+drel::edgesim::ScaleFleetConfig smoke_config() {
+    drel::edgesim::ScaleFleetConfig config;
+    config.devices_per_round = 400;
+    config.rounds = 3;
+    config.num_shards = 8;
+    config.num_threads = drel::util::Executor::global().max_threads();
+    return config;
+}
+
+}  // namespace
+
+int main() {
+    using namespace drel;
+    bench::print_header(
+        "health_smoke",
+        "Fleet health telemetry smoke: a healthy chaos fleet must pass the "
+        "default SLOs; an under-provisioned server must trip the "
+        "backpressure SLO. Both health blocks are written as sidecars for "
+        "scripts/health_report.py.");
+
+    int failures = 0;
+    {
+        bench::MetricsSidecar sidecar("bench_health_smoke");
+        edgesim::ScaleFleetConfig config = smoke_config();
+        config.faults = edgesim::FaultConfig::uniform(0.1);
+        stats::Rng rng(2100);
+        const edgesim::ScaleFleetReport report = edgesim::run_scale_fleet(config, rng);
+        const health::SloReport slo =
+            health::evaluate(health::Slo::fleet_default(), report.engine.telemetry);
+        std::cout << "chaos fleet (10% faults, fast server): "
+                  << health::to_string(slo.verdict) << "\n";
+        if (obs::metrics_enabled()) {
+            sidecar.set_health(report.engine.telemetry.to_json(&slo));
+            if (slo.verdict == health::Verdict::kFail) {
+                std::cerr << "FAIL: healthy chaos fleet failed its SLOs\n";
+                ++failures;
+            }
+        }
+    }
+    {
+        bench::MetricsSidecar sidecar("bench_health_smoke_slow");
+        edgesim::ScaleFleetConfig config = smoke_config();
+        config.server.queue_capacity = 1;
+        config.server.service_seconds_per_batch = 40.0;
+        stats::Rng rng(2100);
+        const edgesim::ScaleFleetReport report = edgesim::run_scale_fleet(config, rng);
+        const health::SloReport slo =
+            health::evaluate(health::Slo::fleet_default(), report.engine.telemetry);
+        std::cout << "slow server (queue 1, 40 s/batch): "
+                  << health::to_string(slo.verdict) << "\n";
+        if (obs::metrics_enabled()) {
+            sidecar.set_health(report.engine.telemetry.to_json(&slo));
+            bool tripped = false;
+            for (const health::SloResult& rule : slo.rules) {
+                if (rule.name == "backpressure_rejection_rate" &&
+                    rule.verdict == health::Verdict::kFail) {
+                    tripped = true;
+                }
+            }
+            if (!tripped) {
+                std::cerr << "FAIL: slow server did not trip the backpressure SLO\n";
+                ++failures;
+            }
+        }
+    }
+    if (!obs::metrics_enabled()) {
+        std::cout << "DREL_METRICS=0: telemetry empty by contract; nothing "
+                     "to judge.\n";
+    }
+    return failures == 0 ? 0 : 1;
+}

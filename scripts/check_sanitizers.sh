@@ -16,6 +16,11 @@
 # scoped-override atomics are TSan territory, and the alias/reservoir
 # builds index worklists ASan should watch.
 #
+# The observability suite (test_obs: Timeseries/Health/FleetHealth) rides
+# along too: histograms are observed from worker threads through relaxed
+# atomics and the engine's telemetry fold runs on the driver while shards
+# fan out — exactly the write/read boundary TSan must bless.
+#
 # Usage: scripts/check_sanitizers.sh [jobs]
 set -euo pipefail
 
@@ -31,7 +36,7 @@ for sanitizer in thread address; do
     cmake --build "${build_dir}" -j "${jobs}" \
         --target test_util test_concurrency test_faults test_engine \
                  test_linalg_property test_dro_invariants \
-                 test_simd_dispatch test_sampling_stats > /dev/null
+                 test_simd_dispatch test_sampling_stats test_obs > /dev/null
     # The property/differential harness (ctest -L property) runs here too:
     # the allocation-free kernels and workspace arenas are exactly the code
     # whose buffer reuse ASan/TSan can falsify. The event-driven engine
@@ -39,7 +44,7 @@ for sanitizer in thread address; do
     # per-shard SoA slices across threads — the exact pattern TSan exists
     # to check.
     if ! (cd "${build_dir}" && ctest --output-on-failure -j "${jobs}" \
-        -R 'ThreadPool|ParallelFor|ParallelReduce|Executor|Determinism|Fault|Chaos|EmDroDegradation|WorkspaceKernels|LinalgProperty|DroInvariants|FleetEngine|EventQueue|StreamScheme|ScaleFleet|ShardLayout|UploadSufficientStats|SimdDispatch|SamplingStats'); then
+        -R 'ThreadPool|ParallelFor|ParallelReduce|Executor|Determinism|Fault|Chaos|EmDroDegradation|WorkspaceKernels|LinalgProperty|DroInvariants|FleetEngine|FleetHealth|EventQueue|StreamScheme|ScaleFleet|ShardLayout|UploadSufficientStats|SimdDispatch|SamplingStats|Timeseries|Health\.|Metrics\.'); then
         echo "!!! ${sanitizer} sanitizer suite FAILED"
         failed+=("${sanitizer}")
     fi

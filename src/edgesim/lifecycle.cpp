@@ -259,7 +259,7 @@ LifecycleReport run_lifecycle(const LifecycleConfig& config, stats::Rng& rng) {
         return decision;
     };
 
-    const EngineReport engine_report =
+    EngineReport engine_report =
         run_fleet_engine(engine, device_root, fault_plan, work, round_end);
 
     // --- Map the engine report onto the lifecycle's historical shape. ---
@@ -267,6 +267,7 @@ LifecycleReport run_lifecycle(const LifecycleConfig& config, stats::Rng& rng) {
     report.total_broadcast_bytes = engine_report.total_broadcast_bytes;
     report.total_upload_bytes = engine_report.total_upload_bytes;
     report.total_upload_retries = engine_report.total_upload_retries;
+    report.telemetry = std::move(engine_report.telemetry);
     report.rounds.reserve(engine_report.rounds.size());
     for (const EngineRoundStats& stats : engine_report.rounds) {
         rounds_count.add(1);

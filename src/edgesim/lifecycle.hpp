@@ -123,6 +123,10 @@ struct LifecycleReport {
     std::size_t total_broadcast_bytes = 0;
     std::size_t total_upload_bytes = 0;     ///< device -> cloud theta uploads (on-air)
     std::size_t total_upload_retries = 0;   ///< re-transmissions across all rounds
+
+    /// Fleet health telemetry forwarded from the engine (see
+    /// EngineReport::telemetry); empty when the run simulated nothing.
+    health::FleetTelemetry telemetry;
 };
 
 /// Runs the closed loop. `rounds == 0` or `devices_per_round == 0` is a

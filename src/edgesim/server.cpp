@@ -12,6 +12,8 @@
 #include "edgesim/transfer.hpp"
 #include "obs/metrics.hpp"
 #include "obs/profiler.hpp"
+#include "obs/timeseries.hpp"
+#include "stats/descriptive.hpp"
 #include "stats/multivariate_normal.hpp"
 #include "stats/weighted_reservoir.hpp"
 #include "util/executor.hpp"
@@ -65,6 +67,11 @@ void CloudServer::drain_until(double now) {
             serviced_thetas_.push_back({round, device, std::move(theta)});
         }
         ++serviced_batches_;
+        if (round < current_round_) ++serviced_lagged_batches_;
+        if (service_wait_histogram_ != nullptr) {
+            service_wait_histogram_->observe(
+                static_cast<std::uint64_t>(std::llround((done - head.arrival) * 1000.0)));
+        }
         queue_.pop_front();
     }
 }
@@ -135,6 +142,9 @@ void EngineConfig::validate() const {
             "EngineConfig: deadline_seconds + uplink_seconds must not exceed round_seconds "
             "(a healthy upload must land before its round closes)");
     }
+    if (flight_recorder_capacity == 0) {
+        throw std::invalid_argument("EngineConfig: flight_recorder_capacity must be >= 1");
+    }
     server.validate();
 }
 
@@ -149,14 +159,6 @@ double EngineReport::bytes_per_device_round() const noexcept {
 }
 
 namespace {
-
-double nearest_rank(const std::vector<double>& sorted, double quantile) {
-    if (sorted.empty()) return 0.0;
-    const double n = static_cast<double>(sorted.size());
-    const auto rank = static_cast<std::size_t>(std::ceil(quantile * n));
-    const std::size_t index = rank == 0 ? 0 : rank - 1;
-    return sorted[std::min(index, sorted.size() - 1)];
-}
 
 /// Folds the finished round's global SoA arrays — in device-index order, so
 /// the result is independent of shard partition and thread schedule — into
@@ -192,6 +194,8 @@ void finalize_round(const RoundSoA& soa, std::size_t theta_dim, EngineRoundStats
         // solver also degraded is still a stale device, and an undelivered
         // attempt is dropped whatever else went wrong.
         stats.stale_priors += soa.stale_prior[j] != 0 ? 1 : 0;
+        stats.uploads_attempted += soa.upload_attempts[j] > 0 ? 1 : 0;
+        stats.uploads_delivered += soa.upload_delivered[j] != 0 ? 1 : 0;
         stats.uploads_dropped +=
             soa.upload_attempts[j] > 0 && soa.upload_delivered[j] == 0 ? 1 : 0;
         stats.uploads_garbled += soa.upload_garbled[j] != 0 ? 1 : 0;
@@ -208,9 +212,9 @@ void finalize_round(const RoundSoA& soa, std::size_t theta_dim, EngineRoundStats
 
     latency_scratch.assign(soa.latency_seconds.begin(), soa.latency_seconds.end());
     std::sort(latency_scratch.begin(), latency_scratch.end());
-    stats.latency_p50_seconds = nearest_rank(latency_scratch, 0.50);
-    stats.latency_p99_seconds = nearest_rank(latency_scratch, 0.99);
-    stats.latency_p999_seconds = nearest_rank(latency_scratch, 0.999);
+    stats.latency_p50_seconds = drel::stats::nearest_rank(latency_scratch, 0.50);
+    stats.latency_p99_seconds = drel::stats::nearest_rank(latency_scratch, 0.99);
+    stats.latency_p999_seconds = drel::stats::nearest_rank(latency_scratch, 0.999);
     stats.latency_max_seconds = latency_scratch.empty() ? 0.0 : latency_scratch.back();
 
     stats.device_degraded.assign(soa.degraded.begin(), soa.degraded.end());
@@ -250,13 +254,29 @@ EngineReport run_fleet_engine(const EngineConfig& config, const stats::Rng& devi
     report.rounds.reserve(config.rounds);
     std::size_t current_components = config.initial_prior_components;
 
-    queue.schedule(0.0, EventKind::kRoundStart, 0);
-    while (!queue.empty()) {
+    // Fleet health telemetry (DESIGN.md "Fleet health telemetry"). The
+    // series, histograms, and recorder are LOCAL to this run — never
+    // registry metrics — so engine runs cannot pollute golden registry
+    // snapshots, and every recording site sits on the driver thread.
+    obs::FlightRecorder recorder(config.flight_recorder_capacity);
+    obs::Histogram upload_latency(obs::log_spaced_bounds(1, std::uint64_t{1} << 20));
+    obs::Histogram service_wait(obs::log_spaced_bounds(1, std::uint64_t{1} << 20));
+    server.set_service_wait_histogram(&service_wait);
+    std::vector<std::uint64_t> telemetry_row(health::kFleetNumColumns, 0);
+    std::size_t lagged_at_prev_close = 0;
+    std::size_t rejected_at_prev_close = 0;
+    const std::string recorder_path = obs::flight_recorder_env_path();
+
+    const auto run_event_loop = [&] {
+        while (!queue.empty()) {
         const Event event = queue.pop();
+        recorder.record(event.round, event.time, to_string(event.kind), event.shard,
+                        static_cast<std::uint64_t>(server.queue_depth()));
         const std::size_t round = event.round;
         switch (event.kind) {
             case EventKind::kRoundStart: {
                 DREL_PROFILE_SCOPE("engine.round_start");
+                server.begin_round(round);
                 EngineRoundStats stats;
                 stats.round = round;
                 stats.prior_components = current_components;
@@ -325,8 +345,90 @@ EngineReport run_fleet_engine(const EngineConfig& config, const stats::Rng& devi
                     queue.schedule(event.time, EventKind::kRoundStart,
                                    static_cast<std::uint32_t>(round + 1));
                 }
+
+                // Health-series sample for the closed round: driver thread,
+                // device-index order, virtual clock only. The latency
+                // histogram models each admitted upload as dispatched at
+                // device completion and delivered one uplink later — a
+                // per-device quantity, so counts and values are independent
+                // of how the fleet is sharded.
+                for (std::size_t j = 0; j < soa.size(); ++j) {
+                    if (soa.upload_delivered[j] != 0 && soa.upload_garbled[j] == 0 &&
+                        soa.degraded[j] != DegradedReason::kBackpressure) {
+                        upload_latency.observe(static_cast<std::uint64_t>(std::llround(
+                            (soa.latency_seconds[j] + config.uplink_seconds) * 1000.0)));
+                    }
+                }
+                std::size_t healthy = 0;
+                for (const DegradedReason reason : soa.degraded) {
+                    healthy += reason == DegradedReason::kNone ? 1 : 0;
+                }
+                using health::FleetCol;
+                using health::idx;
+                const auto u64 = [](std::size_t v) { return static_cast<std::uint64_t>(v); };
+                const auto virtual_ms = [](double seconds) {
+                    return static_cast<std::uint64_t>(std::llround(seconds * 1000.0));
+                };
+                std::vector<std::uint64_t>& row = telemetry_row;
+                row[idx(FleetCol::kRound)] = u64(round);
+                row[idx(FleetCol::kVirtualCloseMs)] = virtual_ms(event.time);
+                row[idx(FleetCol::kDevices)] = u64(soa.size());
+                row[idx(FleetCol::kHealthy)] = u64(healthy);
+                row[idx(FleetCol::kDegraded)] = u64(soa.size() - healthy);
+                row[idx(FleetCol::kDegradedCrashed)] = u64(stats.crashed);
+                row[idx(FleetCol::kDegradedStraggler)] = u64(stats.stragglers);
+                row[idx(FleetCol::kDegradedFallback)] = u64(stats.fallbacks);
+                row[idx(FleetCol::kDegradedNonFinite)] = u64(stats.non_finite);
+                row[idx(FleetCol::kDegradedBackpressure)] = u64(stats.backpressure_rejected);
+                row[idx(FleetCol::kStalePriors)] = u64(stats.stale_priors);
+                row[idx(FleetCol::kUploadsAttempted)] = u64(stats.uploads_attempted);
+                row[idx(FleetCol::kUploadsDelivered)] = u64(stats.uploads_delivered);
+                row[idx(FleetCol::kUploadsDropped)] = u64(stats.uploads_dropped);
+                row[idx(FleetCol::kUploadsGarbled)] = u64(stats.uploads_garbled);
+                row[idx(FleetCol::kUploadsRejected)] =
+                    u64(server.rejected_uploads() - rejected_at_prev_close);
+                row[idx(FleetCol::kUploadRetries)] = u64(stats.upload_retries);
+                row[idx(FleetCol::kQueueDepthAtClose)] = u64(server.queue_depth());
+                row[idx(FleetCol::kServicedLagged)] =
+                    u64(server.serviced_lagged_batches() - lagged_at_prev_close);
+                row[idx(FleetCol::kBroadcastBytes)] = u64(stats.broadcast_bytes);
+                row[idx(FleetCol::kUploadBytes)] = u64(stats.upload_bytes);
+                row[idx(FleetCol::kPriorComponents)] = u64(stats.prior_components);
+                row[idx(FleetCol::kRebroadcast)] = stats.rebroadcast ? 1 : 0;
+                row[idx(FleetCol::kLatencyP50Ms)] = virtual_ms(stats.latency_p50_seconds);
+                row[idx(FleetCol::kLatencyP99Ms)] = virtual_ms(stats.latency_p99_seconds);
+                row[idx(FleetCol::kLatencyMaxMs)] = virtual_ms(stats.latency_max_seconds);
+                report.telemetry.series.append_row(row);
+                rejected_at_prev_close = server.rejected_uploads();
+                lagged_at_prev_close = server.serviced_lagged_batches();
                 break;
             }
+        }
+        }
+    };
+
+    queue.schedule(0.0, EventKind::kRoundStart, 0);
+    if (recorder_path.empty()) {
+        run_event_loop();
+    } else {
+        // A fault mid-run still flushes the recorder: the tail of the event
+        // stream is exactly the diagnostic a crash needs.
+        try {
+            run_event_loop();
+        } catch (...) {
+            recorder.dump(recorder_path);
+            throw;
+        }
+        recorder.dump(recorder_path);
+    }
+    server.set_service_wait_histogram(nullptr);
+    report.telemetry.upload_latency_ms = upload_latency.snapshot();
+    report.telemetry.service_wait_ms = service_wait.snapshot();
+    if (obs::metrics_enabled()) {
+        report.telemetry.shard_devices.reserve(layouts.size());
+        for (const ShardLayout& layout : layouts) {
+            report.telemetry.shard_devices.push_back(
+                static_cast<std::uint64_t>(layout.end - layout.begin));
         }
     }
 

@@ -39,6 +39,8 @@
 
 #include "edgesim/faults.hpp"
 #include "edgesim/shard.hpp"
+#include "obs/health.hpp"
+#include "obs/metrics.hpp"
 #include "stats/rng.hpp"
 
 namespace drel::edgesim {
@@ -115,6 +117,25 @@ class CloudServer {
     std::size_t rejected_uploads() const noexcept { return rejected_uploads_; }
     std::size_t serviced_batches() const noexcept { return serviced_batches_; }
 
+    /// Tells the server which round the virtual clock is in, so drain can
+    /// classify a serviced batch as LAGGED (admitted in an earlier round —
+    /// the "lag, not loss" telemetry signal). The engine calls this at every
+    /// kRoundStart.
+    void begin_round(std::size_t round) noexcept { current_round_ = round; }
+
+    /// Batches serviced so far whose round predates the round they were
+    /// serviced in. Monotone; the telemetry layer takes per-round deltas.
+    std::size_t serviced_lagged_batches() const noexcept { return serviced_lagged_batches_; }
+
+    /// Optional telemetry sink: every serviced batch records its virtual
+    /// arrival -> service-completion wait (milliseconds) here. The histogram
+    /// must outlive the server or be detached with nullptr. Service waits
+    /// are a partition function (batch framing depends on the shard
+    /// layout), so this feeds the health block's partition section only.
+    void set_service_wait_histogram(obs::Histogram* histogram) noexcept {
+        service_wait_histogram_ = histogram;
+    }
+
  private:
     struct Pending {
         UploadBatch batch;
@@ -135,6 +156,9 @@ class CloudServer {
     std::size_t rejected_batches_ = 0;
     std::size_t rejected_uploads_ = 0;
     std::size_t serviced_batches_ = 0;
+    std::size_t serviced_lagged_batches_ = 0;
+    std::size_t current_round_ = 0;
+    obs::Histogram* service_wait_histogram_ = nullptr;
 };
 
 // ---------------------------------------------------------------------------
@@ -169,6 +193,10 @@ struct EngineConfig {
     std::size_t initial_broadcast_bytes = 0;
     std::size_t initial_prior_components = 0;
 
+    /// Last-N engine events retained by the flight recorder (diagnostics;
+    /// dumped when DREL_FLIGHT_RECORDER names a path). Must be >= 1.
+    std::size_t flight_recorder_capacity = 1024;
+
     ServerConfig server;
 
     /// Throws std::invalid_argument on zero dimensions or a geometry where
@@ -200,6 +228,8 @@ struct EngineRoundStats {
     std::size_t broadcast_bytes = 0;    ///< bytes charged to the broadcast budget this round
 
     std::size_t devices_scored = 0;
+    std::size_t uploads_attempted = 0;  ///< devices that tried to upload
+    std::size_t uploads_delivered = 0;  ///< devices whose upload survived the air
     std::size_t crashed = 0;
     std::size_t stragglers = 0;
     std::size_t fallbacks = 0;
@@ -233,6 +263,12 @@ struct EngineReport {
     std::size_t total_backpressure_rejected = 0;
     double virtual_seconds = 0.0;        ///< clock at the final event
     std::uint64_t events_processed = 0;
+
+    /// Fleet health telemetry sampled at every kRoundEnd: the per-round
+    /// series + upload-latency histogram (main block — bit-identical across
+    /// thread and shard counts under full admission) and the
+    /// partition-scoped extras. Empty under DREL_METRICS=0.
+    health::FleetTelemetry telemetry;
 
     // Wall-clock observability — NOT covered by determinism claims.
     double wall_seconds = 0.0;

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <chrono>
+#include <cmath>
 #include <cstdlib>
 #include <fstream>
 #include <limits>
@@ -11,12 +12,28 @@
 
 namespace drel::obs {
 
+namespace {
+
+// -1 = no override (use the cached env value), 0 = forced off, 1 = forced on.
+std::atomic<int> metrics_override{-1};
+
+}  // namespace
+
 bool metrics_enabled() noexcept {
+    const int forced = metrics_override.load(std::memory_order_relaxed);
+    if (forced >= 0) return forced != 0;
     static const bool enabled = [] {
         const char* env = std::getenv("DREL_METRICS");
         return !(env != nullptr && env[0] == '0' && env[1] == '\0');
     }();
     return enabled;
+}
+
+ScopedMetricsEnabledForTesting::ScopedMetricsEnabledForTesting(bool enabled) noexcept
+    : previous_(metrics_override.exchange(enabled ? 1 : 0, std::memory_order_relaxed)) {}
+
+ScopedMetricsEnabledForTesting::~ScopedMetricsEnabledForTesting() {
+    metrics_override.store(previous_, std::memory_order_relaxed);
 }
 
 namespace detail {
@@ -30,6 +47,49 @@ std::size_t thread_slot() noexcept {
 }  // namespace detail
 
 // ----------------------------------------------------------------- histogram
+
+namespace {
+
+std::uint64_t snapshot_quantile_bound(const std::vector<std::uint64_t>& bounds,
+                                      const std::vector<std::uint64_t>& buckets,
+                                      std::uint64_t count, double q) {
+    if (!(q >= 0.0 && q <= 1.0)) {
+        throw std::invalid_argument("quantile_bound: q must be in [0, 1]");
+    }
+    if (count == 0) return 0;
+    // Nearest rank: the ceil(q * count)-th observation in sorted order
+    // (1-based); q = 0 resolves to the first observation's bucket.
+    std::uint64_t rank = static_cast<std::uint64_t>(
+        std::ceil(q * static_cast<double>(count)));
+    if (rank == 0) rank = 1;
+    std::uint64_t cumulative = 0;
+    for (std::size_t i = 0; i < buckets.size(); ++i) {
+        cumulative += buckets[i];
+        if (cumulative >= rank) {
+            return i < bounds.size() ? bounds[i] : kHistogramOverflowBound;
+        }
+    }
+    return kHistogramOverflowBound;  // unreachable when count matches buckets
+}
+
+}  // namespace
+
+std::uint64_t HistogramSnapshot::quantile_bound(double q) const {
+    return snapshot_quantile_bound(bounds, buckets, count, q);
+}
+
+JsonValue HistogramSnapshot::to_json() const {
+    JsonValue::Array bounds_json;
+    for (const std::uint64_t b : bounds) bounds_json.emplace_back(b);
+    JsonValue::Array buckets_json;
+    for (const std::uint64_t b : buckets) buckets_json.emplace_back(b);
+    JsonValue::Object out;
+    out.emplace("bounds", std::move(bounds_json));
+    out.emplace("buckets", std::move(buckets_json));
+    out.emplace("count", count);
+    out.emplace("sum", sum);
+    return JsonValue(std::move(out));
+}
 
 Histogram::Histogram(std::vector<std::uint64_t> bounds) : bounds_(std::move(bounds)) {
     if (!std::is_sorted(bounds_.begin(), bounds_.end()) ||
@@ -57,6 +117,19 @@ std::vector<std::uint64_t> Histogram::bucket_counts() const {
         out[i] = buckets_[i].load(std::memory_order_relaxed);
     }
     return out;
+}
+
+HistogramSnapshot Histogram::snapshot() const {
+    HistogramSnapshot out;
+    out.bounds = bounds_;
+    out.buckets = bucket_counts();
+    out.count = count();
+    out.sum = sum();
+    return out;
+}
+
+std::uint64_t Histogram::quantile_bound(double q) const {
+    return snapshot_quantile_bound(bounds_, bucket_counts(), count(), q);
 }
 
 void Histogram::reset() noexcept {
@@ -216,23 +289,25 @@ std::string Registry::deterministic_json() const {
 
 // ------------------------------------------------------------------- sidecar
 
-JsonValue bench_sidecar_json(std::string_view bench_name) {
+JsonValue bench_sidecar_json(std::string_view bench_name, const JsonValue* health) {
     const Registry& registry = Registry::global();
     JsonValue::Object doc;
-    doc.emplace("schema_version", kMetricsSchemaVersion);
+    doc.emplace("schema_version", kBenchSidecarSchemaVersion);
     doc.emplace("bench", std::string(bench_name));
     doc.emplace("deterministic", registry.deterministic_snapshot());
     doc.emplace("timing", registry.timing_snapshot());
+    if (health != nullptr) doc.emplace("health", *health);
     return JsonValue(std::move(doc));
 }
 
-bool write_bench_sidecar(std::string_view bench_name, const std::string& path) {
+bool write_bench_sidecar(std::string_view bench_name, const std::string& path,
+                         const JsonValue* health) {
     std::ofstream out(path);
     if (!out) {
         DREL_LOG_WARN("obs") << "cannot write metrics sidecar " << path;
         return false;
     }
-    out << bench_sidecar_json(bench_name).dump() << "\n";
+    out << bench_sidecar_json(bench_name, health).dump() << "\n";
     return static_cast<bool>(out);
 }
 

@@ -47,8 +47,30 @@ namespace drel::obs {
 /// Version stamp embedded in every exported snapshot/sidecar document.
 inline constexpr std::uint64_t kMetricsSchemaVersion = 1;
 
-/// False iff the environment sets DREL_METRICS=0 (checked once, cached).
+/// Bench sidecar document version. v2 added the optional "health" block
+/// (fleet telemetry: RoundSeries, latency histograms, SLO report). Kept
+/// separate from kMetricsSchemaVersion so golden metric documents
+/// (tests/golden/*.json) did not need re-recording for the sidecar change.
+inline constexpr std::uint64_t kBenchSidecarSchemaVersion = 2;
+
+/// False iff the environment sets DREL_METRICS=0 (checked once, cached),
+/// unless a ScopedMetricsEnabledForTesting override is active.
 bool metrics_enabled() noexcept;
+
+/// RAII test hook forcing metrics_enabled() to a fixed value for the
+/// scope's lifetime. The env value is cached once per process, so tests
+/// exercising the DREL_METRICS=0 fast path in-process need this. Not for
+/// production code; scopes must not nest across threads.
+class ScopedMetricsEnabledForTesting {
+ public:
+    explicit ScopedMetricsEnabledForTesting(bool enabled) noexcept;
+    ScopedMetricsEnabledForTesting(const ScopedMetricsEnabledForTesting&) = delete;
+    ScopedMetricsEnabledForTesting& operator=(const ScopedMetricsEnabledForTesting&) = delete;
+    ~ScopedMetricsEnabledForTesting();
+
+ private:
+    int previous_;
+};
 
 namespace detail {
 /// Small dense id of the calling thread, assigned on first use.
@@ -107,6 +129,37 @@ class Gauge {
     std::atomic<bool> touched_{false};
 };
 
+/// Sentinel returned by quantile_bound when the requested rank lands in the
+/// overflow bucket — the histogram has no upper bound for those values.
+inline constexpr std::uint64_t kHistogramOverflowBound =
+    ~static_cast<std::uint64_t>(0);
+
+/// Value-type copy of a Histogram's state. Histogram itself holds atomics
+/// and is pinned in place; reports that must carry histogram data by value
+/// (e.g. the fleet telemetry in EngineReport) carry snapshots instead. All
+/// fields are integers, so two snapshots of the same event stream compare
+/// equal byte-for-byte regardless of thread or shard count.
+struct HistogramSnapshot {
+    std::vector<std::uint64_t> bounds;   ///< ascending, upper-inclusive
+    std::vector<std::uint64_t> buckets;  ///< bounds.size() + 1 (last = overflow)
+    std::uint64_t count = 0;
+    std::uint64_t sum = 0;
+
+    /// Nearest-rank quantile resolved to a bucket UPPER BOUND: the bound of
+    /// the first bucket whose cumulative count reaches ceil(q * count). A
+    /// conservative (never under-reporting) estimate — exact values inside
+    /// a bucket are not retained. Returns 0 on an empty snapshot and
+    /// kHistogramOverflowBound when the rank falls in the overflow bucket.
+    /// Throws std::invalid_argument unless 0 <= q <= 1.
+    std::uint64_t quantile_bound(double q) const;
+
+    /// {"bounds": [...], "buckets": [...], "count": N, "sum": S} — the same
+    /// shape the registry's deterministic snapshot uses for histograms.
+    JsonValue to_json() const;
+
+    friend bool operator==(const HistogramSnapshot&, const HistogramSnapshot&) = default;
+};
+
 /// Fixed-bucket histogram of unsigned integer observations (iteration
 /// counts, payload bytes, ...). Bounds are upper-inclusive and fixed at
 /// registration; one overflow bucket is appended. All state is integer, so
@@ -121,6 +174,12 @@ class Histogram {
     std::vector<std::uint64_t> bucket_counts() const;
     std::uint64_t count() const noexcept { return count_.load(std::memory_order_relaxed); }
     std::uint64_t sum() const noexcept { return sum_.load(std::memory_order_relaxed); }
+
+    /// Value-type copy of the current state.
+    HistogramSnapshot snapshot() const;
+
+    /// snapshot().quantile_bound(q) without materialising the snapshot.
+    std::uint64_t quantile_bound(double q) const;
 
     void reset() noexcept;
 
@@ -206,14 +265,19 @@ class Registry {
     std::map<std::string, std::unique_ptr<TimingStat>, std::less<>> timings_;
 };
 
-/// Bench sidecar document (schema v1, validated by tests/test_bench_schema):
-///   {"schema_version": N, "bench": name,
+/// Bench sidecar document (schema v2, validated by tests/test_bench_schema):
+///   {"schema_version": kBenchSidecarSchemaVersion, "bench": name,
 ///    "deterministic": {counters, gauges, histograms},
-///    "timing": {name: {count, total_seconds, min_seconds, max_seconds}}}
-JsonValue bench_sidecar_json(std::string_view bench_name);
+///    "timing": {name: {count, total_seconds, min_seconds, max_seconds}},
+///    "health": <fleet telemetry, only when provided>}
+/// The optional `health` pointer attaches a pre-built fleet-telemetry block
+/// (see health::FleetTelemetry::to_json); nullptr omits the key.
+JsonValue bench_sidecar_json(std::string_view bench_name,
+                             const JsonValue* health = nullptr);
 
-/// Writes bench_sidecar_json(bench_name).dump() + "\n" to `path`.
+/// Writes bench_sidecar_json(bench_name, health).dump() + "\n" to `path`.
 /// Returns false (and logs a warning) if the file cannot be written.
-bool write_bench_sidecar(std::string_view bench_name, const std::string& path);
+bool write_bench_sidecar(std::string_view bench_name, const std::string& path,
+                         const JsonValue* health = nullptr);
 
 }  // namespace drel::obs

@@ -33,6 +33,17 @@ double quantile(linalg::Vector x, double q) {
     return x[lo] * (1.0 - frac) + x[hi] * frac;
 }
 
+double nearest_rank(const std::vector<double>& sorted, double q) {
+    if (sorted.empty()) return 0.0;
+    if (!(q >= 0.0) || !(q <= 1.0)) {
+        throw std::invalid_argument("nearest_rank: q must be in [0,1]");
+    }
+    const double n = static_cast<double>(sorted.size());
+    const auto rank = static_cast<std::size_t>(std::ceil(q * n));
+    const std::size_t index = rank == 0 ? 0 : rank - 1;
+    return sorted[std::min(index, sorted.size() - 1)];
+}
+
 double median(linalg::Vector x) { return quantile(std::move(x), 0.5); }
 
 linalg::Vector mean_rows(const std::vector<linalg::Vector>& rows) {

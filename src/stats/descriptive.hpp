@@ -17,6 +17,14 @@ double stddev(const linalg::Vector& x);
 /// Empirical quantile with linear interpolation; q in [0, 1].
 double quantile(linalg::Vector x, double q);
 
+/// Nearest-rank quantile over an ALREADY SORTED sample: the ceil(q * n)-th
+/// value (1-based; q = 0 resolves to the first). Unlike `quantile` this
+/// never interpolates — the result is always an observed sample, which is
+/// what the fleet engine's latency percentiles and the health layer's
+/// histogram quantiles both need. Returns 0.0 on an empty input (the fleet
+/// engine's historical no-devices convention).
+double nearest_rank(const std::vector<double>& sorted, double q);
+
 double median(linalg::Vector x);
 
 /// Column-wise mean of a set of row-vectors.

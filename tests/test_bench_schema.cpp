@@ -1,8 +1,9 @@
 // Schema validation for the bench metrics sidecar (obs::bench_sidecar_json,
-// schema v1). The bench binaries themselves take minutes, so this test runs
-// a small representative workload through the same library code and
-// validates the exact document the benches write — for the sidecar names
-// the experiment flow consumes (bench_fig7_fleet, bench_table2_methods).
+// schema v2: v1 plus an optional "health" fleet-telemetry block). The bench
+// binaries themselves take minutes, so this test runs a small representative
+// workload through the same library code and validates the exact document
+// the benches write — for the sidecar names the experiment flow consumes
+// (bench_fig7_fleet, bench_table2_methods, bench_fleet_scale).
 #include <gtest/gtest.h>
 
 #include <cstdio>
@@ -10,7 +11,9 @@
 #include <sstream>
 #include <string>
 
+#include "edgesim/server.hpp"
 #include "edgesim/simulation.hpp"
+#include "obs/health.hpp"
 #include "obs/json.hpp"
 #include "obs/metrics.hpp"
 #include "stats/rng.hpp"
@@ -19,11 +22,11 @@
 namespace drel {
 namespace {
 
-/// Asserts the schema-v1 sidecar contract: required keys, value kinds, and
+/// Asserts the schema-v2 sidecar contract: required keys, value kinds, and
 /// internal consistency (bucket array length, min <= max).
 void validate_sidecar(const obs::JsonValue& doc, const std::string& bench_name) {
     ASSERT_TRUE(doc.is_object());
-    EXPECT_EQ(doc.at("schema_version").as_uint(), obs::kMetricsSchemaVersion);
+    EXPECT_EQ(doc.at("schema_version").as_uint(), obs::kBenchSidecarSchemaVersion);
     EXPECT_EQ(doc.at("bench").as_string(), bench_name);
 
     const obs::JsonValue& deterministic = doc.at("deterministic");
@@ -56,6 +59,54 @@ void validate_sidecar(const obs::JsonValue& doc, const std::string& bench_name) 
         EXPECT_LE(timing.at("min_seconds").as_number(), timing.at("max_seconds").as_number())
             << "timing " << name;
     }
+}
+
+void validate_histogram_snapshot(const obs::JsonValue& histogram, const char* what) {
+    const auto& bounds = histogram.at("bounds").as_array();
+    const auto& buckets = histogram.at("buckets").as_array();
+    EXPECT_EQ(buckets.size(), bounds.size() + 1) << what;
+    for (const auto& b : bounds) EXPECT_TRUE(b.is_uint()) << what;
+    std::uint64_t bucket_total = 0;
+    for (const auto& c : buckets) {
+        ASSERT_TRUE(c.is_uint()) << what;
+        bucket_total += c.as_uint();
+    }
+    EXPECT_EQ(bucket_total, histogram.at("count").as_uint()) << what;
+}
+
+/// Asserts the v2 "health" block contract: a rectangular integer series with
+/// the fleet column names, well-formed histograms, an SLO report with a
+/// known verdict per rule, and the partition sub-block.
+void validate_health_block(const obs::JsonValue& health) {
+    const obs::JsonValue& series = health.at("series");
+    const auto& columns = series.at("columns").as_array();
+    ASSERT_EQ(columns.size(), health::kFleetNumColumns);
+    for (std::size_t c = 0; c < columns.size(); ++c) {
+        EXPECT_EQ(columns[c].as_string(), health::fleet_column_names()[c]);
+    }
+    for (const auto& row : series.at("rows").as_array()) {
+        ASSERT_EQ(row.as_array().size(), columns.size());
+        for (const auto& value : row.as_array()) EXPECT_TRUE(value.is_uint());
+    }
+
+    validate_histogram_snapshot(health.at("upload_latency_ms"), "upload_latency_ms");
+
+    const obs::JsonValue& slo = health.at("slo");
+    const std::string verdict = slo.at("verdict").as_string();
+    EXPECT_TRUE(verdict == "pass" || verdict == "warn" || verdict == "fail") << verdict;
+    for (const auto& rule : slo.at("rules").as_array()) {
+        EXPECT_TRUE(rule.at("name").is_string());
+        EXPECT_TRUE(rule.at("observed").is_number());
+        EXPECT_TRUE(rule.at("warn").is_number());
+        EXPECT_TRUE(rule.at("fail").is_number());
+        ASSERT_TRUE(rule.contains("first_violating_round"));
+    }
+
+    const obs::JsonValue& partition = health.at("partition");
+    for (const auto& n : partition.at("shard_devices").as_array()) {
+        EXPECT_TRUE(n.is_uint());
+    }
+    validate_histogram_snapshot(partition.at("service_wait_ms"), "service_wait_ms");
 }
 
 class BenchSchema : public ::testing::Test {
@@ -104,6 +155,31 @@ TEST_F(BenchSchema, Fig15ChaosSidecarSurfacesFaultCounters) {
     const obs::JsonValue& counters = doc.at("deterministic").at("counters");
     EXPECT_TRUE(counters.contains("fault.injected.crash"));
     EXPECT_TRUE(counters.contains("fault.degraded.crashed"));
+}
+
+TEST_F(BenchSchema, FleetScaleSidecarCarriesValidHealthBlock) {
+    // The same path bench_fleet_scale uses: run the sharded engine, attach
+    // the telemetry + SLO report as the sidecar's v2 health block.
+    edgesim::ScaleFleetConfig config;
+    config.devices_per_round = 200;
+    config.rounds = 3;
+    config.num_shards = 4;
+    config.num_threads = 2;
+    config.faults = edgesim::FaultConfig::uniform(0.1);
+    stats::Rng rng(2100);
+    const edgesim::ScaleFleetReport report = edgesim::run_scale_fleet(config, rng);
+
+    const health::SloReport slo =
+        health::evaluate(health::Slo::fleet_default(), report.engine.telemetry);
+    const obs::JsonValue health_json = report.engine.telemetry.to_json(&slo);
+    const obs::JsonValue doc = obs::bench_sidecar_json("bench_fleet_scale", &health_json);
+    validate_sidecar(doc, "bench_fleet_scale");
+    ASSERT_TRUE(doc.contains("health"));
+    validate_health_block(doc.at("health"));
+    EXPECT_EQ(doc.at("health").at("series").at("rows").as_array().size(), config.rounds);
+    // Survives a serialize/parse round trip like the rest of the document.
+    const obs::JsonValue reparsed = obs::JsonValue::parse(doc.dump(2));
+    EXPECT_EQ(reparsed.dump(0), doc.dump(0));
 }
 
 TEST_F(BenchSchema, SidecarSurvivesSerializeParseRoundTrip) {

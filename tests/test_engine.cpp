@@ -7,10 +7,15 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <cstdio>
+#include <cstdlib>
 #include <cstring>
+#include <fstream>
 #include <limits>
 #include <set>
+#include <sstream>
 #include <stdexcept>
+#include <string>
 #include <utility>
 #include <vector>
 
@@ -18,6 +23,9 @@
 #include "edgesim/scheduler.hpp"
 #include "edgesim/server.hpp"
 #include "edgesim/shard.hpp"
+#include "obs/health.hpp"
+#include "obs/json.hpp"
+#include "obs/metrics.hpp"
 #include "stats/rng.hpp"
 #include "test_support.hpp"
 
@@ -268,6 +276,8 @@ void expect_reports_identical(const EngineReport& a, const EngineReport& b,
         EXPECT_EQ(x.devices_scored, y.devices_scored);
         EXPECT_EQ(x.crashed, y.crashed);
         EXPECT_EQ(x.stragglers, y.stragglers);
+        EXPECT_EQ(x.uploads_attempted, y.uploads_attempted);
+        EXPECT_EQ(x.uploads_delivered, y.uploads_delivered);
         EXPECT_EQ(x.uploads_dropped, y.uploads_dropped);
         EXPECT_EQ(x.uploads_garbled, y.uploads_garbled);
         EXPECT_EQ(x.backpressure_rejected, y.backpressure_rejected);
@@ -388,6 +398,138 @@ TEST(FleetEngineChaos, FaultPlanReusedUnchangedAndDeterministic) {
         }
     }
     EXPECT_GT(crashed, 0u);
+}
+
+// ------------------------------------------------------ fleet telemetry
+
+/// Serialized byte-identity surface: the partition-independent telemetry
+/// block plus its SLO report, exactly what the golden test pins.
+std::string telemetry_fingerprint(const EngineReport& report) {
+    const health::SloReport slo =
+        health::evaluate(health::Slo::fleet_default(), report.telemetry);
+    return report.telemetry.to_json(&slo, /*include_partition=*/false).dump(0);
+}
+
+TEST(FleetHealth, TelemetryIsByteIdenticalAcrossThreadAndShardCounts) {
+    if (!obs::metrics_enabled()) GTEST_SKIP() << "metrics disabled (DREL_METRICS=0)";
+    // Chaos faults exercise every degraded column; the health block must
+    // still be a pure function of the seed, not of the execution geometry.
+    const FaultConfig faults = FaultConfig::uniform(0.3);
+    const EngineReport baseline = run_small_engine(small_engine_config(), faults);
+    ASSERT_EQ(baseline.telemetry.series.num_rows(), 3u);
+    EXPECT_GT(baseline.telemetry.upload_latency_ms.count, 0u);
+    const std::string expected = telemetry_fingerprint(baseline);
+
+    for (const std::size_t threads : {1u, 2u, 4u, 8u}) {
+        EngineConfig config = small_engine_config();
+        config.num_threads = threads;
+        EXPECT_EQ(telemetry_fingerprint(run_small_engine(config, faults)), expected)
+            << "threads=" << threads;
+    }
+    for (const std::size_t shards : {1u, 3u, 8u, 40u}) {
+        EngineConfig config = small_engine_config();
+        config.num_shards = shards;
+        config.num_threads = 2;
+        EXPECT_EQ(telemetry_fingerprint(run_small_engine(config, faults)), expected)
+            << "shards=" << shards;
+    }
+}
+
+TEST(FleetHealth, SeriesRowsMatchTheRoundStats) {
+    if (!obs::metrics_enabled()) GTEST_SKIP() << "metrics disabled (DREL_METRICS=0)";
+    using health::FleetCol;
+    using health::idx;
+    const EngineReport report = run_small_engine(small_engine_config());
+    const obs::RoundSeries& series = report.telemetry.series;
+    ASSERT_EQ(series.num_rows(), report.rounds.size());
+    for (std::size_t r = 0; r < report.rounds.size(); ++r) {
+        const EngineRoundStats& stats = report.rounds[r];
+        EXPECT_EQ(series.at(r, idx(FleetCol::kRound)), stats.round);
+        EXPECT_EQ(series.at(r, idx(FleetCol::kVirtualCloseMs)), (r + 1) * 60'000u);
+        EXPECT_EQ(series.at(r, idx(FleetCol::kDevices)), 40u);
+        EXPECT_EQ(series.at(r, idx(FleetCol::kHealthy)), 40u);
+        EXPECT_EQ(series.at(r, idx(FleetCol::kDegraded)), 0u);
+        EXPECT_EQ(series.at(r, idx(FleetCol::kUploadsAttempted)), stats.uploads_attempted);
+        EXPECT_EQ(series.at(r, idx(FleetCol::kUploadsDelivered)), stats.uploads_delivered);
+        EXPECT_EQ(series.at(r, idx(FleetCol::kUploadBytes)), stats.upload_bytes);
+        EXPECT_EQ(series.at(r, idx(FleetCol::kBroadcastBytes)), stats.broadcast_bytes);
+        EXPECT_EQ(series.at(r, idx(FleetCol::kRebroadcast)),
+                  stats.rebroadcast ? 1u : 0u);
+        // Virtual-clock ms mirror of the double-valued latency stats.
+        EXPECT_LE(series.at(r, idx(FleetCol::kLatencyP50Ms)),
+                  series.at(r, idx(FleetCol::kLatencyP99Ms)));
+        EXPECT_LE(series.at(r, idx(FleetCol::kLatencyP99Ms)),
+                  series.at(r, idx(FleetCol::kLatencyMaxMs)));
+        EXPECT_GT(series.at(r, idx(FleetCol::kLatencyMaxMs)), 0u);
+    }
+    // A fault-free fleet with a fast server passes the default SLOs.
+    const health::SloReport slo =
+        health::evaluate(health::Slo::fleet_default(), report.telemetry);
+    EXPECT_EQ(slo.verdict, health::Verdict::kPass);
+    // Every delivered upload lands in the latency histogram.
+    EXPECT_EQ(report.telemetry.upload_latency_ms.count, 3u * 40u);
+}
+
+TEST(FleetHealth, SlowServerTripsTheBackpressureSlo) {
+    if (!obs::metrics_enabled()) GTEST_SKIP() << "metrics disabled (DREL_METRICS=0)";
+    // The BackpressureDegradesInsteadOfDropping geometry: one queued batch,
+    // 40-second service. Per round one batch is admitted, one queues, and
+    // two are rejected — a 50% rejection rate the default SLO must FAIL and
+    // pin to the first round.
+    EngineConfig config = small_engine_config();
+    config.server.queue_capacity = 1;
+    config.server.service_seconds_per_batch = 40.0;
+    const EngineReport report = run_small_engine(config);
+    ASSERT_GT(report.total_backpressure_rejected, 0u);
+
+    const health::SloReport slo =
+        health::evaluate(health::Slo::fleet_default(), report.telemetry);
+    EXPECT_EQ(slo.verdict, health::Verdict::kFail);
+    bool saw_rule = false;
+    for (const health::SloResult& rule : slo.rules) {
+        if (rule.name != "backpressure_rejection_rate") continue;
+        saw_rule = true;
+        EXPECT_EQ(rule.verdict, health::Verdict::kFail);
+        EXPECT_GE(rule.observed, 0.05);
+        ASSERT_TRUE(rule.has_round);
+        EXPECT_EQ(rule.first_violating_round, 0u);
+    }
+    EXPECT_TRUE(saw_rule);
+}
+
+TEST(FleetHealth, FlightRecorderDumpsWhenEnvSet) {
+    if (!obs::metrics_enabled()) GTEST_SKIP() << "metrics disabled (DREL_METRICS=0)";
+    const std::string path = ::testing::TempDir() + "drel_engine_flight.json";
+    std::remove(path.c_str());
+    ASSERT_EQ(::setenv("DREL_FLIGHT_RECORDER", path.c_str(), 1), 0);
+    EngineConfig config = small_engine_config();
+    config.flight_recorder_capacity = 8;
+    (void)run_small_engine(config);
+    ASSERT_EQ(::unsetenv("DREL_FLIGHT_RECORDER"), 0);
+
+    std::ifstream in(path);
+    ASSERT_TRUE(in.good()) << path;
+    std::stringstream buffer;
+    buffer << in.rdbuf();
+    const obs::JsonValue doc = obs::JsonValue::parse(buffer.str());
+    EXPECT_EQ(doc.at("capacity").as_uint(), 8u);
+    // 3 starts + 3 ends + >= 1 arrival: more events than the ring holds.
+    EXPECT_GT(doc.at("total_recorded").as_uint(), 8u);
+    const auto& events = doc.at("events").as_array();
+    ASSERT_EQ(events.size(), 8u);
+    // The tail of the run ends at the final round's close.
+    EXPECT_EQ(events.back().at("kind").as_string(), "round_end");
+    EXPECT_EQ(events.back().at("round").as_uint(), 2u);
+    std::uint64_t prev_seq = 0;
+    for (const obs::JsonValue& event : events) {
+        EXPECT_TRUE(event.at("virtual_time").is_number());
+        const std::uint64_t seq = event.at("seq").as_uint();
+        if (&event != &events.front()) {
+            EXPECT_EQ(seq, prev_seq + 1);
+        }
+        prev_seq = seq;
+    }
+    std::remove(path.c_str());
 }
 
 TEST(FleetEngine, ConfigValidationRejectsBadGeometry) {

@@ -21,8 +21,10 @@
 
 #include "core/em_dro.hpp"
 #include "dro/ambiguity.hpp"
+#include "edgesim/server.hpp"
 #include "edgesim/simulation.hpp"
 #include "models/loss.hpp"
+#include "obs/health.hpp"
 #include "obs/metrics.hpp"
 #include "stats/rng.hpp"
 #include "test_support.hpp"
@@ -69,8 +71,7 @@ std::string first_diff(const std::string& expected, const std::string& actual) {
     return "documents are line-identical (trailing whitespace?)";
 }
 
-void check_against_golden(const std::string& name) {
-    const std::string actual = obs::Registry::global().deterministic_json();
+void check_text_against_golden(const std::string& name, const std::string& actual) {
     const std::string path = golden_path(name);
     if (update_goldens()) {
         std::ofstream out(path, std::ios::trunc);
@@ -90,6 +91,10 @@ void check_against_golden(const std::string& name) {
         << "metrics snapshot diverged from " << path << "\n"
         << first_diff(expected, actual)
         << "if the change is intentional, regenerate with DREL_UPDATE_GOLDEN=1";
+}
+
+void check_against_golden(const std::string& name) {
+    check_text_against_golden(name, obs::Registry::global().deterministic_json());
 }
 
 class GoldenMetrics : public ::testing::Test {
@@ -121,6 +126,31 @@ TEST_F(GoldenMetrics, FleetChaosSmall) {
     stats::Rng rng(4242);
     (void)edgesim::run_fleet_simulation(config, rng);
     check_against_golden("fleet_chaos_small");
+}
+
+// The fleet-health telemetry block (per-round series + upload-latency
+// histogram + default-SLO report) from a small chaos run of the sharded
+// engine. The golden pins the partition-independent surface — to_json with
+// include_partition = false — so the SAME bytes must come back at any
+// thread or shard count; the test proves that before comparing.
+TEST_F(GoldenMetrics, FleetHealthSmall) {
+    const auto health_json = [](std::size_t num_threads, std::size_t num_shards) {
+        edgesim::ScaleFleetConfig config;
+        config.devices_per_round = 200;
+        config.rounds = 3;
+        config.num_threads = num_threads;
+        config.num_shards = num_shards;
+        config.faults = edgesim::FaultConfig::uniform(0.2);
+        stats::Rng rng(4242);
+        const edgesim::ScaleFleetReport report = edgesim::run_scale_fleet(config, rng);
+        const health::SloReport slo =
+            health::evaluate(health::Slo::fleet_default(), report.engine.telemetry);
+        return report.engine.telemetry.to_json(&slo, /*include_partition=*/false).dump(2);
+    };
+    const std::string actual = health_json(2, 4);
+    EXPECT_EQ(health_json(4, 8), actual) << "health block depends on the partition";
+    EXPECT_EQ(health_json(1, 1), actual) << "health block depends on the schedule";
+    check_text_against_golden("fleet_health_small", actual);
 }
 
 // One EM-DRO solve against the oracle prior: pins the EM/DP/DRO/optimizer

@@ -1,0 +1,134 @@
+#!/usr/bin/env python3
+"""Unit tests for scripts/health_report.py: the documented exit-code
+contract (0 pass/warn, 1 SLO fail, 2 unusable document) and the rendering
+of the series/histogram/SLO sections."""
+
+import json
+import os
+import subprocess
+import sys
+import tempfile
+import unittest
+
+SCRIPT = os.path.join(os.path.dirname(os.path.abspath(__file__)), "..",
+                      "scripts", "health_report.py")
+
+
+def make_sidecar(verdict="pass"):
+    """A minimal schema-v2 sidecar shaped like obs::write_bench_sidecar's
+    output with a FleetTelemetry health block attached."""
+    return {
+        "schema_version": 2,
+        "bench": "unit",
+        "health": {
+            "series": {
+                "columns": ["round", "devices", "healthy", "degraded",
+                            "uploads_attempted", "uploads_rejected"],
+                "rows": [[0, 40, 38, 2, 40, 0], [1, 40, 40, 0, 40, 0]],
+            },
+            "upload_latency_ms": {
+                "bounds": [1, 2, 4, 8],
+                "buckets": [0, 1, 5, 4, 0],
+                "count": 10,
+                "sum": 41,
+            },
+            "slo": {
+                "verdict": verdict,
+                "rules": [
+                    {"name": "backpressure_rejection_rate", "verdict": verdict,
+                     "observed": 0.5 if verdict == "fail" else 0.0,
+                     "warn": 0.01, "fail": 0.05,
+                     "first_violating_round": 0 if verdict == "fail" else None},
+                    {"name": "upload_latency_p99", "verdict": "pass",
+                     "observed": 8.0, "warn": 61000.0, "fail": 120000.0,
+                     "first_violating_round": None},
+                ],
+            },
+            "partition": {
+                "shard_devices": [20, 20],
+                "service_wait_ms": {"bounds": [1, 2], "buckets": [2, 0, 0],
+                                    "count": 2, "sum": 2},
+            },
+        },
+    }
+
+
+class HealthReportTest(unittest.TestCase):
+    def setUp(self):
+        self.dir = tempfile.TemporaryDirectory()
+        self.addCleanup(self.dir.cleanup)
+
+    def write(self, name, doc):
+        path = os.path.join(self.dir.name, name)
+        with open(path, "w", encoding="utf-8") as f:
+            if isinstance(doc, str):
+                f.write(doc)
+            else:
+                json.dump(doc, f)
+        return path
+
+    def run_report(self, *argv):
+        return subprocess.run([sys.executable, SCRIPT, *argv],
+                              capture_output=True, text=True, check=False)
+
+    def test_passing_sidecar_exits_zero_and_renders_sections(self):
+        result = self.run_report(self.write("ok.json", make_sidecar()))
+        self.assertEqual(result.returncode, 0, result.stderr)
+        self.assertIn("per-round series (2 rounds):", result.stdout)
+        self.assertIn("uploads_rejected", result.stdout)
+        self.assertIn("upload_latency_ms: count=10", result.stdout)
+        self.assertIn("p99<=8", result.stdout)
+        self.assertIn("service_wait_ms (partition-scoped)", result.stdout)
+        self.assertIn("backpressure_rejection_rate", result.stdout)
+        self.assertIn("SLO verdict: pass", result.stdout)
+
+    def test_warn_verdict_exits_zero(self):
+        result = self.run_report(self.write("warn.json", make_sidecar("warn")))
+        self.assertEqual(result.returncode, 0, result.stderr)
+        self.assertIn("SLO verdict: warn", result.stdout)
+
+    def test_slo_failure_exits_one_and_names_the_round(self):
+        result = self.run_report(self.write("bad.json", make_sidecar("fail")))
+        self.assertEqual(result.returncode, 1, result.stderr)
+        self.assertIn("SLO verdict: fail", result.stdout)
+        # The failing rule's first violating round shows in its row.
+        failing_row = [line for line in result.stdout.splitlines()
+                       if "backpressure_rejection_rate" in line][0]
+        self.assertTrue(failing_row.rstrip().endswith("0"), failing_row)
+
+    def test_missing_health_block_exits_two(self):
+        doc = make_sidecar()
+        del doc["health"]
+        result = self.run_report(self.write("nohealth.json", doc))
+        self.assertEqual(result.returncode, 2)
+        self.assertIn("no health block", result.stderr)
+
+    def test_unreadable_or_invalid_json_exits_two(self):
+        result = self.run_report(os.path.join(self.dir.name, "absent.json"))
+        self.assertEqual(result.returncode, 2)
+        result = self.run_report(self.write("garbage.json", "{not json"))
+        self.assertEqual(result.returncode, 2)
+
+    def test_truncated_health_block_exits_two(self):
+        doc = make_sidecar()
+        del doc["health"]["slo"]
+        result = self.run_report(self.write("noslo.json", doc))
+        self.assertEqual(result.returncode, 2)
+        self.assertIn("missing 'slo'", result.stderr)
+
+    def test_max_rows_truncates_the_series(self):
+        result = self.run_report(self.write("ok.json", make_sidecar()),
+                                 "--max-rows", "1")
+        self.assertEqual(result.returncode, 0, result.stderr)
+        self.assertIn("... 1 more rounds", result.stdout)
+
+    def test_all_columns_renders_the_full_schema(self):
+        doc = make_sidecar()
+        result = self.run_report(self.write("ok.json", doc), "--all-columns")
+        self.assertEqual(result.returncode, 0, result.stderr)
+        for column in doc["health"]["series"]["columns"]:
+            self.assertIn(column, result.stdout)
+
+
+if __name__ == "__main__":
+    unittest.main()

@@ -13,8 +13,10 @@
 #include <thread>
 #include <vector>
 
+#include "obs/health.hpp"
 #include "obs/json.hpp"
 #include "obs/metrics.hpp"
+#include "obs/timeseries.hpp"
 #include "obs/trace.hpp"
 
 namespace drel::obs {
@@ -177,6 +179,277 @@ TEST(Metrics, TimingSnapshotTracksCountTotalMinMax) {
     EXPECT_DOUBLE_EQ(s.max_seconds, 0.75);
     const JsonValue timings = registry.timing_snapshot();
     EXPECT_DOUBLE_EQ(timings.at("phase").at("total_seconds").as_number(), 1.0);
+}
+
+TEST(Metrics, HistogramQuantileBoundIsNearestRankBucketUpperBound) {
+    Histogram histogram({10, 20, 40});
+    // 4 observations: buckets [<=10]=2, [<=20]=1, [<=40]=1.
+    for (const std::uint64_t v : {1ull, 10ull, 15ull, 33ull}) histogram.observe(v);
+    EXPECT_EQ(histogram.quantile_bound(0.0), 10u);    // rank 1 -> first bucket
+    EXPECT_EQ(histogram.quantile_bound(0.5), 10u);    // rank 2
+    EXPECT_EQ(histogram.quantile_bound(0.75), 20u);   // rank 3
+    EXPECT_EQ(histogram.quantile_bound(1.0), 40u);    // rank 4
+    EXPECT_THROW(histogram.quantile_bound(1.5), std::invalid_argument);
+    EXPECT_THROW(histogram.quantile_bound(-0.1), std::invalid_argument);
+
+    // Values past the last bound land in the overflow bucket, which has no
+    // upper bound: the sentinel tells the caller the quantile is unbounded.
+    histogram.observe(1000);
+    histogram.observe(1000);
+    EXPECT_EQ(histogram.quantile_bound(1.0), kHistogramOverflowBound);
+    EXPECT_EQ(histogram.quantile_bound(0.5), 20u);    // rank 3 of 6
+
+    Histogram empty({10, 20});
+    EXPECT_EQ(empty.quantile_bound(0.99), 0u);
+}
+
+TEST(Metrics, HistogramSnapshotCopiesStateAndRoundTripsJson) {
+    Histogram histogram({2, 4});
+    for (const std::uint64_t v : {1ull, 3ull, 9ull}) histogram.observe(v);
+    const HistogramSnapshot snap = histogram.snapshot();
+    EXPECT_EQ(snap.bounds, histogram.bounds());
+    EXPECT_EQ(snap.buckets, histogram.bucket_counts());
+    EXPECT_EQ(snap.count, 3u);
+    EXPECT_EQ(snap.sum, 13u);
+    EXPECT_EQ(snap.quantile_bound(0.5), histogram.quantile_bound(0.5));
+    // The snapshot is a value: mutating the live histogram does not move it.
+    histogram.observe(1);
+    EXPECT_EQ(snap.count, 3u);
+    const JsonValue json = snap.to_json();
+    EXPECT_EQ(json.at("count").as_uint(), 3u);
+    EXPECT_EQ(json.at("buckets").as_array().size(), 3u);
+}
+
+// -------------------------------------------------------------- timeseries
+
+TEST(Timeseries, LogSpacedBoundsDoubleUpToAndPastHi) {
+    EXPECT_EQ(log_spaced_bounds(1, 8), (std::vector<std::uint64_t>{1, 2, 4, 8}));
+    EXPECT_EQ(log_spaced_bounds(4, 30), (std::vector<std::uint64_t>{4, 8, 16, 32}));
+    EXPECT_EQ(log_spaced_bounds(5, 5), (std::vector<std::uint64_t>{5}));
+    EXPECT_THROW(log_spaced_bounds(0, 8), std::invalid_argument);
+    EXPECT_THROW(log_spaced_bounds(8, 4), std::invalid_argument);
+}
+
+namespace series_test {
+constexpr const char* kColumns[] = {"round", "events", "bytes"};
+}
+
+TEST(Timeseries, RoundSeriesStoresFixedSchemaRows) {
+    RoundSeries series(series_test::kColumns, 3);
+    EXPECT_EQ(series.num_columns(), 3u);
+    EXPECT_EQ(series.num_rows(), 0u);
+    series.append_row({0, 5, 100});
+    series.append_row({1, 7, 50});
+    ASSERT_EQ(series.num_rows(), 2u);
+    EXPECT_EQ(series.at(1, 2), 50u);
+    EXPECT_EQ(series.column_index("bytes"), 2u);
+    EXPECT_STREQ(series.column_name(1), "events");
+    EXPECT_EQ(series.column_max(2), 100u);
+    EXPECT_THROW(series.column_index("missing"), std::invalid_argument);
+    EXPECT_THROW(series.at(2, 0), std::out_of_range);
+
+    const JsonValue json = series.to_json();
+    EXPECT_EQ(json.dump(0),
+              R"({"columns":["round","events","bytes"],"rows":[[0,5,100],[1,7,50]]})");
+}
+
+TEST(Timeseries, RoundSeriesRejectsBadRowsAndEmptySchema) {
+    RoundSeries series(series_test::kColumns, 3);
+    EXPECT_THROW(series.append_row({1, 2}), std::invalid_argument);
+    EXPECT_THROW(series.append_row({1, 2, 3, 4}), std::invalid_argument);
+    RoundSeries empty;
+    EXPECT_THROW(empty.append_row({}), std::invalid_argument);
+    EXPECT_EQ(empty.num_rows(), 0u);
+}
+
+TEST(Timeseries, FlightRecorderKeepsTheLastNEventsInOrder) {
+    FlightRecorder recorder(4);
+    EXPECT_FALSE(recorder.buffer_allocated());
+    for (std::uint32_t i = 0; i < 10; ++i) {
+        recorder.record(i, static_cast<double>(i) * 0.5, "round_start", i % 3, i);
+    }
+    EXPECT_TRUE(recorder.buffer_allocated());
+    EXPECT_EQ(recorder.size(), 4u);
+    EXPECT_EQ(recorder.total_recorded(), 10u);
+    const std::vector<FlightEvent> events = recorder.events();
+    ASSERT_EQ(events.size(), 4u);
+    for (std::size_t i = 0; i < events.size(); ++i) {
+        EXPECT_EQ(events[i].seq, 6u + i);  // oldest retained first
+        EXPECT_EQ(events[i].round, 6u + i);
+    }
+
+    const JsonValue json = recorder.to_json();
+    EXPECT_EQ(json.at("capacity").as_uint(), 4u);
+    EXPECT_EQ(json.at("total_recorded").as_uint(), 10u);
+    ASSERT_EQ(json.at("events").as_array().size(), 4u);
+    EXPECT_EQ(json.at("events").as_array()[0].at("kind").as_string(), "round_start");
+
+    const std::string path = ::testing::TempDir() + "drel_flight_recorder_test.json";
+    ASSERT_TRUE(recorder.dump(path));
+    std::ifstream in(path);
+    ASSERT_TRUE(in.good());
+    std::stringstream buffer;
+    buffer << in.rdbuf();
+    EXPECT_EQ(JsonValue::parse(buffer.str()).at("total_recorded").as_uint(), 10u);
+    std::remove(path.c_str());
+    EXPECT_FALSE(recorder.dump("/nonexistent-dir/flight.json"));
+
+    EXPECT_THROW(FlightRecorder(0), std::invalid_argument);
+}
+
+TEST(Timeseries, DisabledMetricsRecordNothingAndAllocateNothing) {
+    // The DREL_METRICS=0 fast path, forced in-process: every recording site
+    // early-returns like Counter::add, leaving zero observable state — and
+    // the flight recorder's ring is never even allocated.
+    ScopedMetricsEnabledForTesting disabled(false);
+    ASSERT_FALSE(metrics_enabled());
+
+    RoundSeries series(series_test::kColumns, 3);
+    series.append_row({1, 2, 3});
+    EXPECT_EQ(series.num_rows(), 0u);
+
+    FlightRecorder recorder(8);
+    recorder.record(0, 0.0, "round_start", 0, 0);
+    EXPECT_FALSE(recorder.buffer_allocated());
+    EXPECT_EQ(recorder.total_recorded(), 0u);
+    EXPECT_TRUE(recorder.events().empty());
+
+    Histogram histogram({2, 4});
+    histogram.observe(1);
+    EXPECT_EQ(histogram.count(), 0u);
+
+    Counter counter;
+    counter.add(5);
+    EXPECT_EQ(counter.total(), 0u);
+
+    {
+        // Scopes nest: the innermost override wins, then restores.
+        ScopedMetricsEnabledForTesting enabled(true);
+        ASSERT_TRUE(metrics_enabled());
+        series.append_row({1, 2, 3});
+        EXPECT_EQ(series.num_rows(), 1u);
+    }
+    ASSERT_FALSE(metrics_enabled());
+    series.append_row({4, 5, 6});
+    EXPECT_EQ(series.num_rows(), 1u);
+}
+
+// ------------------------------------------------------------------ health
+
+TEST(Health, FleetSeriesSchemaIsAlignedWithColumnEnum) {
+    const RoundSeries series = health::make_fleet_series();
+    ASSERT_EQ(series.num_columns(), health::kFleetNumColumns);
+    EXPECT_EQ(series.column_index("round"), health::idx(health::FleetCol::kRound));
+    EXPECT_EQ(series.column_index("uploads_rejected"),
+              health::idx(health::FleetCol::kUploadsRejected));
+    EXPECT_EQ(series.column_index("latency_p99_ms"),
+              health::idx(health::FleetCol::kLatencyP99Ms));
+    EXPECT_STREQ(series.column_name(health::idx(health::FleetCol::kQueueDepthAtClose)),
+                 "queue_depth_at_close");
+}
+
+/// Builds a telemetry bundle with `rounds` series rows; `mutate(row, r)`
+/// customizes each row before it is appended.
+template <typename Fn>
+health::FleetTelemetry make_telemetry(std::size_t rounds, Fn mutate) {
+    health::FleetTelemetry telemetry;
+    std::vector<std::uint64_t> row(health::kFleetNumColumns, 0);
+    for (std::size_t r = 0; r < rounds; ++r) {
+        row.assign(health::kFleetNumColumns, 0);
+        row[health::idx(health::FleetCol::kRound)] = r;
+        row[health::idx(health::FleetCol::kDevices)] = 100;
+        row[health::idx(health::FleetCol::kUploadsAttempted)] = 100;
+        mutate(row, r);
+        telemetry.series.append_row(row);
+    }
+    return telemetry;
+}
+
+TEST(Health, RatioRuleFailsAndPinpointsFirstViolatingRound) {
+    // Rejections start at round 2 and cross the 5% fail line at round 3.
+    const health::FleetTelemetry telemetry =
+        make_telemetry(5, [](std::vector<std::uint64_t>& row, std::size_t r) {
+            row[health::idx(health::FleetCol::kUploadsRejected)] =
+                r >= 3 ? 20 : (r == 2 ? 1 : 0);
+        });
+    health::Slo slo;
+    slo.round_rules.push_back(
+        {"backpressure_rejection_rate", "uploads_rejected", "uploads_attempted", 0.01, 0.05});
+    const health::SloReport report = health::evaluate(slo, telemetry);
+    EXPECT_EQ(report.verdict, health::Verdict::kFail);
+    ASSERT_EQ(report.rules.size(), 1u);
+    EXPECT_DOUBLE_EQ(report.rules[0].observed, 0.2);
+    EXPECT_EQ(report.rules[0].first_violating_round, 3u);  // fail round, not warn round
+
+    // With a higher fail line the same series only warns — pinpointing the
+    // first WARN round instead.
+    slo.round_rules[0].fail = 0.5;
+    const health::SloReport warned = health::evaluate(slo, telemetry);
+    EXPECT_EQ(warned.verdict, health::Verdict::kWarn);
+    EXPECT_EQ(warned.rules[0].first_violating_round, 2u);
+}
+
+TEST(Health, AbsoluteRuleAndVacuousPassSemantics) {
+    const health::FleetTelemetry telemetry =
+        make_telemetry(3, [](std::vector<std::uint64_t>& row, std::size_t r) {
+            row[health::idx(health::FleetCol::kQueueDepthAtClose)] = r == 1 ? 7 : 0;
+        });
+    health::Slo slo;
+    slo.round_rules.push_back({"queue_depth_ceiling", "queue_depth_at_close", "", 4.0, 100.0});
+    health::SloReport report = health::evaluate(slo, telemetry);
+    EXPECT_EQ(report.verdict, health::Verdict::kWarn);
+    EXPECT_DOUBLE_EQ(report.rules[0].observed, 7.0);
+    EXPECT_EQ(report.rules[0].first_violating_round, 1u);
+
+    // An empty series (e.g. a DREL_METRICS=0 run) passes vacuously.
+    const health::FleetTelemetry empty;
+    EXPECT_EQ(health::evaluate(slo, empty).verdict, health::Verdict::kPass);
+    EXPECT_EQ(health::evaluate(health::Slo::fleet_default(), empty).verdict,
+              health::Verdict::kPass);
+}
+
+TEST(Health, QuantileRuleJudgesLatencyHistogram) {
+    Histogram latency(log_spaced_bounds(1, 1 << 10));
+    for (int i = 0; i < 99; ++i) latency.observe(100);  // -> bucket bound 128
+    latency.observe(900);                               // tail -> bound 1024
+
+    health::FleetTelemetry telemetry;
+    telemetry.upload_latency_ms = latency.snapshot();
+    health::Slo slo;
+    slo.latency_rules.push_back({"upload_latency_p99", 0.99, 200, 2000});
+    health::SloReport report = health::evaluate(slo, telemetry);
+    EXPECT_EQ(report.verdict, health::Verdict::kPass);
+    EXPECT_DOUBLE_EQ(report.rules[0].observed, 128.0);
+
+    slo.latency_rules[0] = {"upload_latency_p999", 0.999, 64, 512};
+    report = health::evaluate(slo, telemetry);
+    EXPECT_EQ(report.verdict, health::Verdict::kFail);  // p99.9 -> 1024 >= 512
+    EXPECT_DOUBLE_EQ(report.rules[0].observed, 1024.0);
+
+    // A quantile landing in the overflow bucket is unbounded: always a fail.
+    Histogram overflowing({4});
+    overflowing.observe(1000);
+    telemetry.upload_latency_ms = overflowing.snapshot();
+    slo.latency_rules[0] = {"upload_latency_p99", 0.99, 1u << 30, 1u << 31};
+    EXPECT_EQ(health::evaluate(slo, telemetry).verdict, health::Verdict::kFail);
+}
+
+TEST(Health, TelemetryJsonSeparatesPartitionScopedData) {
+    health::FleetTelemetry telemetry =
+        make_telemetry(2, [](std::vector<std::uint64_t>&, std::size_t) {});
+    telemetry.shard_devices = {50, 50};
+    const health::SloReport slo =
+        health::evaluate(health::Slo::fleet_default(), telemetry);
+
+    const JsonValue full = telemetry.to_json(&slo, /*include_partition=*/true);
+    EXPECT_TRUE(full.contains("partition"));
+    EXPECT_EQ(full.at("partition").at("shard_devices").as_array().size(), 2u);
+    EXPECT_EQ(full.at("slo").at("verdict").as_string(), "pass");
+
+    // The byte-identity surface: no partition block, same everything else.
+    const JsonValue main_only = telemetry.to_json(&slo, /*include_partition=*/false);
+    EXPECT_FALSE(main_only.contains("partition"));
+    EXPECT_EQ(main_only.at("series").dump(0), full.at("series").dump(0));
 }
 
 // ------------------------------------------------------------------- trace

@@ -248,6 +248,23 @@ TEST(Descriptive, QuantilesAndMedian) {
     EXPECT_THROW(quantile(x, 1.5), std::invalid_argument);
 }
 
+TEST(Descriptive, NearestRankPicksTheCeilRankElement) {
+    // The engine's latency-tail estimator: rank = ceil(q * n), 1-based,
+    // clamped into the sample. Input must already be sorted.
+    const std::vector<double> sorted{10.0, 20.0, 30.0, 40.0};
+    EXPECT_DOUBLE_EQ(nearest_rank(sorted, 0.0), 10.0);
+    EXPECT_DOUBLE_EQ(nearest_rank(sorted, 0.25), 10.0);
+    EXPECT_DOUBLE_EQ(nearest_rank(sorted, 0.5), 20.0);
+    EXPECT_DOUBLE_EQ(nearest_rank(sorted, 0.51), 30.0);
+    EXPECT_DOUBLE_EQ(nearest_rank(sorted, 0.99), 40.0);
+    EXPECT_DOUBLE_EQ(nearest_rank(sorted, 1.0), 40.0);
+    EXPECT_DOUBLE_EQ(nearest_rank({7.0}, 0.5), 7.0);
+    // Empty sample reports 0 (the engine's "no latencies this round").
+    EXPECT_DOUBLE_EQ(nearest_rank({}, 0.5), 0.0);
+    EXPECT_THROW(nearest_rank(sorted, -0.1), std::invalid_argument);
+    EXPECT_THROW(nearest_rank(sorted, 1.1), std::invalid_argument);
+}
+
 TEST(Descriptive, RunningStatsMatchesBatch) {
     Rng rng(14);
     RunningStats s;
