@@ -25,6 +25,10 @@ struct Row {
     /// The under-provisioned row exists to demonstrate load shedding: its
     /// SLO report MUST fail on backpressure, and a healthy row must not.
     bool expect_backpressure_fail = false;
+    /// The churn row exists to demonstrate graceful membership handling:
+    /// its telemetry MUST carry membership rows with real rejoins —
+    /// including stale-prior resumes — while its SLOs still hold.
+    bool expect_churn = false;
     /// The row whose health block rides in the metrics sidecar.
     bool export_health = false;
 };
@@ -40,7 +44,9 @@ int main() {
         "(wall clock); p50/p99/p999 = virtual completion-latency tail in "
         "seconds; B/dev/rnd = mean broadcast+upload+batch bytes per device "
         "per round; recovery = MAP mode-recovery rate over scored devices; "
-        "rejected = uploads shed by server admission control (backpressure).");
+        "rejected = uploads shed by server admission control (backpressure). "
+        "The churn row runs the membership state machine: leaves, missed "
+        "heartbeats, and stale-prior rejoins at a 10%/round uniform rate.");
 
     const std::size_t hw_threads = util::Executor::global().max_threads();
     // The shard count is the batch structure (one upload batch per shard per
@@ -83,6 +89,23 @@ int main() {
         chaos.config.faults = edgesim::FaultConfig::uniform(0.1);
         chaos.export_health = true;
         rows.push_back(chaos);
+    }
+    {
+        // A tenth of the fleet churning every round, over a 10k-slot
+        // reserved tail: devices leave, go silent, die, and REJOIN — the
+        // round keeps closing, skipped slots are unscored rather than
+        // failed, and rejoiners resume on a stale prior instead of
+        // erroring. The membership SLO rules judge the suspect fraction
+        // and guard against mass extinction.
+        Row churn;
+        churn.label = "100k churn 10%";
+        churn.config.devices_per_round = 100000;
+        churn.config.num_shards = shards;
+        churn.config.num_threads = hw_threads;
+        churn.config.membership.churn = edgesim::ChurnConfig::uniform(0.10);
+        churn.config.membership.initial_members = 90000;
+        churn.expect_churn = true;
+        rows.push_back(churn);
     }
     {
         // A server that needs 20 virtual seconds per batch with a 2-deep
@@ -149,6 +172,21 @@ int main() {
             std::cerr << "SLO expectation violated: healthy row '" << row.label
                       << "' failed its SLOs\n";
             slo_ok = false;
+        }
+        if (row.expect_churn && obs::metrics_enabled()) {
+            // The demo claim, enforced: the fleet actually churned, dead
+            // devices actually came back, and at least one rejoiner
+            // resumed on an out-of-date prior — gracefully, with every
+            // SLO (including the membership pair) holding above.
+            using health::MembershipCol;
+            const obs::RoundSeries& members = engine.telemetry.membership;
+            if (members.num_rows() != engine.rounds.size() ||
+                members.column_max(health::idx(MembershipCol::kRejoins)) == 0 ||
+                members.column_max(health::idx(MembershipCol::kRejoinsStale)) == 0) {
+                std::cerr << "churn expectation violated: row '" << row.label
+                          << "' produced no stale-prior rejoins\n";
+                slo_ok = false;
+            }
         }
         if (row.export_health && obs::metrics_enabled()) {
             sidecar.set_health(engine.telemetry.to_json(&slo));

@@ -21,6 +21,11 @@
 # atomics and the engine's telemetry fold runs on the driver while shards
 # fan out — exactly the write/read boundary TSan must bless.
 #
+# The membership/churn suite (test_membership, test_membership_stats) is in
+# both builds as well: shards read the driver-owned participation mask while
+# fanned out, and Dead-slot skipping changes which SoA rows each thread
+# touches — precisely the sharing pattern the sanitizers must bless.
+#
 # Usage: scripts/check_sanitizers.sh [jobs]
 set -euo pipefail
 
@@ -35,6 +40,7 @@ for sanitizer in thread address; do
         -DCMAKE_BUILD_TYPE=RelWithDebInfo > /dev/null
     cmake --build "${build_dir}" -j "${jobs}" \
         --target test_util test_concurrency test_faults test_engine \
+                 test_membership test_membership_stats \
                  test_linalg_property test_dro_invariants \
                  test_simd_dispatch test_sampling_stats test_obs > /dev/null
     # The property/differential harness (ctest -L property) runs here too:
@@ -44,7 +50,7 @@ for sanitizer in thread address; do
     # per-shard SoA slices across threads — the exact pattern TSan exists
     # to check.
     if ! (cd "${build_dir}" && ctest --output-on-failure -j "${jobs}" \
-        -R 'ThreadPool|ParallelFor|ParallelReduce|Executor|Determinism|Fault|Chaos|EmDroDegradation|WorkspaceKernels|LinalgProperty|DroInvariants|FleetEngine|FleetHealth|EventQueue|StreamScheme|ScaleFleet|ShardLayout|UploadSufficientStats|SimdDispatch|SamplingStats|Timeseries|Health\.|Metrics\.'); then
+        -R 'ThreadPool|ParallelFor|ParallelReduce|Executor|Determinism|Fault|Chaos|EmDroDegradation|WorkspaceKernels|LinalgProperty|DroInvariants|FleetEngine|FleetHealth|EventQueue|StreamScheme|ScaleFleet|ShardLayout|UploadSufficientStats|SimdDispatch|SamplingStats|Timeseries|Health\.|Metrics\.|Membership|Churn|Liveness'); then
         echo "!!! ${sanitizer} sanitizer suite FAILED"
         failed+=("${sanitizer}")
     fi

@@ -5,6 +5,8 @@ Reads a schema-v2 sidecar (obs::write_bench_sidecar, e.g. the one
 bench_fleet_scale or bench_health_smoke writes), and prints:
 
   * the per-round fleet series (headline columns; --all-columns for all),
+  * the per-round MEMBERSHIP series when present (liveness census + churn
+    events — only churn-tracking runs emit it),
   * a summary of the virtual-clock upload-latency histogram,
   * the SLO verdict table with the first violating round per failed rule.
 
@@ -35,6 +37,22 @@ HEADLINE_COLUMNS = (
     "queue_depth_at_close",
     "latency_p50_ms",
     "latency_p99_ms",
+)
+
+# Headline subset of the membership series (src/obs/health.hpp
+# MembershipCol); the event-counter tail is available via --all-columns.
+MEMBERSHIP_HEADLINE_COLUMNS = (
+    "round",
+    "alive",
+    "suspect",
+    "dead",
+    "joining",
+    "participating",
+    "joins",
+    "rejoins",
+    "rejoins_stale",
+    "churn_events",
+    "prior_version",
 )
 
 
@@ -76,19 +94,21 @@ def print_table(headers: list[str], rows: list[list[str]]) -> None:
         print(fmt.format(*row))
 
 
-def print_series(series: dict, all_columns: bool, max_rows: int) -> None:
+def print_series(series: dict, all_columns: bool, max_rows: int,
+                 title: str = "per-round series",
+                 headline: tuple[str, ...] = HEADLINE_COLUMNS) -> None:
     columns = series.get("columns")
     rows = series.get("rows")
     if not isinstance(columns, list) or not isinstance(rows, list):
-        raise schema_error("series is missing columns/rows")
+        raise schema_error(f"{title} is missing columns/rows")
     if all_columns:
         selected = list(range(len(columns)))
     else:
-        selected = [columns.index(c) for c in HEADLINE_COLUMNS if c in columns]
+        selected = [columns.index(c) for c in headline if c in columns]
         if not selected:  # unknown schema: show everything rather than nothing
             selected = list(range(len(columns)))
     shown = rows[:max_rows] if max_rows > 0 else rows
-    print(f"per-round series ({len(rows)} rounds):")
+    print(f"{title} ({len(rows)} rounds):")
     print_table([str(columns[i]) for i in selected],
                 [[str(row[i]) for i in selected] for row in shown])
     if len(shown) < len(rows):
@@ -156,6 +176,13 @@ def main(argv: list[str]) -> int:
 
     health = load_health(args.sidecar)
     print_series(health["series"], args.all_columns, args.max_rows)
+    membership = health.get("membership")
+    if isinstance(membership, dict):
+        # Emitted only by churn-tracking runs: the liveness census and the
+        # round's membership events (src/obs/health.hpp MembershipCol).
+        print_series(membership, args.all_columns, args.max_rows,
+                     title="membership series",
+                     headline=MEMBERSHIP_HEADLINE_COLUMNS)
     print_histogram("upload_latency_ms", health["upload_latency_ms"])
     partition = health.get("partition")
     if isinstance(partition, dict) and "service_wait_ms" in partition:

@@ -28,6 +28,7 @@ const char* to_string(DegradedReason reason) noexcept {
         case DegradedReason::kUploadDropped: return "upload_dropped";
         case DegradedReason::kNonFinite: return "non_finite";
         case DegradedReason::kBackpressure: return "backpressure";
+        case DegradedReason::kRejoinStalePrior: return "rejoin_stale_prior";
     }
     return "unknown";
 }
@@ -213,6 +214,12 @@ void record_degradation(DegradedReason reason) {
         case DegradedReason::kBackpressure: {
             static obs::Counter& c =
                 obs::Registry::global().counter("fault.degraded.backpressure");
+            c.add(1);
+            return;
+        }
+        case DegradedReason::kRejoinStalePrior: {
+            static obs::Counter& c =
+                obs::Registry::global().counter("fault.degraded.rejoin_stale_prior");
             c.add(1);
             return;
         }

@@ -43,6 +43,7 @@ enum class DegradedReason : std::uint8_t {
     kUploadDropped,     ///< trained fine but the upload never arrived
     kNonFinite,         ///< solver hit a non-finite state; fell back to ERM
     kBackpressure,      ///< delivered, but the cloud's admission queue was full
+    kRejoinStalePrior,  ///< first round back after Dead; resumed on an old prior
 };
 
 /// Stable lowercase name ("none", "crashed", ...) for logs and tables.

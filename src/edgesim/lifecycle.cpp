@@ -100,6 +100,10 @@ LifecycleReport run_lifecycle(const LifecycleConfig& config, stats::Rng& rng) {
     // "missed every refresh" worst case.
     const dp::MixturePrior initial_prior = broadcast_prior;
     const FaultPlan fault_plan(config.faults, rng);
+    // Forked, not advanced: constructing the churn plan leaves every
+    // existing stream untouched, so a zero-churn config reproduces the
+    // pre-membership lifecycle bit for bit.
+    const ChurnPlan churn_plan(config.membership.churn, rng);
     auto payload = encode_prior(broadcast_prior);
 
     // Disjoint stream roots: all per-device draws hang off fork(4) via the
@@ -124,6 +128,7 @@ LifecycleReport run_lifecycle(const LifecycleConfig& config, stats::Rng& rng) {
     engine.initial_broadcast_bytes = payload.size();
     engine.initial_prior_components = broadcast_prior.num_components();
     engine.server = config.server;
+    engine.membership = config.membership;
 
     const DeviceWork work = [&](std::size_t round, std::size_t j, stats::Rng& work_rng,
                                 util::Workspace& /*ws*/) {
@@ -259,8 +264,8 @@ LifecycleReport run_lifecycle(const LifecycleConfig& config, stats::Rng& rng) {
         return decision;
     };
 
-    EngineReport engine_report =
-        run_fleet_engine(engine, device_root, fault_plan, work, round_end);
+    EngineReport engine_report = run_fleet_engine(engine, device_root, fault_plan, work,
+                                                  round_end, nullptr, &churn_plan);
 
     // --- Map the engine report onto the lifecycle's historical shape. ---
     LifecycleReport report;

@@ -88,6 +88,12 @@ struct LifecycleConfig {
     double deadline_seconds = 30.0;
     double uplink_seconds = 0.5;
     ServerConfig server;               ///< cloud admission control knobs
+
+    /// Device liveness & churn (edgesim/membership.hpp). All-zero by
+    /// default: no membership events, the fixed-population lifecycle.
+    /// With churn, departed devices' slots are skipped (unscored, not
+    /// failed) and rejoiners resume with a stale-prior DegradedReason.
+    MembershipConfig membership;
 };
 
 struct LifecycleRound {

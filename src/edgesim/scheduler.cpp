@@ -23,12 +23,15 @@ const char* to_string(EventKind kind) noexcept {
         case EventKind::kRoundStart: return "round_start";
         case EventKind::kUploadArrival: return "upload_arrival";
         case EventKind::kRoundEnd: return "round_end";
+        case EventKind::kHeartbeatDeadline: return "heartbeat_deadline";
+        case EventKind::kDeviceJoin: return "device_join";
+        case EventKind::kDeviceRejoin: return "device_rejoin";
     }
     return "unknown";
 }
 
 void EventQueue::schedule(double time, EventKind kind, std::uint32_t round,
-                          std::uint32_t shard) {
+                          std::uint32_t shard, std::uint32_t device) {
     if (!std::isfinite(time)) {
         throw std::invalid_argument("EventQueue::schedule: time must be finite");
     }
@@ -41,8 +44,10 @@ void EventQueue::schedule(double time, EventKind kind, std::uint32_t round,
     event.kind = kind;
     event.round = round;
     event.shard = shard;
+    event.device = device;
     heap_.push_back(event);
     std::push_heap(heap_.begin(), heap_.end(), Later{});
+    high_water_ = std::max(high_water_, heap_.size());
 }
 
 Event EventQueue::pop() {

@@ -20,9 +20,12 @@ namespace drel::edgesim {
 /// What the engine does when an event fires. The payload (round, shard) is
 /// enough for every current event kind; the scheduler itself is agnostic.
 enum class EventKind : std::uint8_t {
-    kRoundStart,     ///< fan the round's shard computations out
-    kUploadArrival,  ///< one shard's upload batch reaches the server
-    kRoundEnd,       ///< close the round: drain the server, refresh the prior
+    kRoundStart,         ///< fan the round's shard computations out
+    kUploadArrival,      ///< one shard's upload batch reaches the server
+    kRoundEnd,           ///< close the round: drain the server, refresh the prior
+    kHeartbeatDeadline,  ///< fold the round's heartbeat/leave outcomes (membership)
+    kDeviceJoin,         ///< an Unknown slot announces itself (membership)
+    kDeviceRejoin,       ///< a Dead device comes back (membership)
 };
 
 const char* to_string(EventKind kind) noexcept;
@@ -33,6 +36,7 @@ struct Event {
     EventKind kind = EventKind::kRoundStart;
     std::uint32_t round = 0;
     std::uint32_t shard = 0;
+    std::uint32_t device = 0;  ///< payload for kDeviceJoin/kDeviceRejoin
 };
 
 /// Min-heap on (time, seq). `pop()` advances the virtual clock; scheduling
@@ -42,7 +46,8 @@ class EventQueue {
  public:
     /// Enqueues an event at virtual `time`. Throws std::invalid_argument if
     /// `time` is non-finite or earlier than the clock (`now()`).
-    void schedule(double time, EventKind kind, std::uint32_t round, std::uint32_t shard = 0);
+    void schedule(double time, EventKind kind, std::uint32_t round, std::uint32_t shard = 0,
+                  std::uint32_t device = 0);
 
     /// Removes and returns the earliest event (FIFO among ties) and advances
     /// the clock to its time. Throws std::logic_error on an empty queue.
@@ -58,11 +63,16 @@ class EventQueue {
     std::uint64_t total_scheduled() const noexcept { return next_seq_; }
     std::uint64_t total_popped() const noexcept { return popped_; }
 
+    /// Largest queue size ever reached — the PEAK backlog, not a sample.
+    /// The engine surfaces it so capacity planning sees worst-case depth.
+    std::size_t high_water() const noexcept { return high_water_; }
+
  private:
     std::vector<Event> heap_;
     std::uint64_t next_seq_ = 0;
     std::uint64_t popped_ = 0;
     double now_ = 0.0;
+    std::size_t high_water_ = 0;
 };
 
 }  // namespace drel::edgesim

@@ -51,6 +51,12 @@ bool CloudServer::offer(UploadBatch batch, double now) {
     queue_.push_back({std::move(batch), now});
     static obs::Counter& admitted = obs::Registry::global().counter("server.batches_admitted");
     admitted.add(1);
+    // Service anything due at this very instant (a zero-service batch
+    // completes at its own arrival), THEN record the settled depth: the
+    // high-water mark tracks real backlog, never the phantom depth between
+    // a push and its immediate drain.
+    drain_until(now);
+    queue_high_water_ = std::max(queue_high_water_, queue_.size());
     return true;
 }
 
@@ -146,6 +152,7 @@ void EngineConfig::validate() const {
         throw std::invalid_argument("EngineConfig: flight_recorder_capacity must be >= 1");
     }
     server.validate();
+    membership.validate(devices_per_round, round_seconds);
 }
 
 double EngineReport::bytes_per_device_round() const noexcept {
@@ -187,6 +194,7 @@ void finalize_round(const RoundSoA& soa, std::size_t theta_dim, EngineRoundStats
             case DegradedReason::kUploadDropped: break;  // counted via attempts below
             case DegradedReason::kNonFinite: ++stats.non_finite; break;
             case DegradedReason::kBackpressure: ++stats.backpressure_rejected; break;
+            case DegradedReason::kRejoinStalePrior: break;  // counted via the stale flag
         }
         record_degradation(soa.degraded[j]);
         // Stale and dropped are facts about the round, not about which
@@ -230,10 +238,27 @@ void finalize_round(const RoundSoA& soa, std::size_t theta_dim, EngineRoundStats
 EngineReport run_fleet_engine(const EngineConfig& config, const stats::Rng& device_root,
                               const FaultPlan& plan, const DeviceWork& work,
                               const RoundEndFn& round_end,
-                              const BatchScoreFn* batch_score) {
+                              const BatchScoreFn* batch_score,
+                              const ChurnPlan* churn) {
     DREL_PROFILE_SCOPE("engine.run");
     config.validate();
     const auto wall_start = std::chrono::steady_clock::now();
+
+    // Membership engages when churn can actually happen or capacity is
+    // reserved for joins; otherwise every membership hook below is skipped
+    // and the engine reproduces its fixed-population behavior bit for bit.
+    static const ChurnPlan kInactiveChurn;
+    const ChurnPlan& churn_plan = churn != nullptr ? *churn : kInactiveChurn;
+    const bool membership_on =
+        churn_plan.active() || config.membership.enabled(config.devices_per_round);
+    MembershipTable membership_table;
+    if (membership_on) {
+        config.membership.validate_timing(config.round_seconds);
+        membership_table = MembershipTable(
+            config.devices_per_round,
+            config.membership.effective_initial_members(config.devices_per_round),
+            config.membership.suspect_rounds_to_dead);
+    }
 
     const std::size_t num_threads = std::max<std::size_t>(1, config.num_threads);
     const std::size_t num_shards =
@@ -263,6 +288,7 @@ EngineReport run_fleet_engine(const EngineConfig& config, const stats::Rng& devi
     obs::Histogram service_wait(obs::log_spaced_bounds(1, std::uint64_t{1} << 20));
     server.set_service_wait_histogram(&service_wait);
     std::vector<std::uint64_t> telemetry_row(health::kFleetNumColumns, 0);
+    std::vector<std::uint64_t> membership_row(health::kMembershipNumColumns, 0);
     std::size_t lagged_at_prev_close = 0;
     std::size_t rejected_at_prev_close = 0;
     const std::string recorder_path = obs::flight_recorder_env_path();
@@ -277,6 +303,10 @@ EngineReport run_fleet_engine(const EngineConfig& config, const stats::Rng& devi
             case EventKind::kRoundStart: {
                 DREL_PROFILE_SCOPE("engine.round_start");
                 server.begin_round(round);
+                // Promote Joining slots and snapshot the participation mask
+                // BEFORE the shard fan-out — the mask must be immutable
+                // while shards read it.
+                if (membership_on) membership_table.begin_round();
                 EngineRoundStats stats;
                 stats.round = round;
                 stats.prior_components = current_components;
@@ -287,11 +317,28 @@ EngineReport run_fleet_engine(const EngineConfig& config, const stats::Rng& devi
                 report.rounds.push_back(std::move(stats));
 
                 soa.resize(config.devices_per_round);
+                const std::uint8_t* participating =
+                    membership_on ? membership_table.participation().data() : nullptr;
                 util::parallel_for(shards.size(), num_threads, [&](std::size_t s) {
                     outputs[s] = shards[s].run_round(round, device_root, plan, work, soa,
                                                      config.deadline_seconds,
-                                                     config.keep_thetas, batch_score);
+                                                     config.keep_thetas, batch_score,
+                                                     participating);
                 });
+                if (membership_on) {
+                    // Overlay rejoin staleness on the driver thread, device
+                    // order: the rejoiner trained this round (graceful
+                    // resume), the flag just names its out-of-date prior.
+                    // A stronger reason already in the slot (crash, drop)
+                    // wins; the stale FACT is recorded either way.
+                    for (std::size_t j = 0; j < soa.size(); ++j) {
+                        if (!membership_table.resumed_stale(j)) continue;
+                        soa.stale_prior[j] = 1;
+                        if (soa.degraded[j] == DegradedReason::kNone) {
+                            soa.degraded[j] = DegradedReason::kRejoinStalePrior;
+                        }
+                    }
+                }
                 // Arrivals scheduled in shard order: deterministic seq
                 // numbers, hence a deterministic event sequence.
                 for (std::size_t s = 0; s < outputs.size(); ++s) {
@@ -301,8 +348,51 @@ EngineReport run_fleet_engine(const EngineConfig& config, const stats::Rng& devi
                         EventKind::kUploadArrival, static_cast<std::uint32_t>(round),
                         static_cast<std::uint32_t>(s));
                 }
+                if (membership_on) {
+                    // Join/rejoin admissions for the round, in device order
+                    // (deterministic event sequence). Only Unknown and Dead
+                    // slots consult the plan, so the event count is bounded
+                    // by the reserved tail plus the dead set.
+                    for (std::size_t j = 0; j < config.devices_per_round; ++j) {
+                        const LivenessState st = membership_table.state(j);
+                        if (st == LivenessState::kUnknown) {
+                            if (churn_plan.device_churn(round, j).join) {
+                                queue.schedule(event.time + config.membership.join_seconds,
+                                               EventKind::kDeviceJoin,
+                                               static_cast<std::uint32_t>(round), 0,
+                                               static_cast<std::uint32_t>(j));
+                            }
+                        } else if (st == LivenessState::kDead) {
+                            if (churn_plan.device_churn(round, j).rejoin) {
+                                queue.schedule(event.time + config.membership.join_seconds,
+                                               EventKind::kDeviceRejoin,
+                                               static_cast<std::uint32_t>(round), 0,
+                                               static_cast<std::uint32_t>(j));
+                            }
+                        }
+                    }
+                    // One heartbeat deadline per round folds every alive/
+                    // suspect device's leave/heartbeat outcome on the driver
+                    // thread — scheduled before kRoundEnd so it precedes the
+                    // close even if the two ever share a timestamp.
+                    queue.schedule(event.time + config.membership.heartbeat_seconds,
+                                   EventKind::kHeartbeatDeadline,
+                                   static_cast<std::uint32_t>(round));
+                }
                 queue.schedule(event.time + config.round_seconds, EventKind::kRoundEnd,
                                static_cast<std::uint32_t>(round));
+                break;
+            }
+            case EventKind::kHeartbeatDeadline: {
+                membership_table.heartbeat_deadline(round, churn_plan);
+                break;
+            }
+            case EventKind::kDeviceJoin: {
+                membership_table.apply_join(event.device);
+                break;
+            }
+            case EventKind::kDeviceRejoin: {
+                membership_table.apply_rejoin(event.device);
                 break;
             }
             case EventKind::kUploadArrival: {
@@ -336,10 +426,17 @@ EngineReport run_fleet_engine(const EngineConfig& config, const stats::Rng& devi
                 // nothing is charged, whatever the driver decided.
                 stats.rebroadcast = decision.rebroadcast && has_next_round;
                 if (stats.rebroadcast) {
-                    const std::size_t bytes =
-                        decision.payload_bytes * config.devices_per_round;
+                    // Broadcasts reach (and are charged for) only Alive
+                    // devices: Suspect devices miss the push — that is the
+                    // staleness a rejoin later surfaces — and Dead/Unknown
+                    // slots cost nothing.
+                    const std::size_t fleet = membership_on
+                                                  ? membership_table.alive_count()
+                                                  : config.devices_per_round;
+                    const std::size_t bytes = decision.payload_bytes * fleet;
                     stats.broadcast_bytes += bytes;
                     report.total_broadcast_bytes += bytes;
+                    if (membership_on) membership_table.record_broadcast();
                 }
                 if (has_next_round) {
                     queue.schedule(event.time, EventKind::kRoundStart,
@@ -388,7 +485,7 @@ EngineReport run_fleet_engine(const EngineConfig& config, const stats::Rng& devi
                 row[idx(FleetCol::kUploadsRejected)] =
                     u64(server.rejected_uploads() - rejected_at_prev_close);
                 row[idx(FleetCol::kUploadRetries)] = u64(stats.upload_retries);
-                row[idx(FleetCol::kQueueDepthAtClose)] = u64(server.queue_depth());
+                row[idx(FleetCol::kQueueDepthAtClose)] = u64(server.queue_high_water());
                 row[idx(FleetCol::kServicedLagged)] =
                     u64(server.serviced_lagged_batches() - lagged_at_prev_close);
                 row[idx(FleetCol::kBroadcastBytes)] = u64(stats.broadcast_bytes);
@@ -399,6 +496,36 @@ EngineReport run_fleet_engine(const EngineConfig& config, const stats::Rng& devi
                 row[idx(FleetCol::kLatencyP99Ms)] = virtual_ms(stats.latency_p99_seconds);
                 row[idx(FleetCol::kLatencyMaxMs)] = virtual_ms(stats.latency_max_seconds);
                 report.telemetry.series.append_row(row);
+                if (membership_on) {
+                    // Membership sample for the closed round: census at
+                    // close (post-heartbeat, post-broadcast) plus the
+                    // round's event counters — driver thread, device order,
+                    // so it shares the main series' determinism contract.
+                    const MembershipCounts mc = membership_table.counts();
+                    std::size_t ran = 0;
+                    for (const std::uint8_t p : membership_table.participation()) ran += p;
+                    using health::MembershipCol;
+                    std::vector<std::uint64_t>& mrow = membership_row;
+                    mrow[idx(MembershipCol::kRound)] = u64(round);
+                    mrow[idx(MembershipCol::kCapacity)] = u64(membership_table.capacity());
+                    mrow[idx(MembershipCol::kMembers)] = u64(mc.alive + mc.suspect);
+                    mrow[idx(MembershipCol::kAlive)] = u64(mc.alive);
+                    mrow[idx(MembershipCol::kSuspect)] = u64(mc.suspect);
+                    mrow[idx(MembershipCol::kDead)] = u64(mc.dead);
+                    mrow[idx(MembershipCol::kJoining)] = u64(mc.joining);
+                    mrow[idx(MembershipCol::kUnknown)] = u64(mc.unknown);
+                    mrow[idx(MembershipCol::kParticipating)] = u64(ran);
+                    mrow[idx(MembershipCol::kJoins)] = u64(mc.joins);
+                    mrow[idx(MembershipCol::kRejoins)] = u64(mc.rejoins);
+                    mrow[idx(MembershipCol::kLeaves)] = u64(mc.leaves);
+                    mrow[idx(MembershipCol::kHeartbeatsMissed)] = u64(mc.heartbeats_missed);
+                    mrow[idx(MembershipCol::kDeaths)] = u64(mc.deaths);
+                    mrow[idx(MembershipCol::kRecoveries)] = u64(mc.recoveries);
+                    mrow[idx(MembershipCol::kRejoinsStale)] = u64(mc.rejoins_stale);
+                    mrow[idx(MembershipCol::kChurnEvents)] = u64(mc.churn_events());
+                    mrow[idx(MembershipCol::kPriorVersion)] = membership_table.prior_version();
+                    report.telemetry.membership.append_row(mrow);
+                }
                 rejected_at_prev_close = server.rejected_uploads();
                 lagged_at_prev_close = server.serviced_lagged_batches();
                 break;
@@ -434,6 +561,7 @@ EngineReport run_fleet_engine(const EngineConfig& config, const stats::Rng& devi
 
     report.virtual_seconds = queue.now();
     report.events_processed = queue.total_popped();
+    report.max_event_queue_depth = queue.high_water();
     const auto wall_end = std::chrono::steady_clock::now();
     report.wall_seconds = std::chrono::duration<double>(wall_end - wall_start).count();
     if (report.wall_seconds > 0.0) {
@@ -480,12 +608,19 @@ ScaleFleetReport run_scale_fleet(const ScaleFleetConfig& config, stats::Rng& rng
     engine.deadline_seconds = config.deadline_seconds;
     engine.uplink_seconds = config.uplink_seconds;
     engine.keep_thetas = false;  // sufficient statistics only on the wire
-    engine.initial_broadcast_bytes = payload_bytes * config.devices_per_round;
+    // The bootstrap broadcast reaches only the devices that boot Alive —
+    // the reserved tail hasn't joined yet. Without membership this is the
+    // whole fleet, exactly the historical accounting.
+    engine.initial_broadcast_bytes =
+        payload_bytes *
+        config.membership.effective_initial_members(config.devices_per_round);
     engine.initial_prior_components = num_modes;
     engine.server = config.server;
+    engine.membership = config.membership;
 
     const stats::Rng device_root = rng.fork(4);
     const FaultPlan plan(config.faults, rng);
+    const ChurnPlan churn(config.membership.churn, rng);
     const double within_sd = std::sqrt(std::max(0.0, config.within_mode_var));
 
     const DeviceWork work = [&](std::size_t round, std::size_t device, stats::Rng& work_rng,
@@ -545,7 +680,8 @@ ScaleFleetReport run_scale_fleet(const ScaleFleetConfig& config, stats::Rng& rng
     };
 
     ScaleFleetReport report;
-    report.engine = run_fleet_engine(engine, device_root, plan, work, round_end, &batch_score);
+    report.engine =
+        run_fleet_engine(engine, device_root, plan, work, round_end, &batch_score, &churn);
     report.prior_components = num_modes;
     report.payload_bytes = payload_bytes;
     double accuracy_weighted = 0.0;

@@ -38,6 +38,7 @@
 #include <vector>
 
 #include "edgesim/faults.hpp"
+#include "edgesim/membership.hpp"
 #include "edgesim/shard.hpp"
 #include "obs/health.hpp"
 #include "obs/metrics.hpp"
@@ -83,8 +84,10 @@ class CloudServer {
 
     /// Admission control at virtual time `now`: first services everything
     /// due, then either enqueues the batch (true) or rejects it under
-    /// backpressure (false). The caller keeps responsibility for marking
-    /// the rejected batch's devices degraded.
+    /// backpressure (false), then services anything already due again — a
+    /// zero-service batch completes at its own arrival instant, so it never
+    /// lingers as phantom depth. The caller keeps responsibility for
+    /// marking the rejected batch's devices degraded.
     bool offer(UploadBatch batch, double now);
 
     /// Services every queued batch whose completion lands at or before
@@ -119,9 +122,19 @@ class CloudServer {
 
     /// Tells the server which round the virtual clock is in, so drain can
     /// classify a serviced batch as LAGGED (admitted in an earlier round —
-    /// the "lag, not loss" telemetry signal). The engine calls this at every
-    /// kRoundStart.
-    void begin_round(std::size_t round) noexcept { current_round_ = round; }
+    /// the "lag, not loss" telemetry signal), and resets the per-round
+    /// queue high-water mark to the carried-over backlog. The engine calls
+    /// this at every kRoundStart.
+    void begin_round(std::size_t round) noexcept {
+        current_round_ = round;
+        queue_high_water_ = queue_.size();
+    }
+
+    /// Peak SETTLED queue depth since begin_round: the max over post-offer
+    /// states after each offer's own drain. This is what the telemetry's
+    /// queue-depth column carries — the worst backlog the round ever held,
+    /// not a sample at close.
+    std::size_t queue_high_water() const noexcept { return queue_high_water_; }
 
     /// Batches serviced so far whose round predates the round they were
     /// serviced in. Monotone; the telemetry layer takes per-round deltas.
@@ -157,6 +170,7 @@ class CloudServer {
     std::size_t rejected_uploads_ = 0;
     std::size_t serviced_batches_ = 0;
     std::size_t serviced_lagged_batches_ = 0;
+    std::size_t queue_high_water_ = 0;
     std::size_t current_round_ = 0;
     obs::Histogram* service_wait_histogram_ = nullptr;
 };
@@ -198,6 +212,11 @@ struct EngineConfig {
     std::size_t flight_recorder_capacity = 1024;
 
     ServerConfig server;
+
+    /// Device liveness & churn. The default (no churn, no reserved tail)
+    /// disables membership entirely: no membership events, no membership
+    /// telemetry, the exact pre-membership engine behavior.
+    MembershipConfig membership;
 
     /// Throws std::invalid_argument on zero dimensions or a geometry where
     /// a healthy upload could not land before its round closes.
@@ -263,6 +282,9 @@ struct EngineReport {
     std::size_t total_backpressure_rejected = 0;
     double virtual_seconds = 0.0;        ///< clock at the final event
     std::uint64_t events_processed = 0;
+    /// Peak EventQueue size over the whole run (scheduler backlog, not the
+    /// server's admission queue) — capacity planning for the event heap.
+    std::size_t max_event_queue_depth = 0;
 
     /// Fleet health telemetry sampled at every kRoundEnd: the per-round
     /// series + upload-latency histogram (main block — bit-identical across
@@ -280,16 +302,27 @@ struct EngineReport {
 };
 
 /// Runs the event loop: `work` per device (round, global index, work
-/// stream, shard arena), `round_end` at each round close. `device_root`
-/// and the fault plan are the only randomness sources; the engine itself
-/// never draws. A non-null `batch_score` lets `work` defer its accuracy
-/// (DeviceResult::defer_score): each shard then scores its whole slice in
-/// one call after the device loop — same reports, one kernel invocation
-/// per shard instead of one per device.
+/// stream, shard arena), `round_end` at each round close. `device_root`,
+/// the fault plan, and the churn plan are the only randomness sources; the
+/// engine itself never draws. A non-null `batch_score` lets `work` defer
+/// its accuracy (DeviceResult::defer_score): each shard then scores its
+/// whole slice in one call after the device loop — same reports, one
+/// kernel invocation per shard instead of one per device.
+///
+/// `churn` (when non-null and active, or when config.membership reserves
+/// tail capacity) switches the engine into membership mode: a server-side
+/// MembershipTable evolves on kHeartbeatDeadline / kDeviceJoin /
+/// kDeviceRejoin events, shards skip non-member slots through the
+/// participation mask, rebroadcasts reach (and are charged for) only Alive
+/// devices, rejoiners resume with DegradedReason::kRejoinStalePrior when
+/// they missed a broadcast, and the report's telemetry grows a membership
+/// series. nullptr or an inactive plan with no reserved tail reproduces
+/// the fixed-population engine bit for bit.
 EngineReport run_fleet_engine(const EngineConfig& config, const stats::Rng& device_root,
                               const FaultPlan& plan, const DeviceWork& work,
                               const RoundEndFn& round_end,
-                              const BatchScoreFn* batch_score = nullptr);
+                              const BatchScoreFn* batch_score = nullptr,
+                              const ChurnPlan* churn = nullptr);
 
 // ---------------------------------------------------------------------------
 // The scale path: ≥100k simulated devices per round.
@@ -321,6 +354,10 @@ struct ScaleFleetConfig {
     double uplink_seconds = 0.5;
     ServerConfig server;
     FaultConfig faults;
+    /// Liveness/churn knobs; defaults keep the scale path churn-free (and
+    /// its goldens byte-stable). The churn plan forks its own stream, so
+    /// enabling churn never perturbs the mode/fault/device draws.
+    MembershipConfig membership;
 };
 
 struct ScaleFleetReport {

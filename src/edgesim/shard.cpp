@@ -86,7 +86,8 @@ Shard::Shard(ShardLayout layout, std::size_t theta_dim)
 ShardRoundOutput Shard::run_round(std::size_t round, const stats::Rng& device_root,
                                   const FaultPlan& plan, const DeviceWork& work,
                                   RoundSoA& soa, double deadline_seconds,
-                                  bool keep_thetas, const BatchScoreFn* batch_score) {
+                                  bool keep_thetas, const BatchScoreFn* batch_score,
+                                  const std::uint8_t* participating) {
     DREL_PROFILE_SCOPE("engine.shard_round");
     if (layout_.end > soa.size()) {
         throw std::invalid_argument("Shard::run_round: SoA smaller than shard range");
@@ -99,6 +100,11 @@ ShardRoundOutput Shard::run_round(std::size_t round, const stats::Rng& device_ro
     defer_thetas_.clear();
 
     for (std::size_t j = layout_.begin; j < layout_.end; ++j) {
+        // Non-member slot (Unknown/Joining/Dead): skip without renumbering.
+        // The SoA row keeps its freshly-reset defaults, and no stream is
+        // touched — a skipped device's RNG cells stay byte-identical for
+        // the round it rejoins.
+        if (participating != nullptr && participating[j] == 0) continue;
         const DeviceFaultDecision faults = plan.device_faults(round, j);
         if (plan.active()) record_injected_faults(faults);
 

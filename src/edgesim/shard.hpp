@@ -199,10 +199,18 @@ class Shard {
     /// collected and scored by `batch_score` in ONE call after the device
     /// loop (slice order, so the batch is a pure function of the slice);
     /// pass nullptr when no work defers.
+    ///
+    /// `participating` (when non-null) is the membership mask over GLOBAL
+    /// device indices: a 0 slot is skipped entirely — no fault query, no
+    /// RNG draw, no work, no latency — and its SoA entries stay at their
+    /// freshly-reset defaults (unscored, kNone). Slots keep their indices:
+    /// a Dead device's neighbours never renumber, so every per-device
+    /// stream stays aligned. nullptr means everyone participates.
     ShardRoundOutput run_round(std::size_t round, const stats::Rng& device_root,
                                const FaultPlan& plan, const DeviceWork& work,
                                RoundSoA& soa, double deadline_seconds, bool keep_thetas,
-                               const BatchScoreFn* batch_score = nullptr);
+                               const BatchScoreFn* batch_score = nullptr,
+                               const std::uint8_t* participating = nullptr);
 
  private:
     ShardLayout layout_;

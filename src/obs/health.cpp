@@ -40,12 +40,45 @@ constexpr std::array<const char*, kFleetNumColumns> kFleetColumnNames = {
 static_assert(kFleetColumnNames.size() == static_cast<std::size_t>(FleetCol::kNumColumns),
               "fleet column-name table out of sync with FleetCol");
 
+// Aligned with MembershipCol — static_assert below keeps them in lockstep.
+constexpr std::array<const char*, kMembershipNumColumns> kMembershipColumnNames = {
+    "round",
+    "capacity",
+    "members",
+    "alive",
+    "suspect",
+    "dead",
+    "joining",
+    "unknown",
+    "participating",
+    "joins",
+    "rejoins",
+    "leaves",
+    "heartbeats_missed",
+    "deaths",
+    "recoveries",
+    "rejoins_stale",
+    "churn_events",
+    "prior_version",
+};
+static_assert(kMembershipColumnNames.size() ==
+                  static_cast<std::size_t>(MembershipCol::kNumColumns),
+              "membership column-name table out of sync with MembershipCol");
+
 }  // namespace
 
 const char* const* fleet_column_names() noexcept { return kFleetColumnNames.data(); }
 
 obs::RoundSeries make_fleet_series() {
     return obs::RoundSeries(kFleetColumnNames.data(), kFleetColumnNames.size());
+}
+
+const char* const* membership_column_names() noexcept {
+    return kMembershipColumnNames.data();
+}
+
+obs::RoundSeries make_membership_series() {
+    return obs::RoundSeries(kMembershipColumnNames.data(), kMembershipColumnNames.size());
 }
 
 // ---------------------------------------------------------------------- SLOs
@@ -66,6 +99,8 @@ Slo Slo::fleet_default() {
     slo.round_rules.push_back({"degraded_fraction", "degraded", "devices", 0.50, 0.90});
     slo.round_rules.push_back({"queue_depth_ceiling", "queue_depth_at_close", "", 1.0, 1024.0});
     slo.latency_rules.push_back({"upload_latency_p99", 0.99, 61'000, 120'000});
+    slo.membership_rules.push_back({"suspect_fraction", "suspect", "members", 0.25, 0.50});
+    slo.membership_rules.push_back({"mass_extinction_guard", "dead", "capacity", 0.60, 0.95});
     return slo;
 }
 
@@ -185,6 +220,15 @@ SloReport evaluate(const Slo& slo, const FleetTelemetry& telemetry) {
         report.rules.push_back(evaluate_latency_rule(rule, telemetry.upload_latency_ms));
         report.verdict = worse(report.verdict, report.rules.back().verdict);
     }
+    // Membership rules only apply to runs that tracked membership; judging
+    // them on an empty series would add vacuous-pass rows to every legacy
+    // report (and its goldens).
+    if (telemetry.membership.num_rows() > 0) {
+        for (const RatioSlo& rule : slo.membership_rules) {
+            report.rules.push_back(evaluate_round_rule(rule, telemetry.membership));
+            report.verdict = worse(report.verdict, report.rules.back().verdict);
+        }
+    }
     return report;
 }
 
@@ -195,6 +239,9 @@ obs::JsonValue FleetTelemetry::to_json(const SloReport* slo,
     obs::JsonValue::Object out;
     out.emplace("series", series.to_json());
     out.emplace("upload_latency_ms", upload_latency_ms.to_json());
+    // Present only on membership-enabled runs — absence keeps every
+    // pre-churn golden byte-identical.
+    if (membership.num_rows() > 0) out.emplace("membership", membership.to_json());
     if (slo != nullptr) out.emplace("slo", slo->to_json());
     if (include_partition) {
         obs::JsonValue::Array shards_json;

@@ -55,7 +55,12 @@ enum class FleetCol : std::size_t {
     kUploadsGarbled,
     kUploadsRejected,        ///< devices lost to admission backpressure
     kUploadRetries,
-    kQueueDepthAtClose,      ///< server batches still queued at kRoundEnd
+    /// Peak settled server-queue depth this round (the high-water mark
+    /// across admissions, after each admission's own drain), so the
+    /// queue-depth SLO judges the worst backlog, not a sample. The JSON
+    /// column keeps its original name "queue_depth_at_close" for schema
+    /// stability; at round close the queue has drained to at most this.
+    kQueueDepthAtClose,
     kServicedLagged,         ///< batches serviced this round but admitted earlier
     kBroadcastBytes,
     kUploadBytes,
@@ -78,6 +83,47 @@ obs::RoundSeries make_fleet_series();
 
 /// Convenience index for row vectors: row[idx(FleetCol::kDevices)] = ...
 inline constexpr std::size_t idx(FleetCol col) noexcept {
+    return static_cast<std::size_t>(col);
+}
+
+/// Columns of the membership RoundSeries — the liveness/churn side-channel
+/// the engine appends one row per round when membership is enabled. State
+/// counts are the census at round CLOSE (post-heartbeat); event counts are
+/// the round's accumulation. A run without membership appends nothing, so
+/// this series is empty — and absent from JSON — for every pre-churn run,
+/// which is what keeps the old goldens byte-stable.
+enum class MembershipCol : std::size_t {
+    kRound = 0,
+    kCapacity,          ///< total device slots (members + reserved tail)
+    kMembers,           ///< alive + suspect at close (the scheduling set)
+    kAlive,
+    kSuspect,
+    kDead,
+    kJoining,           ///< admitted; promoted at the next round start
+    kUnknown,           ///< reserved capacity never yet joined
+    kParticipating,     ///< slots that actually ran this round (start snapshot)
+    kJoins,             ///< Unknown -> Joining this round
+    kRejoins,           ///< Dead -> Joining this round
+    kLeaves,            ///< voluntary departures this round
+    kHeartbeatsMissed,
+    kDeaths,            ///< leaves + suspect timeouts this round
+    kRecoveries,        ///< Suspect -> Alive heartbeats this round
+    kRejoinsStale,      ///< promotions that resumed on an out-of-date prior
+    kChurnEvents,       ///< joins + rejoins + leaves + heartbeats_missed
+    kPriorVersion,      ///< server-side broadcast version at close
+    kNumColumns
+};
+
+inline constexpr std::size_t kMembershipNumColumns =
+    static_cast<std::size_t>(MembershipCol::kNumColumns);
+
+/// Static column-name table aligned with MembershipCol.
+const char* const* membership_column_names() noexcept;
+
+/// A RoundSeries carrying the membership schema.
+obs::RoundSeries make_membership_series();
+
+inline constexpr std::size_t idx(MembershipCol col) noexcept {
     return static_cast<std::size_t>(col);
 }
 
@@ -112,6 +158,10 @@ struct QuantileSlo {
 struct Slo {
     std::vector<RatioSlo> round_rules;
     std::vector<QuantileSlo> latency_rules;
+    /// Rules judged against the MEMBERSHIP series. Skipped wholesale when
+    /// the run tracked no membership (empty series), so zero-churn SLO
+    /// reports keep their historical rule list.
+    std::vector<RatioSlo> membership_rules;
 
     /// The default fleet SLOs wired into the benches and the smoke test:
     /// backpressure-rejection rate (warn 1%, fail 5%), degraded fraction
@@ -119,6 +169,10 @@ struct Slo {
     /// fail 1024), and p99 upload latency (warn 61 s, fail 120 s — healthy
     /// and straggler latencies stay under the warn line at the default
     /// 30 s deadline, so a warn means the virtual geometry changed).
+    /// Membership rules (judged only on churn runs): suspect fraction of
+    /// the member set (warn 25%, fail 50% — half the fleet in the gray
+    /// zone means heartbeats are lying) and a mass-extinction guard on the
+    /// dead fraction of capacity (warn 60%, fail 95%).
     static Slo fleet_default();
 };
 
@@ -155,15 +209,20 @@ struct FleetTelemetry {
     obs::RoundSeries series = make_fleet_series();
     obs::HistogramSnapshot upload_latency_ms;
 
+    /// Membership/churn series — part of the main (partition-independent)
+    /// block, but populated only when the engine runs with membership
+    /// enabled; empty otherwise and then omitted from JSON entirely.
+    obs::RoundSeries membership = make_membership_series();
+
     /// Partition block — functions of the shard layout, excluded from
     /// byte-identity claims and goldens.
     std::vector<std::uint64_t> shard_devices;   ///< devices per shard
     obs::HistogramSnapshot service_wait_ms;     ///< batch arrival -> service done
 
-    /// {"series": ..., "upload_latency_ms": ..., ["slo": ...,]
-    ///  ["partition": {"shard_devices": [...], "service_wait_ms": ...}]}.
-    /// Pass include_partition = false to get exactly the byte-identity
-    /// surface the tests and goldens compare.
+    /// {"series": ..., "upload_latency_ms": ..., ["membership": ...,]
+    ///  ["slo": ...,] ["partition": {"shard_devices": [...],
+    ///  "service_wait_ms": ...}]}. Pass include_partition = false to get
+    /// exactly the byte-identity surface the tests and goldens compare.
     obs::JsonValue to_json(const SloReport* slo = nullptr,
                            bool include_partition = true) const;
 };

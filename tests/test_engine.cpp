@@ -75,6 +75,26 @@ TEST(EventQueue, ClockAdvancesAndRejectsThePast) {
     EXPECT_NO_THROW(queue.schedule(2.0, EventKind::kRoundEnd, 0));  // "now" is fine
 }
 
+TEST(EventQueue, TracksTheHighWaterMark) {
+    // The peak HEAP size, not the current one: the SLO wants to know how
+    // deep the backlog ever got, and popping must never shrink the record.
+    EventQueue queue;
+    EXPECT_EQ(queue.high_water(), 0u);
+    queue.schedule(1.0, EventKind::kRoundStart, 0);
+    queue.schedule(2.0, EventKind::kUploadArrival, 0, 1);
+    queue.schedule(3.0, EventKind::kUploadArrival, 0, 2);
+    EXPECT_EQ(queue.high_water(), 3u);
+    (void)queue.pop();
+    (void)queue.pop();
+    EXPECT_EQ(queue.size(), 1u);
+    EXPECT_EQ(queue.high_water(), 3u);  // draining never lowers the mark
+    queue.schedule(4.0, EventKind::kRoundEnd, 0);
+    EXPECT_EQ(queue.high_water(), 3u);  // back to 2 live: no new peak
+    queue.schedule(5.0, EventKind::kHeartbeatDeadline, 1);
+    queue.schedule(6.0, EventKind::kRoundEnd, 1);
+    EXPECT_EQ(queue.high_water(), 4u);  // a new, deeper backlog
+}
+
 TEST(EventQueue, RejectsNonFiniteTimesAndEmptyPop) {
     EventQueue queue;
     EXPECT_THROW(queue.schedule(std::numeric_limits<double>::quiet_NaN(),
@@ -495,6 +515,32 @@ TEST(FleetHealth, SlowServerTripsTheBackpressureSlo) {
         EXPECT_EQ(rule.first_violating_round, 0u);
     }
     EXPECT_TRUE(saw_rule);
+}
+
+TEST(FleetHealth, QueueDepthColumnCarriesThePeakSettledDepth) {
+    if (!obs::metrics_enabled()) GTEST_SKIP() << "metrics disabled (DREL_METRICS=0)";
+    using health::FleetCol;
+    using health::idx;
+    // A zero-service server completes every batch at its arrival instant:
+    // the settled depth never exceeds 0, even though batches transit the
+    // queue — the column must NOT report phantom depth.
+    const EngineReport healthy = run_small_engine(small_engine_config());
+    for (std::size_t r = 0; r < healthy.telemetry.series.num_rows(); ++r) {
+        EXPECT_EQ(healthy.telemetry.series.at(r, idx(FleetCol::kQueueDepthAtClose)), 0u);
+    }
+    // A slow server with queueing room builds a real backlog WITHIN the
+    // round. Before the high-water change this column read the depth at
+    // close (drained back down by then on mild backlogs); now it records
+    // the round's peak, which the 40-second service time pins at >= 1.
+    EngineConfig config = small_engine_config();
+    config.server.queue_capacity = 4;
+    config.server.service_seconds_per_batch = 40.0;
+    const EngineReport backlogged = run_small_engine(config);
+    EXPECT_GT(backlogged.telemetry.series.column_max(idx(FleetCol::kQueueDepthAtClose)),
+              0u);
+    // The scheduler's own backlog is surfaced alongside: every run holds at
+    // least a round-end behind the arrivals in flight.
+    EXPECT_GT(backlogged.max_event_queue_depth, 0u);
 }
 
 TEST(FleetHealth, FlightRecorderDumpsWhenEnvSet) {

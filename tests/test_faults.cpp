@@ -18,6 +18,7 @@
 #include "dro/ambiguity.hpp"
 #include "edgesim/faults.hpp"
 #include "edgesim/lifecycle.hpp"
+#include "edgesim/membership.hpp"
 #include "edgesim/simulation.hpp"
 #include "edgesim/transfer.hpp"
 #include "models/loss.hpp"
@@ -167,6 +168,48 @@ TEST(FaultPlan, FaultSetsGrowMonotonicallyInTheRate) {
                 EXPECT_LE(lo.prior_stale, hi.prior_stale);
                 EXPECT_LE(lo.link_outage, hi.link_outage);
             }
+        }
+    }
+}
+
+TEST(ChurnPlanMonotonicity, ChurnSetsGrowMonotonicallyInTheRate) {
+    // The membership layer's churn plan rides the same contract as the
+    // fault plan: one unconditional uniform per slot per cell, so at a
+    // fixed seed raising the churn rate only ever ADDS events — a lower
+    // rate's join/leave/loss/rejoin set is a subset of a higher rate's.
+    stats::Rng rng(13);
+    const std::vector<double> rates = {0.05, 0.2, 0.5, 0.9};
+    std::vector<ChurnPlan> plans;
+    for (const double rate : rates) plans.emplace_back(ChurnConfig::uniform(rate), rng);
+
+    for (std::size_t i = 0; i + 1 < plans.size(); ++i) {
+        for (std::size_t round = 0; round < 3; ++round) {
+            for (std::size_t device = 0; device < 32; ++device) {
+                const DeviceChurnDecision lo = plans[i].device_churn(round, device);
+                const DeviceChurnDecision hi = plans[i + 1].device_churn(round, device);
+                EXPECT_LE(lo.join, hi.join);
+                EXPECT_LE(lo.leave, hi.leave);
+                EXPECT_LE(lo.heartbeat_lost, hi.heartbeat_lost);
+                EXPECT_LE(lo.rejoin, hi.rejoin);
+            }
+        }
+    }
+
+    // And raising ONE probability never re-rolls another slot's decision:
+    // a leave-only sweep leaves the rejoin pattern of a mixed config intact.
+    ChurnConfig mixed;
+    mixed.leave_prob = 0.2;
+    mixed.rejoin_prob = 0.4;
+    ChurnConfig heavier = mixed;
+    heavier.leave_prob = 0.8;
+    const ChurnPlan a(mixed, rng);
+    const ChurnPlan b(heavier, rng);
+    for (std::size_t round = 0; round < 3; ++round) {
+        for (std::size_t device = 0; device < 32; ++device) {
+            const DeviceChurnDecision da = a.device_churn(round, device);
+            const DeviceChurnDecision db = b.device_churn(round, device);
+            EXPECT_EQ(da.rejoin, db.rejoin);
+            EXPECT_LE(da.leave, db.leave);
         }
     }
 }

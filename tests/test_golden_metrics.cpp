@@ -153,6 +153,41 @@ TEST_F(GoldenMetrics, FleetHealthSmall) {
     check_text_against_golden("fleet_health_small", actual);
 }
 
+// The fleet under CHURN: a quarter-rate uniform churn plan over a 200-device
+// fleet with a 40-slot reserved tail. Pins the membership series (liveness
+// census + churn event counters per round) and the two membership SLO rules
+// alongside the main health block — and, like FleetHealthSmall, proves the
+// whole surface is partition-independent before comparing: the SAME bytes
+// must come back at any thread or shard count.
+TEST_F(GoldenMetrics, FleetChurnSmall) {
+    const auto churn_json = [](std::size_t num_threads, std::size_t num_shards) {
+        edgesim::ScaleFleetConfig config;
+        config.devices_per_round = 200;
+        config.rounds = 4;
+        config.num_threads = num_threads;
+        config.num_shards = num_shards;
+        config.membership.churn = edgesim::ChurnConfig::uniform(0.25);
+        config.membership.initial_members = 160;
+        stats::Rng rng(4243);
+        const edgesim::ScaleFleetReport report = edgesim::run_scale_fleet(config, rng);
+        const health::SloReport slo =
+            health::evaluate(health::Slo::fleet_default(), report.engine.telemetry);
+        return report.engine.telemetry.to_json(&slo, /*include_partition=*/false).dump(2);
+    };
+    const std::string actual = churn_json(2, 4);
+    for (const std::size_t threads : {1u, 4u, 8u}) {
+        EXPECT_EQ(churn_json(threads, 4), actual) << "threads=" << threads;
+    }
+    for (const std::size_t shards : {1u, 3u, 8u, 40u}) {
+        EXPECT_EQ(churn_json(2, shards), actual) << "shards=" << shards;
+    }
+    // The scenario must actually exercise the graceful-rejoin path: a
+    // device that died, missed a rebroadcast, and came back stale.
+    EXPECT_NE(actual.find("\"rejoins_stale\""), std::string::npos);
+    EXPECT_NE(actual.find("\"suspect_fraction\""), std::string::npos);
+    check_text_against_golden("fleet_churn_small", actual);
+}
+
 // One EM-DRO solve against the oracle prior: pins the EM/DP/DRO/optimizer
 // counters without the fleet machinery on top.
 TEST_F(GoldenMetrics, EmSolveSmall) {

@@ -14,10 +14,11 @@ SCRIPT = os.path.join(os.path.dirname(os.path.abspath(__file__)), "..",
                       "scripts", "health_report.py")
 
 
-def make_sidecar(verdict="pass"):
+def make_sidecar(verdict="pass", membership=False):
     """A minimal schema-v2 sidecar shaped like obs::write_bench_sidecar's
-    output with a FleetTelemetry health block attached."""
-    return {
+    output with a FleetTelemetry health block attached. `membership=True`
+    adds the optional membership series a churn-tracking run emits."""
+    doc = {
         "schema_version": 2,
         "bench": "unit",
         "health": {
@@ -51,6 +52,17 @@ def make_sidecar(verdict="pass"):
             },
         },
     }
+    if membership:
+        doc["health"]["membership"] = {
+            "columns": ["round", "capacity", "members", "alive", "suspect",
+                        "dead", "joining", "unknown", "participating",
+                        "joins", "rejoins", "leaves", "heartbeats_missed",
+                        "deaths", "recoveries", "rejoins_stale",
+                        "churn_events", "prior_version"],
+            "rows": [[0, 40, 34, 30, 4, 2, 1, 3, 36, 1, 0, 2, 4, 2, 0, 0, 7, 1],
+                     [1, 40, 33, 31, 2, 4, 0, 3, 35, 0, 1, 1, 2, 2, 1, 1, 4, 2]],
+        }
+    return doc
 
 
 class HealthReportTest(unittest.TestCase):
@@ -121,6 +133,27 @@ class HealthReportTest(unittest.TestCase):
                                  "--max-rows", "1")
         self.assertEqual(result.returncode, 0, result.stderr)
         self.assertIn("... 1 more rounds", result.stdout)
+
+    def test_membership_series_renders_when_present(self):
+        result = self.run_report(
+            self.write("churn.json", make_sidecar(membership=True)))
+        self.assertEqual(result.returncode, 0, result.stderr)
+        self.assertIn("membership series (2 rounds):", result.stdout)
+        for column in ("alive", "suspect", "rejoins_stale", "churn_events",
+                       "prior_version"):
+            self.assertIn(column, result.stdout)
+        # The headline subset hides the raw event-counter tail...
+        self.assertNotIn("heartbeats_missed", result.stdout)
+        # ...which --all-columns reveals.
+        full = self.run_report(
+            self.write("churn.json", make_sidecar(membership=True)),
+            "--all-columns")
+        self.assertIn("heartbeats_missed", full.stdout)
+
+    def test_membership_series_is_absent_for_zero_churn_runs(self):
+        result = self.run_report(self.write("ok.json", make_sidecar()))
+        self.assertEqual(result.returncode, 0, result.stderr)
+        self.assertNotIn("membership series", result.stdout)
 
     def test_all_columns_renders_the_full_schema(self):
         doc = make_sidecar()
