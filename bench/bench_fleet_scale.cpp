@@ -31,6 +31,10 @@ struct Row {
     bool expect_churn = false;
     /// The row whose health block rides in the metrics sidecar.
     bool export_health = false;
+    /// The wire-v2 row exists to demonstrate compressed broadcasts: its
+    /// broadcast bytes/device/round MUST come in at least 2x below the v1
+    /// deployment row's, or the compression no longer earns its row.
+    bool wire_v2 = false;
 };
 
 }  // namespace
@@ -43,7 +47,9 @@ int main() {
         "Event-driven fleet engine at deployment scale. thr = device-rounds/s "
         "(wall clock); p50/p99/p999 = virtual completion-latency tail in "
         "seconds; B/dev/rnd = mean broadcast+upload+batch bytes per device "
-        "per round; recovery = MAP mode-recovery rate over scored devices; "
+        "per round; bcast B/dev/rnd = the broadcast share alone (what the "
+        "wire format controls — the v2 row must land at least 2x below the "
+        "v1 row); recovery = MAP mode-recovery rate over scored devices; "
         "rejected = uploads shed by server admission control (backpressure). "
         "The churn row runs the membership state machine: leaves, missed "
         "heartbeats, and stale-prior rejoins at a 10%/round uniform rate.");
@@ -71,6 +77,23 @@ int main() {
         deploy.config.num_shards = shards;
         deploy.config.num_threads = hw_threads;
         rows.push_back(deploy);
+    }
+    {
+        // The 100k fleet again, but broadcasting wire v2: the bootstrap
+        // push is a full 8-bit-quantized frame, every re-push a delta
+        // against it. Same fleet, same rounds — only the broadcast bytes
+        // move, and they must move by at least 2x.
+        Row v2;
+        v2.label = "100k wire v2";
+        v2.config.devices_per_round = 100000;
+        v2.config.num_shards = shards;
+        v2.config.num_threads = hw_threads;
+        v2.config.wire.version = edgesim::kWireV2;
+        v2.config.wire.quantized = true;
+        v2.config.wire.quantization_bits = 8;
+        v2.config.wire.delta = true;
+        v2.wire_v2 = true;
+        rows.push_back(v2);
     }
     {
         Row single;
@@ -132,8 +155,11 @@ int main() {
     }
 
     util::Table table({"fleet", "rounds", "thr (dev-rnd/s)", "p50 s", "p99 s",
-                       "p999 s", "B/dev/rnd", "recovery", "rejected", "slo"});
+                       "p999 s", "B/dev/rnd", "bcast B/dev/rnd", "recovery",
+                       "rejected", "slo"});
     bool slo_ok = true;
+    double v1_broadcast_rate = -1.0;  // the "100k" row's bcast B/dev/rnd
+    double v2_broadcast_rate = -1.0;  // the "100k wire v2" row's
     for (const Row& row : rows) {
         stats::Rng rng(2100);
         const edgesim::ScaleFleetReport report = edgesim::run_scale_fleet(row.config, rng);
@@ -144,14 +170,26 @@ int main() {
             p99 = std::max(p99, round.latency_p99_seconds);
             p999 = std::max(p999, round.latency_p999_seconds);
         }
+        // Broadcast bytes per device per round: the downlink budget the
+        // wire format spends, isolated from uploads and server batches.
+        const double broadcast_rate =
+            engine.rounds.empty()
+                ? 0.0
+                : static_cast<double>(engine.total_broadcast_bytes) /
+                      (static_cast<double>(row.config.devices_per_round) *
+                       static_cast<double>(engine.rounds.size()));
+        if (row.label == "100k") v1_broadcast_rate = broadcast_rate;
+        if (row.wire_v2) v2_broadcast_rate = broadcast_rate;
 
-        // Judge every row against the default fleet SLOs; the table shows
-        // the verdict and the process exit code enforces the expectations
-        // (healthy rows pass or warn; the slow server MUST fail on
-        // backpressure — if it stops failing, the row no longer demos what
-        // it claims to).
-        const health::SloReport slo =
-            health::evaluate(health::Slo::fleet_default(), engine.telemetry);
+        // Judge every row against the fleet SLOs plus the bandwidth rule
+        // over the telemetry's broadcast_bytes column (v1 full frames land
+        // in the warn band; v2 must clear it). The table shows the verdict
+        // and the process exit code enforces the expectations (healthy rows
+        // pass or warn; the slow server MUST fail on backpressure — if it
+        // stops failing, the row no longer demos what it claims to).
+        const health::SloReport slo = health::evaluate(
+            health::Slo::fleet_with_bandwidth(/*warn=*/1024.0, /*fail=*/8192.0),
+            engine.telemetry);
         if (!obs::metrics_enabled()) {
             // DREL_METRICS=0: the telemetry is empty by contract and every
             // rule passes vacuously — there is nothing to enforce.
@@ -197,11 +235,23 @@ int main() {
                        util::Table::fmt(p50, 2), util::Table::fmt(p99, 2),
                        util::Table::fmt(p999, 2),
                        util::Table::fmt(engine.bytes_per_device_round(), 1),
+                       util::Table::fmt(broadcast_rate, 1),
                        util::Table::fmt(report.mode_recovery_rate, 3),
                        std::to_string(engine.total_backpressure_rejected),
                        health::to_string(slo.verdict)});
     }
     table.print(std::cout);
+
+    // The compression claim, enforced: wire v2 (8-bit + delta) must cut
+    // broadcast bytes/device/round by at least 2x against the v1 row at
+    // the same 100k scale.
+    if (v1_broadcast_rate > 0.0 && v2_broadcast_rate >= 0.0 &&
+        2.0 * v2_broadcast_rate > v1_broadcast_rate) {
+        std::cerr << "wire-v2 expectation violated: broadcast bytes/device/round "
+                  << v2_broadcast_rate << " is not 2x below the v1 row's "
+                  << v1_broadcast_rate << "\n";
+        slo_ok = false;
+    }
 
     std::cout << "\nEvery row ran the full event loop (virtual clock, bounded "
                  "server queue); backpressure degrades devices, never the "

@@ -367,6 +367,26 @@ std::vector<BenchSpec> build_registry() {
         }
     }});
 
+    registry.push_back({"edgesim.prior_encode_decode_v2", false, [](std::size_t iters) {
+        // The compressed broadcast path: 8-bit quantized + delta against the
+        // last-acked prior, i.e. the per-round re-push a v2 fleet pays.
+        static const dp::MixturePrior prior = bench_prior(9, 6);
+        static const edgesim::PriorBase base{&prior, 1};
+        static const edgesim::EncodingOptions options = [] {
+            edgesim::EncodingOptions o;
+            o.version = edgesim::kWireV2;
+            o.quantized = true;
+            o.quantization_bits = 8;
+            o.delta = true;
+            o.prior_version = 2;
+            return o;
+        }();
+        for (std::size_t i = 0; i < iters; ++i) {
+            const auto encoded = edgesim::encode_prior(prior, options, &base);
+            sink(edgesim::decode_prior(encoded, &base).weights()[0]);
+        }
+    }});
+
     registry.push_back({"e2e.em_solve_small", true, [](std::size_t iters) {
         static const models::Dataset train = bench_dataset(48, 5);
         static const dp::MixturePrior prior = bench_prior(6, 3);

@@ -26,6 +26,12 @@
 # fanned out, and Dead-slot skipping changes which SoA rows each thread
 # touches — precisely the sharing pattern the sanitizers must bless.
 #
+# The streaming-posterior and wire-v2 suites (test_streaming_posterior,
+# test_transfer_v2) ride in both builds too: the merge/fold property tests
+# exercise the fixed-point SuffStats accumulators over arbitrary partition
+# trees, and the v2 decoders parse attacker-shaped buffers with bit-packed
+# reads — buffer arithmetic ASan exists to falsify.
+#
 # Usage: scripts/check_sanitizers.sh [jobs]
 set -euo pipefail
 
@@ -42,7 +48,8 @@ for sanitizer in thread address; do
         --target test_util test_concurrency test_faults test_engine \
                  test_membership test_membership_stats \
                  test_linalg_property test_dro_invariants \
-                 test_simd_dispatch test_sampling_stats test_obs > /dev/null
+                 test_simd_dispatch test_sampling_stats test_obs \
+                 test_streaming_posterior test_transfer_v2 > /dev/null
     # The property/differential harness (ctest -L property) runs here too:
     # the allocation-free kernels and workspace arenas are exactly the code
     # whose buffer reuse ASan/TSan can falsify. The event-driven engine
@@ -50,7 +57,7 @@ for sanitizer in thread address; do
     # per-shard SoA slices across threads — the exact pattern TSan exists
     # to check.
     if ! (cd "${build_dir}" && ctest --output-on-failure -j "${jobs}" \
-        -R 'ThreadPool|ParallelFor|ParallelReduce|Executor|Determinism|Fault|Chaos|EmDroDegradation|WorkspaceKernels|LinalgProperty|DroInvariants|FleetEngine|FleetHealth|EventQueue|StreamScheme|ScaleFleet|ShardLayout|UploadSufficientStats|SimdDispatch|SamplingStats|Timeseries|Health\.|Metrics\.|Membership|Churn|Liveness'); then
+        -R 'ThreadPool|ParallelFor|ParallelReduce|Executor|Determinism|Fault|Chaos|EmDroDegradation|WorkspaceKernels|LinalgProperty|DroInvariants|FleetEngine|FleetHealth|EventQueue|StreamScheme|ScaleFleet|ShardLayout|UploadSufficientStats|SimdDispatch|SamplingStats|Timeseries|Health\.|Metrics\.|Membership|Churn|Liveness|Streaming|Transfer'); then
         echo "!!! ${sanitizer} sanitizer suite FAILED"
         failed+=("${sanitizer}")
     fi

@@ -35,6 +35,7 @@ HEADLINE_COLUMNS = (
     "uploads_delivered",
     "uploads_rejected",
     "queue_depth_at_close",
+    "broadcast_bytes",
     "latency_p50_ms",
     "latency_p99_ms",
 )

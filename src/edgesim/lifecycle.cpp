@@ -1,12 +1,16 @@
 #include "edgesim/lifecycle.hpp"
 
+#include <cstdlib>
 #include <limits>
+#include <optional>
 #include <stdexcept>
+#include <string>
 #include <utility>
 
 #include "data/task_generator.hpp"
 #include "dp/dpmm_gibbs.hpp"
 #include "dp/prior_diagnostics.hpp"
+#include "dp/streaming_vb.hpp"
 #include "edgesim/transfer.hpp"
 #include "models/erm_objective.hpp"
 #include "models/metrics.hpp"
@@ -29,6 +33,19 @@ linalg::Vector fit_theta(const models::Dataset& data, const models::Loss& loss) 
 
 data::TaskPopulation population_with_modes(const std::vector<data::ParameterMode>& modes) {
     return data::TaskPopulation(std::vector<data::ParameterMode>(modes));
+}
+
+/// DREL_CLOUD_REFIT=batch|streaming overrides the configured refit mode
+/// (the CI streaming leg replays the fleet suite this way). An unknown
+/// value throws rather than silently running the wrong mode.
+CloudRefitMode resolve_refit_mode(CloudRefitMode configured) {
+    const char* env = std::getenv("DREL_CLOUD_REFIT");
+    if (env == nullptr || *env == '\0') return configured;
+    const std::string value(env);
+    if (value == "batch") return CloudRefitMode::kBatch;
+    if (value == "streaming") return CloudRefitMode::kStreaming;
+    throw std::invalid_argument("DREL_CLOUD_REFIT must be 'batch' or 'streaming', got '" +
+                                value + "'");
 }
 
 }  // namespace
@@ -99,12 +116,42 @@ LifecycleReport run_lifecycle(const LifecycleConfig& config, stats::Rng& rng) {
     // A stale-prior fault pins the device to the bootstrap prior — the
     // "missed every refresh" worst case.
     const dp::MixturePrior initial_prior = broadcast_prior;
+
+    // Streaming refit: the bootstrap prior seeds both the anchor and the
+    // pseudo-observation mass, so the first extract resembles the Gibbs
+    // broadcast. Batch mode constructs nothing here and keeps the
+    // historical per-upload Gibbs refresh bit for bit.
+    const CloudRefitMode refit_mode = resolve_refit_mode(config.cloud.refit_mode);
+    std::optional<dp::StreamingVb> streaming;
+    if (refit_mode == CloudRefitMode::kStreaming) {
+        dp::StreamingVbConfig svb;
+        svb.alpha = config.dp_alpha;
+        svb.base_mean = dpmm.base_mean;
+        svb.base_covariance = dpmm.base_covariance;
+        svb.within_covariance = dpmm.within_covariance;
+        svb.truncation = config.cloud.streaming_truncation;
+        svb.prior_strength = config.cloud.streaming_prior_strength > 0.0
+                                 ? config.cloud.streaming_prior_strength
+                                 : static_cast<double>(config.initial_contributors);
+        streaming.emplace(std::move(svb), broadcast_prior);
+    }
+
     const FaultPlan fault_plan(config.faults, rng);
     // Forked, not advanced: constructing the churn plan leaves every
     // existing stream untouched, so a zero-churn config reproduces the
     // pre-membership lifecycle bit for bit.
     const ChurnPlan churn_plan(config.membership.churn, rng);
-    auto payload = encode_prior(broadcast_prior);
+
+    // Broadcast wire state. The default options are exactly the historical
+    // v1 encode; v2 delta frames resolve against the previous broadcast
+    // (what the fleet last acked), versioned by a monotone counter.
+    config.wire.validate();
+    std::uint64_t wire_version = 0;
+    dp::MixturePrior last_acked_prior = broadcast_prior;
+    EncodingOptions bootstrap_wire = config.wire;
+    bootstrap_wire.delta = false;  // nobody has a base before the first push
+    bootstrap_wire.prior_version = 0;
+    auto payload = encode_prior(broadcast_prior, bootstrap_wire);
 
     // Disjoint stream roots: all per-device draws hang off fork(4) via the
     // hierarchical device_stream scheme, all cloud-side draws off fork(5)
@@ -243,20 +290,47 @@ LifecycleReport run_lifecycle(const LifecycleConfig& config, stats::Rng& rng) {
         }
         if (config.feedback && !uploads.empty()) {
             DREL_PROFILE_SCOPE("lifecycle.cloud_refresh");
-            stats::Rng update_rng =
-                server_stream(server_root, round, ServerStream::kPosteriorUpdate);
-            for (auto& [device, theta] : uploads) {
-                sampler.add_observation(std::move(theta), update_rng,
-                                        config.refresh_sweeps_per_upload);
+            dp::MixturePrior refreshed = broadcast_prior;
+            if (streaming.has_value()) {
+                // Streaming refit: score every serviced upload against the
+                // frozen anchor, fold the fixed-point partials (uploads
+                // arrive in canonical (round, device) order, but the merge
+                // is order-exact anyway), derive the posterior from the
+                // cumulative totals. No RNG: kPosteriorUpdate stays unused.
+                dp::StreamingSuffStats round_stats = streaming->make_stats();
+                for (const auto& [device, theta] : uploads) {
+                    streaming->accumulate(theta, round_stats);
+                }
+                streaming->apply(round_stats);
+                refreshed = streaming->extract_prior();
+            } else {
+                stats::Rng update_rng =
+                    server_stream(server_root, round, ServerStream::kPosteriorUpdate);
+                for (auto& [device, theta] : uploads) {
+                    sampler.add_observation(std::move(theta), update_rng,
+                                            config.refresh_sweeps_per_upload);
+                }
+                refreshed = sampler.extract_prior();
             }
-            const dp::MixturePrior refreshed = sampler.extract_prior();
             stats::Rng kl_rng = server_stream(server_root, round, ServerStream::kKlEstimate);
             const double drift = dp::symmetric_kl_estimate(refreshed, broadcast_prior,
                                                            config.kl_samples, kl_rng);
             if (drift > config.rebroadcast_kl_threshold) {
                 broadcast_prior = refreshed;
-                payload = encode_prior(broadcast_prior);
+                EncodingOptions push = config.wire;
+                push.prior_version = ++wire_version;
+                if (push.delta) {
+                    const PriorBase base{&last_acked_prior, wire_version - 1};
+                    payload = encode_prior(broadcast_prior, push, &base);
+                } else {
+                    payload = encode_prior(broadcast_prior, push);
+                }
+                last_acked_prior = broadcast_prior;
                 decision.rebroadcast = true;
+                // Future uploads score against the shipped posterior; a
+                // batch lagging from before the push still folds exactly
+                // (the totals are anchor-independent once accumulated).
+                if (streaming.has_value()) streaming->refresh_anchor();
             }
         }
         decision.payload_bytes = payload.size();

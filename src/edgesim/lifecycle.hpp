@@ -25,9 +25,31 @@
 #include "edgesim/cloud.hpp"
 #include "edgesim/faults.hpp"
 #include "edgesim/server.hpp"
+#include "edgesim/transfer.hpp"
 #include "stats/rng.hpp"
 
 namespace drel::edgesim {
+
+/// How the cloud folds serviced uploads into its posterior each round.
+enum class CloudRefitMode {
+    /// Per-upload collapsed Gibbs refresh (DpmmGibbs::add_observation) —
+    /// the historical path; all pre-streaming goldens pin it.
+    kBatch,
+    /// Streaming variational updates over mergeable fixed-point sufficient
+    /// statistics (dp/streaming_vb.hpp): uploads are scored against a
+    /// frozen anchor and folded by exact integer merge; the anchor advances
+    /// on rebroadcast. Deterministic — no posterior-update RNG draws.
+    kStreaming,
+};
+
+struct CloudRefitConfig {
+    CloudRefitMode refit_mode = CloudRefitMode::kBatch;
+    /// Streaming truncation K (kStreaming only).
+    std::size_t streaming_truncation = 8;
+    /// Pseudo-observation mass carried over from the bootstrap prior
+    /// (kStreaming only); 0 = derive from initial_contributors.
+    double streaming_prior_strength = 0.0;
+};
 
 struct LifecycleConfig {
     // Population.
@@ -71,6 +93,18 @@ struct LifecycleConfig {
     /// this; the check itself is cheap (Monte-Carlo with `kl_samples`).
     double rebroadcast_kl_threshold = 0.05;
     std::size_t kl_samples = 200;
+
+    /// Cloud posterior refresh mode (batch Gibbs vs streaming VB). The
+    /// DREL_CLOUD_REFIT env var ("batch" | "streaming") overrides the
+    /// configured mode — the CI leg that replays the fleet suite under
+    /// streaming uses it.
+    CloudRefitConfig cloud;
+
+    /// Wire options for prior broadcasts. The default (v1, full fidelity)
+    /// reproduces the historical byte accounting exactly; v2 options
+    /// (quantized / delta against the previous broadcast) shrink
+    /// broadcast_bytes, the quantity the bandwidth SLO judges.
+    EncodingOptions wire;
 
     core::EdgeLearnerConfig learner;
 

@@ -596,7 +596,30 @@ ScaleFleetReport run_scale_fleet(const ScaleFleetConfig& config, stats::Rng& rng
         means.push_back(std::move(mean));
     }
     const dp::MixturePrior prior(linalg::Vector(num_modes, 1.0), std::move(atoms));
-    const std::size_t payload_bytes = encoded_size(num_modes, dim, EncodingOptions{});
+    // Broadcast byte accounting. The v1 default keeps the historical
+    // encoded_size charge (no encode call, no counter drift for the byte-
+    // stable goldens). v2 options charge real frames: the bootstrap push is
+    // full (devices hold no base), and because the oracle prior never moves
+    // in this bench, every delta re-push collapses to header + presence
+    // bytes — the steady-state cost a converged fleet actually pays.
+    config.wire.validate();
+    std::size_t payload_bytes = encoded_size(num_modes, dim, EncodingOptions{});
+    std::size_t rebroadcast_bytes = payload_bytes;
+    if (config.wire.version >= kWireV2 || config.wire.use_float32 ||
+        config.wire.diagonal_only) {
+        EncodingOptions bootstrap_wire = config.wire;
+        bootstrap_wire.delta = false;
+        bootstrap_wire.prior_version = 0;
+        payload_bytes = encode_prior(prior, bootstrap_wire).size();
+        rebroadcast_bytes = payload_bytes;
+        if (config.wire.version >= kWireV2) {
+            EncodingOptions push = config.wire;
+            push.prior_version = 1;
+            const PriorBase base{&prior, 0};
+            rebroadcast_bytes =
+                encode_prior(prior, push, push.delta ? &base : nullptr).size();
+        }
+    }
 
     EngineConfig engine;
     engine.rounds = config.rounds;
@@ -671,7 +694,7 @@ ScaleFleetReport run_scale_fleet(const ScaleFleetConfig& config, stats::Rng& rng
     const RoundEndFn round_end = [&](std::size_t round, CloudServer& /*server*/) {
         RoundEndDecision decision;
         decision.prior_components = num_modes;
-        decision.payload_bytes = payload_bytes;
+        decision.payload_bytes = rebroadcast_bytes;
         // Deterministic cadence instead of a shard-order-sensitive FP
         // threshold, so the byte ledger is bit-identical across partitions.
         decision.rebroadcast = config.rebroadcast_every > 0 &&

@@ -40,6 +40,7 @@
 #include "edgesim/faults.hpp"
 #include "edgesim/membership.hpp"
 #include "edgesim/shard.hpp"
+#include "edgesim/transfer.hpp"
 #include "obs/health.hpp"
 #include "obs/metrics.hpp"
 #include "stats/rng.hpp"
@@ -358,6 +359,13 @@ struct ScaleFleetConfig {
     /// its goldens byte-stable). The churn plan forks its own stream, so
     /// enabling churn never perturbs the mode/fault/device draws.
     MembershipConfig membership;
+
+    /// Broadcast wire options. The default (v1) charges the historical
+    /// encoded_size per device; v2 options charge real encoded frames —
+    /// the bootstrap push is a full frame (nobody holds a base yet), every
+    /// re-push is delta-eligible against it. This is what the bench's
+    /// bytes/device/round column and the bandwidth SLO measure.
+    EncodingOptions wire;
 };
 
 struct ScaleFleetReport {

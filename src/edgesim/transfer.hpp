@@ -1,19 +1,56 @@
 // Cloud -> edge knowledge-transfer wire format.
 //
 // The transferred knowledge is a truncated DP prior: K weighted Gaussian
-// atoms over the theta space. The encoding is a little-endian binary layout:
+// atoms over the theta space. Two little-endian framings share the magic
+// and header prefix:
 //
 //   magic "DRELPRIO" (8 bytes) | version u32 | flags u32 | K u32 | dim u32
-//   then per atom: weight f64 | mean dim x f64-or-f32
-//                  | covariance payload (full lower triangle or diagonal)
 //
-// Flags select two size/fidelity trade-offs the communication benches sweep:
-//   kFloat32      — 4-byte scalars for means/covariances (weights stay f64)
-//   kDiagonalOnly — ship only diag(Sigma_k), reconstructing diagonal atoms
+// v1 (the default — byte-identical to every prior release):
+//   per atom: weight f64 | mean dim x f64-or-f32
+//             | covariance payload (full lower triangle or diagonal)
 //
-// Decoding validates magic, version, flags and buffer length and throws
-// std::invalid_argument on any malformed input (the fuzz-ish tests feed
-// truncated and bit-flipped buffers).
+// v2 appends to the header:
+//   prior_version u64                      — the broadcast's ack counter
+//   base_version u64     (iff kFlagDelta)  — the base this delta is against
+//   quant_bits u8        (iff kFlagQuantized)
+// then per atom:
+//   presence u8 (iff kFlagDelta and the base has an atom at this index;
+//                0 = atom is bit-identical to the base atom, nothing
+//                follows; 1 = full payload follows)
+//   weight f64 | mean section | covariance section
+//
+// A quantized section is `min f64 | max f64 | ceil(n*bits/8) packed bytes`
+// holding n values affine-quantized to `quant_bits` bits: levels =
+// 2^bits - 1, q = round((v - min) / (max - min) * levels), decoded as
+// min + q * (max - min) / levels. The worst-case reconstruction error is
+//
+//   |v - v_hat| <= (max - min) / (2 * levels)
+//
+// per section (mean and covariance quantize separately per atom; weights
+// always travel as f64). Under kFlagDelta the section carries RESIDUALS
+// against the base atom, whose span — and therefore error — shrinks toward
+// zero as the prior converges. test_transfer_v2.cpp pins the bound per
+// bit-width; unquantized delta payloads reconstruct exactly.
+//
+// Flags registry (decoders reject any bit not registered FOR THE CLAIMED
+// VERSION, so a v1 decoder rejects v2-only bits instead of misreading the
+// geometry):
+//   kFlagFloat32      v1+  4-byte scalars for means/covariances
+//   kFlagDiagonalOnly v1+  ship only diag(Sigma_k)
+//   kFlagQuantized    v2   bit-packed affine quantization per section
+//   kFlagDelta        v2   per-atom delta against the last-acked prior
+//
+// Version negotiation: a server and a device each advertise the highest
+// version they speak; the wire runs min(server, device)
+// (negotiate_wire_version), and negotiated_options() clamps a server's
+// preferred options down to what the negotiated version can express — a v2
+// server still emits plain v1 to a v1-only device. Decoders take a
+// `max_version` (default: newest) so a v1-only device rejects a v2 payload
+// with a clear error, and every decoder validates magic, version, flags,
+// header geometry and buffer length BEFORE the K x d x d allocation and
+// throws std::invalid_argument on any malformed input (fuzzed with
+// truncated, bit-flipped and overlong buffers for both versions).
 #pragma once
 
 #include <cstdint>
@@ -24,24 +61,97 @@
 
 namespace drel::edgesim {
 
+inline constexpr std::uint32_t kWireV1 = 1;
+inline constexpr std::uint32_t kWireV2 = 2;
+inline constexpr std::uint32_t kMaxWireVersion = kWireV2;
+
+// The flags registry.
+inline constexpr std::uint32_t kFlagFloat32 = 1u << 0;
+inline constexpr std::uint32_t kFlagDiagonalOnly = 1u << 1;
+inline constexpr std::uint32_t kFlagQuantized = 1u << 2;  // v2 only
+inline constexpr std::uint32_t kFlagDelta = 1u << 3;      // v2 only
+
+/// Bits a decoder of `version` accepts; throws std::invalid_argument on an
+/// unsupported version. The single source of truth for flag validation.
+std::uint32_t registered_flags(std::uint32_t version);
+
 struct EncodingOptions {
     bool use_float32 = false;
     bool diagonal_only = false;
+
+    /// Wire version to emit. kWireV1 (default) is byte-identical to the
+    /// historical format; quantized/delta require kWireV2.
+    std::uint32_t version = kWireV1;
+    /// v2: bit-pack means/covariances at `quantization_bits` per value.
+    /// Mutually exclusive with use_float32 (they are competing fidelity
+    /// ladders; combining them would quantize already-rounded floats).
+    bool quantized = false;
+    int quantization_bits = 8;  ///< in [2, 16]
+    /// v2: delta-encode atoms against the device's last-acked prior.
+    bool delta = false;
+    /// v2: monotone broadcast counter carried in the header (the ack
+    /// devices echo back; deltas name their base by it).
+    std::uint64_t prior_version = 0;
+
+    /// Throws std::invalid_argument on inconsistent settings (v2-only
+    /// features on a v1 frame, bits out of range, ...).
+    void validate() const;
 };
 
-std::vector<std::uint8_t> encode_prior(const dp::MixturePrior& prior,
-                                       const EncodingOptions& options = {});
+/// A device's last-acked prior: what v2 deltas are resolved against. The
+/// pointed-to prior must outlive the encode/decode call.
+struct PriorBase {
+    const dp::MixturePrior* prior = nullptr;
+    std::uint64_t version = 0;
+};
 
-dp::MixturePrior decode_prior(const std::vector<std::uint8_t>& buffer);
+/// Header fields surfaced to callers that negotiate (optional out-param of
+/// decode_prior).
+struct WireInfo {
+    std::uint32_t version = 0;
+    std::uint32_t flags = 0;
+    std::uint64_t prior_version = 0;  ///< 0 on v1 frames
+    std::size_t num_components = 0;
+    std::size_t dim = 0;
+};
+
+/// min(server_max, device_max); throws std::invalid_argument when either
+/// side speaks no supported version.
+std::uint32_t negotiate_wire_version(std::uint32_t server_max, std::uint32_t device_max);
+
+/// Clamps the server's preferred options to what a device speaking at most
+/// `device_max` can decode: the version drops to the negotiated one and
+/// v2-only features (quantized, delta) are shed on a v1 wire.
+EncodingOptions negotiated_options(EncodingOptions server_prefs, std::uint32_t device_max);
+
+/// Encodes under `options`. `base` is required when options.delta is set
+/// (and must match the prior's dimension); ignored otherwise.
+std::vector<std::uint8_t> encode_prior(const dp::MixturePrior& prior,
+                                       const EncodingOptions& options = {},
+                                       const PriorBase* base = nullptr);
+
+/// Decodes either version up to `max_version`. `base` is required to
+/// resolve kFlagDelta payloads: its version must equal the frame's
+/// base_version and its dimension the frame's — checked, like all header
+/// geometry, before any atom allocation.
+dp::MixturePrior decode_prior(const std::vector<std::uint8_t>& buffer,
+                              const PriorBase* base = nullptr,
+                              std::uint32_t max_version = kMaxWireVersion,
+                              WireInfo* info = nullptr);
 
 /// Non-throwing decode for tolerant receivers: std::nullopt on any
 /// malformed buffer (what decode_prior would reject). Counts rejected
 /// payloads under `transfer.decode_rejected`. The graceful-degradation
 /// entry point — a device that gets nullopt falls back to local-only ERM
 /// instead of aborting its round (see edgesim/faults.hpp).
-std::optional<dp::MixturePrior> try_decode_prior(const std::vector<std::uint8_t>& buffer);
+std::optional<dp::MixturePrior> try_decode_prior(const std::vector<std::uint8_t>& buffer,
+                                                 const PriorBase* base = nullptr,
+                                                 std::uint32_t max_version = kMaxWireVersion);
 
-/// Exact size in bytes that encode_prior would produce.
+/// Exact size in bytes that encode_prior would produce for non-delta
+/// options. For delta options this is the worst case (every atom present);
+/// the actual encode shrinks by (per_atom_payload - 1) bytes per atom that
+/// is bit-identical to its base.
 std::size_t encoded_size(std::size_t num_components, std::size_t dim,
                          const EncodingOptions& options);
 

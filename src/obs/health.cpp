@@ -104,6 +104,13 @@ Slo Slo::fleet_default() {
     return slo;
 }
 
+Slo Slo::fleet_with_bandwidth(double warn_bytes_per_device, double fail_bytes_per_device) {
+    Slo slo = fleet_default();
+    slo.round_rules.push_back({"broadcast_bytes_per_device", "broadcast_bytes", "devices",
+                               warn_bytes_per_device, fail_bytes_per_device});
+    return slo;
+}
+
 obs::JsonValue SloResult::to_json() const {
     obs::JsonValue::Object out;
     out.emplace("name", name);

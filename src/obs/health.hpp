@@ -174,6 +174,14 @@ struct Slo {
     /// zone means heartbeats are lying) and a mass-extinction guard on the
     /// dead fraction of capacity (warn 60%, fail 95%).
     static Slo fleet_default();
+
+    /// fleet_default() plus a bandwidth rule: mean broadcast bytes per
+    /// device per round (broadcast_bytes / devices) must stay under
+    /// warn/fail ceilings. Kept OUT of fleet_default() so pre-bandwidth
+    /// golden SLO reports stay byte-identical; the scale bench and the
+    /// wire-v2 rows opt in.
+    static Slo fleet_with_bandwidth(double warn_bytes_per_device,
+                                    double fail_bytes_per_device);
 };
 
 /// One evaluated rule. `first_violating_round` is the kRound value of the

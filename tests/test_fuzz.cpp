@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <cstring>
 #include <limits>
 #include <sstream>
 
@@ -67,6 +68,108 @@ TEST(FuzzDecode, TruncationAtEveryLengthThrows) {
                                             payload.begin() + static_cast<long>(length));
         EXPECT_THROW(edgesim::decode_prior(truncated), std::invalid_argument)
             << "length " << length;
+    }
+}
+
+// --------------------------------------------------------------- wire v2
+// Same hostile-bytes contract for the v2 framings (quantized, delta,
+// quantized+delta): every malformed buffer throws std::invalid_argument
+// BEFORE the K x d x d allocation — never crashes, never OOMs.
+
+edgesim::EncodingOptions fuzz_v2_options(bool quantized, bool delta) {
+    edgesim::EncodingOptions options;
+    options.version = edgesim::kWireV2;
+    options.quantized = quantized;
+    options.quantization_bits = 8;
+    options.delta = delta;
+    options.prior_version = 3;
+    return options;
+}
+
+TEST(FuzzDecodeV2, TruncationAtEveryLengthThrows) {
+    const dp::MixturePrior prior = fuzz_prior();
+    const edgesim::PriorBase base{&prior, 2};
+    for (const bool quantized : {false, true}) {
+        for (const bool delta : {false, true}) {
+            const auto payload = edgesim::encode_prior(
+                prior, fuzz_v2_options(quantized, delta), delta ? &base : nullptr);
+            for (std::size_t length = 0; length < payload.size(); ++length) {
+                std::vector<std::uint8_t> truncated(
+                    payload.begin(), payload.begin() + static_cast<long>(length));
+                EXPECT_THROW(edgesim::decode_prior(truncated, &base),
+                             std::invalid_argument)
+                    << "quantized=" << quantized << " delta=" << delta
+                    << " length=" << length;
+            }
+        }
+    }
+}
+
+TEST(FuzzDecodeV2, OverlongBuffersThrowOnBothVersions) {
+    const dp::MixturePrior prior = fuzz_prior();
+    const edgesim::PriorBase base{&prior, 2};
+    std::vector<std::vector<std::uint8_t>> payloads;
+    payloads.push_back(edgesim::encode_prior(prior));  // v1
+    payloads.push_back(edgesim::encode_prior(prior, fuzz_v2_options(true, false)));
+    payloads.push_back(
+        edgesim::encode_prior(prior, fuzz_v2_options(true, true), &base));
+    for (auto payload : payloads) {
+        for (const std::size_t extra : {std::size_t{1}, std::size_t{7}, std::size_t{64}}) {
+            auto overlong = payload;
+            overlong.insert(overlong.end(), extra, 0xab);
+            EXPECT_THROW(edgesim::decode_prior(overlong, &base), std::invalid_argument)
+                << "extra=" << extra;
+        }
+    }
+}
+
+TEST(FuzzDecodeV2, SingleBitCorruptionsEitherThrowOrStayValid) {
+    const dp::MixturePrior prior = fuzz_prior();
+    const edgesim::PriorBase base{&prior, 2};
+    stats::Rng rng(4);
+    for (const bool quantized : {false, true}) {
+        for (const bool delta : {false, true}) {
+            const auto payload = edgesim::encode_prior(
+                prior, fuzz_v2_options(quantized, delta), delta ? &base : nullptr);
+            for (int trial = 0; trial < 400; ++trial) {
+                auto corrupted = payload;
+                const std::size_t at = rng.uniform_index(corrupted.size());
+                corrupted[at] ^= static_cast<std::uint8_t>(1u << rng.uniform_index(8));
+                try {
+                    const dp::MixturePrior decoded =
+                        edgesim::decode_prior(corrupted, &base);
+                    double total = 0.0;
+                    for (const double w : decoded.weights()) total += w;
+                    EXPECT_NEAR(total, 1.0, 1e-9);
+                } catch (const std::invalid_argument&) {
+                    // rejected — fine
+                }
+            }
+        }
+    }
+}
+
+TEST(FuzzDecodeV2, RandomV2HeadersNeverAllocate) {
+    // Buffers that LOOK like v2 frames — valid magic and version, random
+    // everything after — probe the header-validation path specifically:
+    // huge K/dim, unregistered flags, hostile quantization ranges.
+    const dp::MixturePrior prior = fuzz_prior();
+    const edgesim::PriorBase base{&prior, 2};
+    stats::Rng rng(5);
+    const char magic[8] = {'D', 'R', 'E', 'L', 'P', 'R', 'I', 'O'};
+    for (int trial = 0; trial < 2000; ++trial) {
+        std::vector<std::uint8_t> buffer(12 + rng.uniform_index(120));
+        std::memcpy(buffer.data(), magic, sizeof(magic));
+        const std::uint32_t version = edgesim::kWireV2;
+        std::memcpy(buffer.data() + 8, &version, sizeof(version));
+        for (std::size_t i = 12; i < buffer.size(); ++i) {
+            buffer[i] = static_cast<std::uint8_t>(rng.uniform_index(256));
+        }
+        try {
+            (void)edgesim::decode_prior(buffer, &base);
+        } catch (const std::invalid_argument&) {
+            // expected for essentially every random tail
+        }
     }
 }
 

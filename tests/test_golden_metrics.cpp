@@ -13,7 +13,9 @@
 // rewrites every golden from the current run and passes; commit the diff.
 #include <gtest/gtest.h>
 
+#include <cstdio>
 #include <cstdlib>
+#include <cstring>
 #include <fstream>
 #include <sstream>
 #include <string>
@@ -21,6 +23,7 @@
 
 #include "core/em_dro.hpp"
 #include "dro/ambiguity.hpp"
+#include "edgesim/lifecycle.hpp"
 #include "edgesim/server.hpp"
 #include "edgesim/simulation.hpp"
 #include "models/loss.hpp"
@@ -186,6 +189,84 @@ TEST_F(GoldenMetrics, FleetChurnSmall) {
     EXPECT_NE(actual.find("\"rejoins_stale\""), std::string::npos);
     EXPECT_NE(actual.find("\"suspect_fraction\""), std::string::npos);
     check_text_against_golden("fleet_churn_small", actual);
+}
+
+// The streaming-refit lifecycle under wire v2 (8-bit quantized + delta
+// broadcasts): pins the full closed loop — streaming VB posterior updates,
+// compressed rebroadcasts, the bandwidth SLO — as a byte-exact document.
+// Accuracies are recorded as raw f64 bit patterns, so "bit-identical
+// across 1/2/4/8 threads and 1/3/8/40 shards" means exactly that: the
+// fixed-point merge contract of dp/streaming_vb.hpp surfacing end to end.
+TEST_F(GoldenMetrics, FleetStreamingSmall) {
+    const auto streaming_json = [](std::size_t num_threads, std::size_t num_shards) {
+        edgesim::LifecycleConfig config;
+        config.feature_dim = 5;
+        config.initial_modes = 2;
+        config.initial_contributors = 12;
+        config.contributor_samples = 200;
+        config.rounds = 4;
+        config.devices_per_round = 48;
+        config.edge_samples = 16;
+        config.test_samples = 400;
+        config.gibbs_sweeps = 40;
+        config.novel_mode_round = 1;
+        config.learner.em.max_outer_iterations = 6;
+        config.learner.transfer_weight = 2.0;
+        config.cloud.refit_mode = edgesim::CloudRefitMode::kStreaming;
+        config.wire.version = edgesim::kWireV2;
+        config.wire.quantized = true;
+        config.wire.quantization_bits = 8;
+        config.wire.delta = true;
+        config.num_threads = num_threads;
+        config.num_shards = num_shards;
+        stats::Rng rng(4242);
+        const edgesim::LifecycleReport report = edgesim::run_lifecycle(config, rng);
+
+        const auto bits = [](double value) {
+            char buffer[32];
+            std::uint64_t pattern = 0;
+            std::memcpy(&pattern, &value, sizeof(pattern));
+            std::snprintf(buffer, sizeof(buffer), "%016llx",
+                          static_cast<unsigned long long>(pattern));
+            return std::string(buffer);
+        };
+        obs::JsonValue::Array rounds_json;
+        for (const auto& round : report.rounds) {
+            obs::JsonValue::Object row;
+            row.emplace("round", static_cast<std::uint64_t>(round.round));
+            row.emplace("mean_accuracy_bits", bits(round.mean_accuracy));
+            row.emplace("novel_accuracy_bits", bits(round.novel_mode_accuracy));
+            row.emplace("prior_components",
+                        static_cast<std::uint64_t>(round.prior_components));
+            row.emplace("rebroadcast", round.rebroadcast);
+            row.emplace("broadcast_bytes",
+                        static_cast<std::uint64_t>(round.broadcast_bytes));
+            rounds_json.emplace_back(std::move(row));
+        }
+        const health::SloReport slo = health::evaluate(
+            health::Slo::fleet_with_bandwidth(/*warn=*/64.0, /*fail=*/4096.0),
+            report.telemetry);
+        obs::JsonValue::Object doc;
+        doc.emplace("rounds", std::move(rounds_json));
+        doc.emplace("total_broadcast_bytes",
+                    static_cast<std::uint64_t>(report.total_broadcast_bytes));
+        doc.emplace("total_upload_bytes",
+                    static_cast<std::uint64_t>(report.total_upload_bytes));
+        doc.emplace("telemetry",
+                    report.telemetry.to_json(&slo, /*include_partition=*/false));
+        return obs::JsonValue(std::move(doc)).dump(2);
+    };
+    const std::string actual = streaming_json(2, 8);
+    for (const std::size_t threads : {1u, 4u, 8u}) {
+        EXPECT_EQ(streaming_json(threads, 8), actual) << "threads=" << threads;
+    }
+    for (const std::size_t shards : {1u, 3u, 40u}) {
+        EXPECT_EQ(streaming_json(2, shards), actual) << "shards=" << shards;
+    }
+    // The scenario must exercise the compressed-rebroadcast path and the
+    // bandwidth SLO it feeds.
+    EXPECT_NE(actual.find("\"broadcast_bytes_per_device\""), std::string::npos);
+    check_text_against_golden("fleet_streaming_small", actual);
 }
 
 // One EM-DRO solve against the oracle prior: pins the EM/DP/DRO/optimizer

@@ -155,6 +155,20 @@ class HealthReportTest(unittest.TestCase):
         self.assertEqual(result.returncode, 0, result.stderr)
         self.assertNotIn("membership series", result.stdout)
 
+    def test_broadcast_bytes_is_a_headline_column_when_present(self):
+        # Bandwidth-tracking runs (wire v2 benches) carry broadcast_bytes in
+        # the fleet series; it must surface without --all-columns so the
+        # downlink budget reads off the default report.
+        doc = make_sidecar()
+        series = doc["health"]["series"]
+        series["columns"] = series["columns"] + ["broadcast_bytes"]
+        series["rows"] = [row + [28074 if row[0] == 0 else 0]
+                          for row in series["rows"]]
+        result = self.run_report(self.write("bw.json", doc))
+        self.assertEqual(result.returncode, 0, result.stderr)
+        self.assertIn("broadcast_bytes", result.stdout)
+        self.assertIn("28074", result.stdout)
+
     def test_all_columns_renders_the_full_schema(self):
         doc = make_sidecar()
         result = self.run_report(self.write("ok.json", doc), "--all-columns")
